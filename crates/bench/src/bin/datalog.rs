@@ -1,0 +1,142 @@
+//! Datalog experiments: Table 11 (batch evaluation) and Table 2 (interactive top-down
+//! queries) — E11 and E12.
+//!
+//! Run with `cargo run --release -p kpg-bench --bin datalog [--scale 1.0]`.
+
+use kpg_bench::{arg_f64, arg_usize, timed, LatencyRecorder};
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+use kpg_datalog::programs::{same_generation, tc_from, tc_to, transitive_closure};
+use kpg_datalog::Edge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run_batch(
+    name: &str,
+    edges: Vec<Edge>,
+    workers: usize,
+    program: &'static (dyn Fn(&Collection<Edge>) -> Collection<Edge> + Sync),
+) {
+    let edge_count = edges.len();
+    let (counts, elapsed) = timed(|| {
+        execute(Config::new(workers), move |worker| {
+            let edges = edges.clone();
+            let (mut input, probe, cap) = worker.dataflow(|builder| {
+                let (input, collection) = new_collection::<Edge, isize>(builder);
+                let result = program(&collection);
+                (input, result.probe(), result.capture())
+            });
+            for (index, edge) in edges.iter().enumerate() {
+                if index % worker.peers() == worker.index() {
+                    input.insert(*edge);
+                }
+            }
+            input.advance_to(1);
+            worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+            let derived = cap.borrow().iter().filter(|(_, _, d)| *d > 0).count();
+            derived
+        })
+    });
+    let derived: usize = counts.iter().sum();
+    println!(
+        "{name}\tworkers {workers}\tinput {edge_count}\tderived {derived}\t{:.3} s",
+        elapsed.as_secs_f64()
+    );
+}
+
+fn interactive_tc(edges: Vec<Edge>, nodes: u32, queries: usize, reverse: bool) -> LatencyRecorder {
+    let results = execute(Config::new(1), move |worker| {
+        let edges = edges.clone();
+        let (mut edges_in, mut seeds_in, probe) = worker.dataflow(|builder| {
+            let (edges_in, edge_coll) = new_collection::<Edge, isize>(builder);
+            let (seeds_in, seeds) = new_collection::<u32, isize>(builder);
+            let result = if reverse {
+                tc_to(&edge_coll, &seeds)
+            } else {
+                tc_from(&edge_coll, &seeds)
+            };
+            (edges_in, seeds_in, result.probe())
+        });
+        for edge in edges {
+            edges_in.insert(edge);
+        }
+        let mut epoch = 1u64;
+        edges_in.advance_to(epoch);
+        seeds_in.advance_to(epoch);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(epoch)));
+
+        let mut recorder = LatencyRecorder::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..queries {
+            let seed = rng.gen_range(0..nodes);
+            seeds_in.insert(seed);
+            epoch += 1;
+            edges_in.advance_to(epoch);
+            seeds_in.advance_to(epoch);
+            let target = Time::from_epoch(epoch);
+            recorder.time(|| worker.step_while(|| probe.less_than(&target)));
+            seeds_in.remove(seed);
+        }
+        recorder
+    });
+    results.into_iter().next().expect("one worker")
+}
+
+fn main() {
+    let scale = arg_f64("--scale", 1.0);
+    let max_workers = arg_usize("--max-workers", 2);
+    let queries = arg_usize("--queries", 50);
+
+    let tree = kpg_datalog::generate::tree((9.0 + scale.log2()).max(6.0) as u32);
+    let grid = kpg_datalog::generate::grid((24.0 * scale.sqrt()) as u32);
+    let gnp = kpg_datalog::generate::gnp((600.0 * scale) as u32, (1_800.0 * scale) as usize, 4);
+
+    println!("# Table 11 analogue: batch Datalog evaluation");
+    let inputs: Vec<(&str, Vec<Edge>)> =
+        vec![("tree", tree.clone()), ("grid", grid.clone()), ("gnp", gnp.clone())];
+    for (name, edges) in &inputs {
+        let mut workers = 1;
+        while workers <= max_workers {
+            run_batch(&format!("tc({name})"), edges.clone(), workers, &transitive_closure);
+            workers *= 2;
+        }
+    }
+    for (name, edges) in &inputs {
+        run_batch(&format!("sg({name})"), edges.clone(), 1, &same_generation);
+    }
+
+    println!("\n# Table 2 analogue: interactive top-down queries (median/max of {queries} queries)");
+    println!("query\tgraph\tmedian (ms)\tmax (ms)\tfull eval (s)");
+    for (name, edges) in &inputs {
+        let nodes = edges.iter().map(|(s, d)| s.max(d) + 1).max().unwrap_or(1);
+        let (_, full) = timed(|| {
+            let edges = edges.clone();
+            execute(Config::new(1), move |worker| {
+                let edges = edges.clone();
+                let (mut input, probe) = worker.dataflow(|builder| {
+                    let (input, collection) = new_collection::<Edge, isize>(builder);
+                    (input, transitive_closure(&collection).probe())
+                });
+                for e in edges {
+                    input.insert(e);
+                }
+                input.advance_to(1);
+                worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+            })
+        });
+        let forward = interactive_tc(edges.clone(), nodes, queries, false);
+        println!(
+            "tc(x,?)\t{name}\t{:.3}\t{:.3}\t{:.3}",
+            forward.median().as_secs_f64() * 1e3,
+            forward.max().as_secs_f64() * 1e3,
+            full.as_secs_f64()
+        );
+        let backward = interactive_tc(edges.clone(), nodes, queries, true);
+        println!(
+            "tc(?,x)\t{name}\t{:.3}\t{:.3}\t{:.3}",
+            backward.median().as_secs_f64() * 1e3,
+            backward.max().as_secs_f64() * 1e3,
+            full.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Batch graph computations: Tables 7, 8 and 9 (E10).
+//!
+//! Three synthetic graphs stand in for LiveJournal, Orkut and Twitter (substitution S3):
+//! a uniform graph, a denser uniform graph, and a skewed graph. For each we report the
+//! time to build the forward index (arrangement), reachability, BFS distances, the
+//! reverse index, and undirected connectivity, for 1..=max workers, alongside the
+//! purpose-written single-threaded baselines (array- and hash-map-based BFS, union-find).
+//!
+//! Run with `cargo run --release -p kpg-bench --bin graph_batch [--scale 1.0]`.
+
+use kpg_bench::{arg_f64, arg_usize, timed};
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+use kpg_graph::algorithms::{bfs_distances, connected_components, reachability};
+use kpg_graph::{baseline, generate, Edge};
+
+fn run_differential(edges: Vec<Edge>, workers: usize) -> (f64, f64, f64, f64) {
+    // Returns (index seconds, reach seconds, bfs seconds, wcc seconds).
+    let results = execute(Config::new(workers), move |worker| {
+        let edges = edges.clone();
+        let (mut edges_in, mut roots_in, index_probe, reach_probe, bfs_probe, wcc_probe) = worker
+            .dataflow(|builder| {
+                let (edges_in, edge_coll) = new_collection::<Edge, isize>(builder);
+                let (roots_in, roots) = new_collection::<u32, isize>(builder);
+                let index_probe = edge_coll.arrange_by_key().probe();
+                let reach_probe = reachability(&edge_coll, &roots).probe();
+                let bfs_probe = bfs_distances(&edge_coll, &roots).probe();
+                let wcc_probe = connected_components(&edge_coll).probe();
+                (edges_in, roots_in, index_probe, reach_probe, bfs_probe, wcc_probe)
+            });
+        for (index, edge) in edges.iter().enumerate() {
+            if index % worker.peers() == worker.index() {
+                edges_in.insert(*edge);
+            }
+        }
+        if worker.index() == 0 {
+            roots_in.insert(edges.first().map(|(s, _)| *s).unwrap_or(0));
+        }
+        edges_in.advance_to(1);
+        roots_in.advance_to(1);
+        let target = Time::from_epoch(1);
+        let (_, index_time) = timed(|| worker.step_while(|| index_probe.less_than(&target)));
+        let (_, reach_time) = timed(|| worker.step_while(|| reach_probe.less_than(&target)));
+        let (_, bfs_time) = timed(|| worker.step_while(|| bfs_probe.less_than(&target)));
+        let (_, wcc_time) = timed(|| worker.step_while(|| wcc_probe.less_than(&target)));
+        (
+            index_time.as_secs_f64(),
+            reach_time.as_secs_f64(),
+            bfs_time.as_secs_f64(),
+            wcc_time.as_secs_f64(),
+        )
+    });
+    results[0]
+}
+
+fn main() {
+    let scale = arg_f64("--scale", 1.0);
+    let max_workers = arg_usize("--max-workers", 2);
+    let graphs: Vec<(&str, Vec<Edge>)> = vec![
+        (
+            "livejournal-like (uniform)",
+            generate::uniform((3_000.0 * scale) as u32, (42_000.0 * scale) as usize, 1),
+        ),
+        (
+            "orkut-like (dense uniform)",
+            generate::uniform((2_000.0 * scale) as u32, (78_000.0 * scale) as usize, 2),
+        ),
+        (
+            "twitter-like (skewed)",
+            generate::skewed((4_000.0 * scale) as u32, (130_000.0 * scale) as usize, 3),
+        ),
+    ];
+
+    for (name, edges) in graphs {
+        let nodes = edges.iter().map(|(s, d)| s.max(d) + 1).max().unwrap_or(1);
+        println!("\n# Table 7/8/9 analogue: {name} — {} nodes, {} edges", nodes, edges.len());
+        println!("system\tworkers\tindex (s)\treach (s)\tbfs (s)\twcc (s)");
+
+        // Single-threaded baselines.
+        let root = edges.first().map(|(s, _)| *s).unwrap_or(0);
+        let (_, reach_array) = timed(|| baseline::bfs_array(nodes, &edges, root));
+        let (_, bfs_array) = timed(|| baseline::bfs_distances_array(nodes, &edges, root));
+        let (_, wcc_uf) = timed(|| baseline::union_find_components(&edges));
+        println!(
+            "single-thread (arrays)\t1\t-\t{:.3}\t{:.3}\t{:.3}",
+            reach_array.as_secs_f64(),
+            bfs_array.as_secs_f64(),
+            wcc_uf.as_secs_f64()
+        );
+        let (_, reach_hash) = timed(|| baseline::bfs_hashmap(&edges, root));
+        println!(
+            "single-thread (hash map)\t1\t-\t{:.3}\t{:.3}\t-",
+            reach_hash.as_secs_f64(),
+            reach_hash.as_secs_f64()
+        );
+
+        // Differential, scaling workers.
+        let mut workers = 1;
+        while workers <= max_workers {
+            let (index, reach, bfs, wcc) = run_differential(edges.clone(), workers);
+            println!("shared-arrangements\t{workers}\t{index:.3}\t{reach:.3}\t{bfs:.3}\t{wcc:.3}");
+            workers *= 2;
+        }
+    }
+}

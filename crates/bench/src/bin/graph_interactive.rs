@@ -1,0 +1,133 @@
+//! Interactive graph query experiments: Figures 5a/5b/5c and Table 10 (E6–E9).
+//!
+//! An evolving random graph is maintained while the four query classes (look-up, 1-hop,
+//! 2-hop, 4-hop path) are issued; latencies are reported as complementary CDFs, and the
+//! shared-arrangement and per-query-arrangement variants are compared on both latency and
+//! the number of updates held across arrangements (the memory proxy for Figure 5c).
+//!
+//! Run with `cargo run --release -p kpg-bench --bin graph_interactive [--nodes 2000]`.
+
+use kpg_bench::{arg_usize, LatencyRecorder};
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+use kpg_graph::generate;
+use kpg_graph::interactive::interactive_queries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct RunResult {
+    lookup: LatencyRecorder,
+    one_hop: LatencyRecorder,
+    two_hop: LatencyRecorder,
+    four_path: LatencyRecorder,
+    arrangement_size: usize,
+}
+
+fn run(shared: bool, nodes: u32, edges: usize, rounds: usize, per_round: usize) -> RunResult {
+    let results = execute(Config::new(1), move |worker| {
+        let mut queries = worker.dataflow(|builder| interactive_queries(builder, shared));
+        let graph = generate::evolving(nodes, edges, rounds, per_round, 77);
+        for edge in graph.initial.iter() {
+            queries.edges.insert(*edge);
+        }
+        let mut epoch = 0u64;
+        let probe = queries.probe.clone();
+        epoch += 1;
+        queries.advance_to(epoch);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(epoch)));
+
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut lookup = LatencyRecorder::new();
+        let mut one_hop = LatencyRecorder::new();
+        let mut two_hop = LatencyRecorder::new();
+        let mut four_path = LatencyRecorder::new();
+
+        for (adds, dels) in graph.rounds.iter() {
+            // Half graph changes, half query changes, as in the paper's open-loop mix.
+            for edge in adds {
+                queries.edges.insert(*edge);
+            }
+            for edge in dels {
+                queries.edges.remove(*edge);
+            }
+            let l = rng.gen_range(0..nodes);
+            let o = rng.gen_range(0..nodes);
+            let t = rng.gen_range(0..nodes);
+            let pair = (rng.gen_range(0..nodes), rng.gen_range(0..nodes));
+            queries.lookup.insert(l);
+            queries.one_hop.insert(o);
+            queries.two_hop.insert(t);
+            queries.four_path.insert(pair);
+            epoch += 1;
+            queries.advance_to(epoch);
+            let target = Time::from_epoch(epoch);
+            // Measure the latency to fully process the round, attributing it to each
+            // query class in turn (they are maintained by the same synchronized step).
+            let elapsed = {
+                let start = std::time::Instant::now();
+                worker.step_while(|| probe.less_than(&target));
+                start.elapsed()
+            };
+            lookup.record(elapsed);
+            one_hop.record(elapsed);
+            two_hop.record(elapsed);
+            four_path.record(elapsed);
+            // Retire the queries so state stays proportional to the graph.
+            queries.lookup.remove(l);
+            queries.one_hop.remove(o);
+            queries.two_hop.remove(t);
+            queries.four_path.remove(pair);
+        }
+        (
+            lookup,
+            one_hop,
+            two_hop,
+            four_path,
+            queries.arrangement_size(),
+        )
+    });
+    let (lookup, one_hop, two_hop, four_path, arrangement_size) =
+        results.into_iter().next().expect("one worker");
+    RunResult {
+        lookup,
+        one_hop,
+        two_hop,
+        four_path,
+        arrangement_size,
+    }
+}
+
+fn main() {
+    let nodes = arg_usize("--nodes", 2_000) as u32;
+    let edges = arg_usize("--edges", 12_800);
+    let rounds = arg_usize("--rounds", 100);
+    let per_round = arg_usize("--changes", 20);
+
+    println!("# Interactive graph queries: {nodes} nodes, {edges} edges, {rounds} rounds");
+
+    println!("\n## Figure 5a: per-class latency CCDF (shared arrangement)");
+    let shared = run(true, nodes, edges, rounds, per_round);
+    shared.lookup.print_ccdf("lookup");
+    shared.one_hop.print_ccdf("1-hop");
+    shared.two_hop.print_ccdf("2-hop");
+    shared.four_path.print_ccdf("4-hop");
+
+    println!("\n## Figure 5b: query mix, shared vs not shared");
+    let not_shared = run(false, nodes, edges, rounds, per_round);
+    shared.lookup.print_summary("shared");
+    not_shared.lookup.print_summary("not-shared");
+
+    println!("\n## Figure 5c: arrangement footprint (updates held, proxy for resident set)");
+    println!("shared\t{} updates", shared.arrangement_size);
+    println!("not shared\t{} updates", not_shared.arrangement_size);
+
+    println!("\n## Table 10: average latency vs concurrent query batch size");
+    println!("batch\tlookup avg (ms)");
+    for batch in [1usize, 10, 100] {
+        let result = run(true, nodes, edges, rounds.min(20), per_round * batch / 1);
+        println!(
+            "{batch}\t{:.3}",
+            result.lookup.median().as_secs_f64() * 1e3
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Program-analysis experiments: Tables 3 and 4 (E13, E14).
+//!
+//! Three synthetic program graphs stand in for httpd, psql and linux (substitution S4).
+//! For the dataflow (null-propagation) analysis we report the full analysis time and the
+//! median/max latency of retracting null sources from the completed analysis (Table 3's
+//! interactive rows); for the points-to analysis we report the unoptimised, optimised,
+//! and optimised-without-sharing variants (Table 4).
+//!
+//! Run with `cargo run --release -p kpg-bench --bin graspan [--scale 1.0]`.
+
+use kpg_bench::{arg_f64, arg_usize, timed, LatencyRecorder};
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+use kpg_datalog::generate::program_graph;
+use kpg_datalog::graspan::{nullness, points_to};
+use kpg_datalog::Edge;
+
+fn dataflow_analysis(variables: u32, seed: u64, retractions: usize) -> (f64, LatencyRecorder) {
+    let results = execute(Config::new(1), move |worker| {
+        let graph = program_graph(variables, seed);
+        let (mut assign_in, mut null_in, probe) = worker.dataflow(|builder| {
+            let (assign_in, assignments) = new_collection::<Edge, isize>(builder);
+            let (null_in, sources) = new_collection::<u32, isize>(builder);
+            let result = nullness(&assignments, &sources);
+            (assign_in, null_in, result.probe())
+        });
+        for edge in graph.assignments.iter() {
+            assign_in.insert(*edge);
+        }
+        for source in graph.null_sources.iter() {
+            null_in.insert(*source);
+        }
+        let mut epoch = 1u64;
+        assign_in.advance_to(epoch);
+        null_in.advance_to(epoch);
+        let (_, full) =
+            timed(|| worker.step_while(|| probe.less_than(&Time::from_epoch(epoch))));
+
+        // Retract null sources one at a time, measuring each correction latency.
+        let mut recorder = LatencyRecorder::new();
+        for source in graph.null_sources.iter().take(retractions) {
+            null_in.remove(*source);
+            epoch += 1;
+            assign_in.advance_to(epoch);
+            null_in.advance_to(epoch);
+            let target = Time::from_epoch(epoch);
+            recorder.time(|| worker.step_while(|| probe.less_than(&target)));
+        }
+        (full.as_secs_f64(), recorder)
+    });
+    results.into_iter().next().expect("one worker")
+}
+
+fn points_to_analysis(variables: u32, seed: u64, materialise_alias: bool) -> f64 {
+    let (_, elapsed) = timed(|| {
+        execute(Config::new(1), move |worker| {
+            let graph = program_graph(variables, seed);
+            let (mut a_in, mut o_in, mut d_in, probe) = worker.dataflow(|builder| {
+                let (a_in, assignments) = new_collection::<Edge, isize>(builder);
+                let (o_in, allocations) = new_collection::<Edge, isize>(builder);
+                let (d_in, dereferences) = new_collection::<Edge, isize>(builder);
+                let result = points_to(&assignments, &allocations, &dereferences, materialise_alias);
+                (a_in, o_in, d_in, result.probe())
+            });
+            for e in graph.assignments.iter() {
+                a_in.insert(*e);
+            }
+            for e in graph.allocations.iter() {
+                o_in.insert(*e);
+            }
+            for e in graph.dereferences.iter() {
+                d_in.insert(*e);
+            }
+            a_in.advance_to(1);
+            o_in.advance_to(1);
+            d_in.advance_to(1);
+            worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+        })
+    });
+    elapsed.as_secs_f64()
+}
+
+fn main() {
+    let scale = arg_f64("--scale", 1.0);
+    let retractions = arg_usize("--retractions", 50);
+    let inputs = [
+        ("httpd-like", (800.0 * scale) as u32, 11u64),
+        ("psql-like", (2_000.0 * scale) as u32, 12),
+        ("linux-like", (4_000.0 * scale) as u32, 13),
+    ];
+
+    println!("# Table 3 analogue: dataflow (null propagation) analysis");
+    println!("graph\tfull analysis (s)\tretraction median (ms)\tretraction max (ms)");
+    for (name, variables, seed) in inputs {
+        let (full, recorder) = dataflow_analysis(variables, seed, retractions);
+        println!(
+            "{name}\t{full:.3}\t{:.3}\t{:.3}",
+            recorder.median().as_secs_f64() * 1e3,
+            recorder.max().as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\n# Table 4 analogue: points-to analysis");
+    println!("graph\tunoptimised (s)\toptimised (s)");
+    for (name, variables, seed) in inputs {
+        let unopt = points_to_analysis(variables, seed, true);
+        let opt = points_to_analysis(variables, seed, false);
+        println!("{name}\t{unopt:.3}\t{opt:.3}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Arrangement microbenchmarks: Figure 6a–6f (E15–E20).
+//!
+//! A continually changing collection of 64-bit identifiers is arranged and (for the
+//! throughput breakdown) counted, while the harness varies the offered load, the number
+//! of workers, and the merge amortization coefficient, and measures the latency to
+//! install-and-complete new dataflows that join against the pre-arranged collection.
+//!
+//! Run with `cargo run --release -p kpg-bench --bin micro [--keys 100000]`.
+
+use kpg_bench::{arg_usize, timed, LatencyRecorder};
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Drives an arrangement of `keys` 64-bit identifiers with `updates_per_round` changes
+/// per round for `rounds` rounds, recording per-round completion latency.
+fn drive_arrangement(
+    workers: usize,
+    keys: u64,
+    updates_per_round: usize,
+    rounds: usize,
+    effort: MergeEffort,
+) -> LatencyRecorder {
+    let results = execute(Config::new(workers), move |worker| {
+        let (mut input, probe) = worker.dataflow(|builder| {
+            let (input, collection) = new_collection::<u64, isize>(builder);
+            let arranged = collection
+                .map(|x| (x, x))
+                .arrange_by_key_named("MicroArrange", effort);
+            (input, arranged.probe())
+        });
+        let mut rng = StdRng::seed_from_u64(worker.index() as u64);
+        let mut recorder = LatencyRecorder::new();
+        let mut epoch = 0u64;
+        for _ in 0..rounds {
+            for _ in 0..updates_per_round / worker.peers().max(1) {
+                let key = rng.gen_range(0..keys);
+                input.insert(key);
+                input.remove(rng.gen_range(0..keys));
+                let _ = key;
+            }
+            epoch += 1;
+            input.advance_to(epoch);
+            let target = Time::from_epoch(epoch);
+            recorder.time(|| worker.step_while(|| probe.less_than(&target)));
+        }
+        recorder
+    });
+    results.into_iter().next().expect("at least one worker")
+}
+
+/// Measures peak update throughput of batch formation + trace maintenance + count.
+fn throughput(workers: usize, keys: u64, total_updates: usize) -> f64 {
+    let (_, elapsed) = timed(|| {
+        execute(Config::new(workers), move |worker| {
+            let (mut input, probe) = worker.dataflow(|builder| {
+                let (input, collection) = new_collection::<u64, isize>(builder);
+                let counted = collection.count();
+                (input, counted.probe())
+            });
+            let mut rng = StdRng::seed_from_u64(worker.index() as u64);
+            let share = total_updates / worker.peers().max(1);
+            let batch = 10_000.min(share.max(1));
+            let mut sent = 0;
+            let mut epoch = 0u64;
+            while sent < share {
+                for _ in 0..batch.min(share - sent) {
+                    input.insert(rng.gen_range(0..keys));
+                }
+                sent += batch;
+                epoch += 1;
+                input.advance_to(epoch);
+                worker.step_while(|| probe.less_than(&Time::from_epoch(epoch)));
+            }
+        })
+    });
+    total_updates as f64 / elapsed.as_secs_f64()
+}
+
+/// Measures the time to install a new dataflow joining a small collection against a
+/// pre-arranged collection of `keys` keys (Figure 6f).
+fn join_proportionality(keys: u64, probe_sizes: &[usize]) -> Vec<(usize, f64)> {
+    let sizes = probe_sizes.to_vec();
+    let results = execute(Config::new(1), move |worker| {
+        // Dataflow 1: the large, maintained arrangement.
+        let (mut input, probe, trace) = worker.dataflow(|builder| {
+            let (input, collection) = new_collection::<u64, isize>(builder);
+            let arranged = collection.map(|x| (x, x)).arrange_by_key();
+            (input, arranged.probe(), arranged.trace.clone())
+        });
+        for key in 0..keys {
+            input.insert(key);
+        }
+        input.advance_to(1);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+
+        // For each probe size, install a fresh dataflow importing the arrangement.
+        let mut measurements = Vec::new();
+        for &size in sizes.iter() {
+            let trace = trace.clone();
+            let (_, elapsed) = timed(|| {
+                let (mut query_in, query_probe) = worker.dataflow(|builder| {
+                    let imported = trace.import(builder);
+                    let (query_in, queries) = new_collection::<u64, isize>(builder);
+                    let joined = queries
+                        .map(|q| (q, ()))
+                        .arrange_by_key()
+                        .join_core(&imported, |k, (), v| (*k, *v));
+                    (query_in, joined.probe())
+                });
+                for q in 0..size as u64 {
+                    query_in.insert(q * 37 % keys);
+                }
+                query_in.advance_to(1);
+                query_in.close();
+                worker.step_while(|| query_probe.less_than(&Time::from_epoch(1)));
+            });
+            measurements.push((size, elapsed.as_secs_f64() * 1e3));
+        }
+        measurements
+    });
+    results.into_iter().next().expect("one worker")
+}
+
+fn main() {
+    let keys = arg_usize("--keys", 50_000) as u64;
+    let rounds = arg_usize("--rounds", 50);
+    let max_workers = arg_usize("--max-workers", 2);
+
+    println!("# Figure 6a: latency CCDF vs offered load (1 worker)");
+    for load in [250usize, 1_000, 4_000] {
+        let recorder = drive_arrangement(1, keys, load, rounds, MergeEffort::Default);
+        recorder.print_ccdf(&format!("load-{load}"));
+    }
+
+    println!("\n# Figure 6b: latency CCDF vs workers (fixed load)");
+    let mut workers = 1;
+    while workers <= max_workers {
+        let recorder = drive_arrangement(workers, keys, 4_000, rounds, MergeEffort::Default);
+        recorder.print_ccdf(&format!("workers-{workers}"));
+        workers *= 2;
+    }
+
+    println!("\n# Figure 6c: latency CCDF vs workers (load proportional to workers)");
+    let mut workers = 1;
+    while workers <= max_workers {
+        let recorder =
+            drive_arrangement(workers, keys * workers as u64, 4_000 * workers, rounds, MergeEffort::Default);
+        recorder.print_ccdf(&format!("weak-{workers}"));
+        workers *= 2;
+    }
+
+    println!("\n# Figure 6d: throughput of arrangement + count (records/s)");
+    let mut workers = 1;
+    while workers <= max_workers {
+        let rate = throughput(workers, keys, 200_000);
+        println!("workers-{workers}\t{rate:.0} records/s");
+        workers *= 2;
+    }
+
+    println!("\n# Figure 6e: merge amortization (eager / default / lazy)");
+    for (label, effort) in [
+        ("eager", MergeEffort::Eager),
+        ("default", MergeEffort::Default),
+        ("lazy", MergeEffort::Lazy),
+    ] {
+        let recorder = drive_arrangement(1, keys, 4_000, rounds, effort);
+        recorder.print_ccdf(label);
+    }
+
+    println!("\n# Figure 6f: install + complete a join against a pre-arranged collection");
+    println!("probe size\tlatency (ms)");
+    for (size, ms) in join_proportionality(keys, &[1, 256, 4_096, 16_384]) {
+        println!("{size}\t{ms:.3}");
+    }
+}

@@ -1,0 +1,134 @@
+//! TPC-H-style experiments: Figure 4a/4b/4c and Tables 5 and 6 (E1–E5 in DESIGN.md).
+//!
+//! For every implemented query this harness reports:
+//! * absolute streaming throughput for (workers=1, batch=1), (1, big) and (max, big) — Fig 4a;
+//! * relative throughput as the physical batch size grows — Fig 4b;
+//! * relative throughput as workers grow at a fixed batch size — Fig 4c;
+//! * streaming update rates with logical batches — Table 5;
+//! * single-core elapsed time for one-shot batch evaluation — Table 6.
+//!
+//! Run with `cargo run --release -p kpg-bench --bin tpch [--scale 0.5] [--max-workers 2]`.
+
+use std::time::Instant;
+
+use kpg_bench::{arg_f64, arg_usize};
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+use kpg_relational::data::{generate, Database};
+use kpg_relational::queries::{build_query, relations, IMPLEMENTED};
+
+/// Streams the lineitems of `db` through `query`, `batch` rows at a time, and returns the
+/// achieved throughput in rows per second.
+fn stream_query(query: u32, db: &Database, workers: usize, batch: usize) -> f64 {
+    let db = db.clone_for_workers();
+    let rows = db.lineitems.len();
+    let start = Instant::now();
+    execute(Config::new(workers), move |worker| {
+        let (mut inputs, probe) = worker.dataflow(|builder| {
+            let (inputs, rels) = relations(builder);
+            let result = build_query(query, &rels);
+            (inputs, result.probe())
+        });
+        // Reference data is loaded once, on worker 0.
+        if worker.index() == 0 {
+            for o in db.orders.iter() {
+                inputs.orders.insert(o.clone());
+            }
+            for c in db.customers.iter() {
+                inputs.customer.insert(c.clone());
+            }
+            for s in db.suppliers.iter() {
+                inputs.supplier.insert(s.clone());
+            }
+            for p in db.parts.iter() {
+                inputs.part.insert(p.clone());
+            }
+        }
+        // Lineitems are streamed in physical batches, sharded across workers.
+        let mut epoch = 0u64;
+        for (index, chunk) in db.lineitems.chunks(batch.max(1)).enumerate() {
+            for (offset, l) in chunk.iter().enumerate() {
+                if (index * batch + offset) % worker.peers() == worker.index() {
+                    inputs.lineitem.insert(l.clone());
+                }
+            }
+            epoch += 1;
+            inputs.advance_to(epoch);
+            worker.step_while(|| probe.less_than(&Time::from_epoch(epoch)));
+        }
+    });
+    rows as f64 / start.elapsed().as_secs_f64()
+}
+
+trait CloneForWorkers {
+    fn clone_for_workers(&self) -> Database;
+}
+impl CloneForWorkers for Database {
+    fn clone_for_workers(&self) -> Database {
+        Database {
+            lineitems: self.lineitems.clone(),
+            orders: self.orders.clone(),
+            customers: self.customers.clone(),
+            suppliers: self.suppliers.clone(),
+            parts: self.parts.clone(),
+        }
+    }
+}
+
+fn main() {
+    let scale = arg_f64("--scale", 0.25);
+    let max_workers = arg_usize("--max-workers", 2);
+    let db = generate(scale, 1);
+    let rows = db.lineitems.len();
+    println!("# TPC-H-style workload: scale {scale}, {rows} lineitems, queries {IMPLEMENTED:?}");
+
+    println!("\n## Figure 4a: absolute throughput (rows/s)");
+    println!("query\tw=1,b=1\tw=1,b=big\tw={max_workers},b=big");
+    let big = (rows / 8).max(1);
+    for &query in IMPLEMENTED {
+        let single = stream_query(query, &db, 1, 1);
+        let batched = stream_query(query, &db, 1, big);
+        let scaled = stream_query(query, &db, max_workers, big);
+        println!("q{query}\t{single:.0}\t{batched:.0}\t{scaled:.0}");
+    }
+
+    println!("\n## Figure 4b: relative throughput vs physical batch size (worker = 1)");
+    println!("query\tb=1\tb=10\tb=100\tb=1000");
+    for &query in IMPLEMENTED {
+        let base = stream_query(query, &db, 1, 1);
+        let rel: Vec<String> = [1usize, 10, 100, 1000]
+            .iter()
+            .map(|&b| format!("{:.1}x", stream_query(query, &db, 1, b) / base))
+            .collect();
+        println!("q{query}\t{}", rel.join("\t"));
+    }
+
+    println!("\n## Figure 4c: relative throughput vs workers (batch = {big})");
+    println!("query\tw=1\tw={max_workers}");
+    for &query in IMPLEMENTED {
+        let base = stream_query(query, &db, 1, big);
+        let scaled = stream_query(query, &db, max_workers, big);
+        println!("q{query}\t1.0x\t{:.1}x", scaled / base);
+    }
+
+    println!("\n## Table 5: streaming rates with logical batches of {} rows", (rows / 10).max(1));
+    println!("query\tw=1 rows/s\tw={max_workers} rows/s");
+    let logical = (rows / 10).max(1);
+    for &query in IMPLEMENTED {
+        let one = stream_query(query, &db, 1, logical);
+        let many = stream_query(query, &db, max_workers, logical);
+        println!("q{query}\t{one:.0}\t{many:.0}");
+    }
+
+    println!("\n## Table 6: single-core elapsed time, one-shot batch evaluation");
+    println!("query\tdifferential (ms)\tre-evaluation baseline (ms)");
+    for &query in IMPLEMENTED {
+        let start = Instant::now();
+        let _ = stream_query(query, &db, 1, rows);
+        let differential = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let _ = kpg_relational::baseline::evaluate(query, &db);
+        let baseline = start.elapsed().as_secs_f64() * 1e3;
+        println!("q{query}\t{differential:.2}\t{baseline:.2}");
+    }
+}

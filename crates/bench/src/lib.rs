@@ -1,0 +1,150 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Every binary in this crate regenerates one of the paper's tables or figures (see the
+//! per-experiment index in DESIGN.md). The helpers here keep the binaries small: latency
+//! recording with complementary-CDF reporting (the paper's preferred presentation for the
+//! microbenchmarks), simple wall-clock timing, and command-line scale handling.
+
+use std::time::{Duration, Instant};
+
+/// Records latencies and reports them as a complementary CDF, the format of Figures 5
+/// and 6 ("fraction of times with latency greater than").
+#[derive(Default)]
+pub struct LatencyRecorder {
+    samples: Vec<Duration>,
+}
+
+impl LatencyRecorder {
+    /// A new, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.samples.push(sample);
+    }
+
+    /// Times `action` and records its duration, returning the action's result.
+    pub fn time<T>(&mut self, action: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let result = action();
+        self.record(start.elapsed());
+        result
+    }
+
+    /// The number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True iff no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The median latency.
+    pub fn median(&self) -> Duration {
+        self.quantile(0.5)
+    }
+
+    /// The maximum latency.
+    pub fn max(&self) -> Duration {
+        self.samples.iter().copied().max().unwrap_or_default()
+    }
+
+    /// The latency at the given quantile (0.0 ..= 1.0).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[index]
+    }
+
+    /// Prints a complementary CDF as `label, nanoseconds, fraction-greater-than` rows at
+    /// a fixed set of quantiles.
+    pub fn print_ccdf(&self, label: &str) {
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            println!(
+                "{label}\tccdf\tp{:05.1}\t{} ns",
+                q * 100.0,
+                self.quantile(q).as_nanos()
+            );
+        }
+    }
+
+    /// Prints a one-line summary with median and maximum.
+    pub fn print_summary(&self, label: &str) {
+        println!(
+            "{label}\tmedian {:.3} ms\tmax {:.3} ms\tsamples {}",
+            self.median().as_secs_f64() * 1e3,
+            self.max().as_secs_f64() * 1e3,
+            self.len()
+        );
+    }
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(action: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let result = action();
+    (result, start.elapsed())
+}
+
+/// Reads a `--scale`-style floating point argument from the command line, with a default.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            if let Some(value) = args.next() {
+                return value.parse().unwrap_or(default);
+            }
+        }
+    }
+    default
+}
+
+/// Reads a `--workers`-style integer argument from the command line, with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_f64(name, default as f64) as usize
+}
+
+/// Reads a string argument (e.g. `--mode homogeneous`), with a default.
+pub fn arg_string(name: &str, default: &str) -> String {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            if let Some(value) = args.next() {
+                return value;
+            }
+        }
+    }
+    default.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_quantiles_are_ordered() {
+        let mut recorder = LatencyRecorder::new();
+        for ms in [5u64, 1, 3, 2, 4] {
+            recorder.record(Duration::from_millis(ms));
+        }
+        assert_eq!(recorder.len(), 5);
+        assert_eq!(recorder.median(), Duration::from_millis(3));
+        assert_eq!(recorder.max(), Duration::from_millis(5));
+        assert!(recorder.quantile(0.0) <= recorder.quantile(1.0));
+    }
+
+    #[test]
+    fn timed_reports_elapsed() {
+        let (value, elapsed) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(elapsed.as_nanos() > 0);
+    }
+}

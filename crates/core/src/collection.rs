@@ -1,0 +1,218 @@
+//! Collections: time-varying multisets of records.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use kpg_dataflow::{DataflowBuilder, EdgeTransform, NodeId, ProbeHandle, Time};
+use kpg_trace::{Abelian, Data, Semigroup};
+
+use crate::operators::{Concat, StatelessUnary, UpdateVec};
+use crate::Diff;
+
+/// A time-varying multiset of records of type `D`, with multiplicities of type `R`.
+///
+/// A collection is defined either as an interactive input
+/// ([`new_collection`](crate::new_collection)) or as a functional transformation of other
+/// collections. Underneath, it is a dataflow stream of `(data, time, diff)` update
+/// triples; the collection's contents at a time `t` are the accumulation of the diffs of
+/// all updates at times `<= t` (paper §3.2).
+pub struct Collection<D, R = Diff> {
+    pub(crate) builder: DataflowBuilder,
+    pub(crate) node: NodeId,
+    pub(crate) depth: usize,
+    _marker: PhantomData<(D, R)>,
+}
+
+impl<D, R> Clone for Collection<D, R> {
+    fn clone(&self) -> Self {
+        Collection {
+            builder: self.builder.clone(),
+            node: self.node,
+            depth: self.depth,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<D: Data, R: Semigroup> Collection<D, R> {
+    /// Wraps a dataflow node's output as a collection.
+    pub fn from_node(builder: DataflowBuilder, node: NodeId, depth: usize) -> Self {
+        Collection {
+            builder,
+            node,
+            depth,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The dataflow node whose output carries this collection's updates.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The loop nesting depth of the scope this collection lives in (0 = streaming scope).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The dataflow builder this collection belongs to.
+    pub fn builder(&self) -> &DataflowBuilder {
+        &self.builder
+    }
+
+    /// Internal helper: adds a stateless unary operator downstream of this collection.
+    pub(crate) fn unary<D2: Data, R2: Semigroup>(
+        &self,
+        name: &'static str,
+        logic: impl FnMut(UpdateVec<D, R>) -> UpdateVec<D2, R2> + 'static,
+    ) -> Collection<D2, R2> {
+        self.unary_with_transform(name, EdgeTransform::Identity, logic)
+    }
+
+    /// Internal helper: a stateless unary operator whose outgoing edges carry `transform`.
+    pub(crate) fn unary_with_transform<D2: Data, R2: Semigroup>(
+        &self,
+        name: &'static str,
+        transform: EdgeTransform,
+        logic: impl FnMut(UpdateVec<D, R>) -> UpdateVec<D2, R2> + 'static,
+    ) -> Collection<D2, R2> {
+        let mut builder = self.builder.clone();
+        let node =
+            builder.add_operator_with_transform(Box::new(StatelessUnary::new(name, logic)), 1, transform);
+        builder.connect(self.node, node, 0);
+        Collection::from_node(builder, node, self.depth)
+    }
+
+    /// Applies `logic` to every record.
+    pub fn map<D2: Data>(&self, mut logic: impl FnMut(D) -> D2 + 'static) -> Collection<D2, R> {
+        self.unary("Map", move |buffer| {
+            buffer
+                .into_iter()
+                .map(|(d, t, r)| (logic(d), t, r))
+                .collect()
+        })
+    }
+
+    /// Applies `logic` to every record, producing any number of output records each.
+    pub fn flat_map<D2: Data, I: IntoIterator<Item = D2>>(
+        &self,
+        mut logic: impl FnMut(D) -> I + 'static,
+    ) -> Collection<D2, R> {
+        self.unary("FlatMap", move |buffer| {
+            let mut output = Vec::new();
+            for (d, t, r) in buffer {
+                for d2 in logic(d) {
+                    output.push((d2, t, r.clone()));
+                }
+            }
+            output
+        })
+    }
+
+    /// Retains only the records satisfying `predicate`.
+    pub fn filter(&self, mut predicate: impl FnMut(&D) -> bool + 'static) -> Collection<D, R> {
+        self.unary("Filter", move |buffer| {
+            buffer.into_iter().filter(|(d, _, _)| predicate(d)).collect()
+        })
+    }
+
+    /// Merges this collection with `other`.
+    pub fn concat(&self, other: &Collection<D, R>) -> Collection<D, R> {
+        self.concatenate(std::iter::once(other.clone()))
+    }
+
+    /// Merges this collection with any number of others.
+    pub fn concatenate(
+        &self,
+        others: impl IntoIterator<Item = Collection<D, R>>,
+    ) -> Collection<D, R> {
+        let mut builder = self.builder.clone();
+        let others: Vec<_> = others.into_iter().collect();
+        let node = builder.add_operator(Box::new(Concat::<D, R>::new()), 1 + others.len());
+        builder.connect(self.node, node, 0);
+        for (index, other) in others.iter().enumerate() {
+            assert_eq!(
+                other.depth, self.depth,
+                "concatenated collections must live in the same scope"
+            );
+            builder.connect(other.node, node, index + 1);
+        }
+        Collection::from_node(builder, node, self.depth)
+    }
+
+    /// Applies `logic` to every update, for its side effects, and passes updates through.
+    pub fn inspect(&self, mut logic: impl FnMut(&D, &Time, &R) + 'static) -> Collection<D, R> {
+        self.unary("Inspect", move |buffer| {
+            for (d, t, r) in buffer.iter() {
+                logic(d, t, r);
+            }
+            buffer
+        })
+    }
+
+    /// Collects every update this collection ever produces into a shared vector.
+    ///
+    /// Intended for tests and examples; the vector lives on the worker that calls this.
+    pub fn capture(&self) -> Rc<RefCell<Vec<(D, Time, R)>>> {
+        let captured = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&captured);
+        let _ = self.inspect(move |d, t, r| {
+            sink.borrow_mut().push((d.clone(), *t, r.clone()));
+        });
+        captured
+    }
+
+    /// Attaches a probe reporting how far this collection's frontier has advanced.
+    pub fn probe(&self) -> ProbeHandle {
+        let mut builder = self.builder.clone();
+        ProbeHandle::new(&mut builder, self.node)
+    }
+
+    /// Brings this collection into a nested iteration scope.
+    ///
+    /// With the runtime's flat timestamps this does not change the data at all — times in
+    /// the enclosing scope are valid round-zero times of the child scope — so `enter` only
+    /// adjusts the bookkeeping that `leave` and `iterate` rely on.
+    pub fn enter(&self) -> Collection<D, R> {
+        let mut entered = self.clone();
+        entered.depth += 1;
+        entered
+    }
+
+    /// Returns this collection to the enclosing scope, discarding iteration rounds.
+    ///
+    /// The accumulated collection at an outer time `e` is then the final value of the
+    /// iteration for `e` (the per-round updates telescope).
+    pub fn leave(&self) -> Collection<D, R> {
+        assert!(self.depth > 0, "leave called outside an iteration scope");
+        let depth = self.depth;
+        let mut left = self.unary_with_transform(
+            "Leave",
+            EdgeTransform::Leave { depth },
+            move |buffer: UpdateVec<D, R>| {
+                buffer
+                    .into_iter()
+                    .map(|(d, t, r)| (d, t.left(depth), r))
+                    .collect::<Vec<_>>()
+            },
+        );
+        left.depth = depth - 1;
+        left
+    }
+}
+
+impl<D: Data, R: Abelian> Collection<D, R> {
+    /// Negates every multiplicity, turning additions into retractions.
+    pub fn negate(&self) -> Collection<D, R> {
+        self.unary("Negate", |buffer| {
+            buffer
+                .into_iter()
+                .map(|(d, t, mut r)| {
+                    r.negate();
+                    (d, t, r)
+                })
+                .collect()
+        })
+    }
+}

@@ -1,0 +1,45 @@
+//! Interactive collection inputs.
+
+use kpg_dataflow::{DataflowBuilder, InputHandle};
+use kpg_trace::{Data, Semigroup};
+
+use crate::collection::Collection;
+
+/// Creates an interactively updatable collection in `builder`.
+///
+/// Returns the worker-local [`InputHandle`] used to introduce updates and advance the
+/// input's epoch, and the [`Collection`] of those updates. Each worker contributes its
+/// own shard of the input; the logical collection is the union across workers.
+///
+/// This mirrors `scope.new_input()` from the paper's Figure 1.
+pub fn new_collection<D, R>(builder: &mut DataflowBuilder) -> (InputHandle<D, R>, Collection<D, R>)
+where
+    D: Data,
+    R: Semigroup,
+{
+    let (handle, node) = InputHandle::<D, R>::new(builder);
+    let collection = Collection::from_node(builder.clone(), node, 0);
+    (handle, collection)
+}
+
+/// Creates a collection from a fixed set of initial records at epoch 0.
+///
+/// The input handle is closed immediately, so the collection is static. Records are
+/// introduced only on worker 0 to avoid duplication across workers.
+pub fn collection_from<D, R>(
+    builder: &mut DataflowBuilder,
+    records: impl IntoIterator<Item = (D, R)>,
+) -> Collection<D, R>
+where
+    D: Data,
+    R: Semigroup,
+{
+    let (mut handle, collection) = new_collection(builder);
+    if builder.worker_index() == 0 {
+        for (record, diff) in records {
+            handle.update(record, diff);
+        }
+    }
+    handle.close();
+    collection
+}

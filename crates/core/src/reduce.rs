@@ -1,0 +1,379 @@
+//! The group/reduce operator shell and its specialisations (paper §5.3.2).
+//!
+//! `reduce` receives batches from an arranged input and, for every `(key, time)` at which
+//! its output might change, re-forms the input for that key at that time, applies the
+//! user's reduction function, and subtracts the previously produced output to emit only
+//! corrective updates. Because the least upper bound of two partially ordered times need
+//! not be one of them, the operator tracks a list of future `(key, time)` pairs at which
+//! it must re-evaluate even without new input for that key.
+//!
+//! The operator keeps its own output in a shared arrangement, both to avoid re-invoking
+//! user logic over historical output and so downstream operators (most commonly a `join`
+//! on the same key) can reuse that index directly ("Output arrangements").
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+use kpg_dataflow::operator::{downcast_payload, BundleBox, Operator, OutputContext};
+use kpg_dataflow::Time;
+use kpg_timestamp::{Antichain, Lattice, PartialOrder};
+use kpg_trace::{Abelian, Batch, Builder, Cursor, Data, MergeEffort, Semigroup};
+
+use crate::arrange::{Arranged, KeyBatch, TraceAgent, ValBatch};
+use crate::collection::Collection;
+use crate::Diff;
+
+/// The reduce operator shell. `B1` is the input batch type, the output is maintained as
+/// `ValBatch<K, V2, R2>`.
+struct ReduceOperator<B1, V2, R2, L>
+where
+    B1: Batch<Time = Time>,
+    V2: Data,
+    R2: Abelian,
+    L: FnMut(&B1::Key, &[(B1::Val, B1::Diff)], &mut Vec<(V2, R2)>),
+{
+    name: &'static str,
+    logic: L,
+    input_trace: TraceAgent<B1>,
+    output_trace: TraceAgent<ValBatch<B1::Key, V2, R2>>,
+    queue: Vec<B1>,
+    pending: BTreeSet<(Time, B1::Key)>,
+    input_frontier: Antichain<Time>,
+    output_upper: Antichain<Time>,
+    _marker: PhantomData<(V2, R2)>,
+}
+
+impl<B1, V2, R2, L> ReduceOperator<B1, V2, R2, L>
+where
+    B1: Batch<Time = Time>,
+    V2: Data,
+    R2: Abelian,
+    L: FnMut(&B1::Key, &[(B1::Val, B1::Diff)], &mut Vec<(V2, R2)>),
+{
+    /// Accumulates the input collection for `key` at `time`: each value with its net
+    /// multiplicity, plus the set of distinct times in the key's history (for future-work
+    /// scheduling).
+    fn accumulate_input(
+        &self,
+        key: &B1::Key,
+        time: &Time,
+    ) -> (Vec<(B1::Val, B1::Diff)>, Vec<Time>) {
+        let mut values = Vec::new();
+        let mut history_times = Vec::new();
+        let mut cursor = self.input_trace.cursor();
+        cursor.seek_key(key);
+        if cursor.key_valid() && cursor.key() == key {
+            while cursor.val_valid() {
+                let mut sum: Option<B1::Diff> = None;
+                cursor.map_times(|t, r| {
+                    if !history_times.contains(t) {
+                        history_times.push(*t);
+                    }
+                    if t.less_equal(time) {
+                        match &mut sum {
+                            None => sum = Some(r.clone()),
+                            Some(s) => s.plus_equals(r),
+                        }
+                    }
+                });
+                if let Some(sum) = sum {
+                    if !sum.is_zero() {
+                        values.push((cursor.val().clone(), sum));
+                    }
+                }
+                cursor.step_val();
+            }
+        }
+        (values, history_times)
+    }
+
+    /// Accumulates the previously produced output for `key` at `time`, including the
+    /// corrections produced earlier in the current invocation (`staged`).
+    fn accumulate_output(
+        &self,
+        key: &B1::Key,
+        time: &Time,
+        staged: &[(B1::Key, V2, Time, R2)],
+    ) -> Vec<(V2, R2)> {
+        let mut totals: Vec<(V2, R2)> = Vec::new();
+        let mut add = |val: &V2, diff: &R2| {
+            if let Some(entry) = totals.iter_mut().find(|(v, _)| v == val) {
+                entry.1.plus_equals(diff);
+            } else {
+                totals.push((val.clone(), diff.clone()));
+            }
+        };
+        let mut cursor = self.output_trace.cursor();
+        cursor.seek_key(key);
+        if cursor.key_valid() && cursor.key() == key {
+            while cursor.val_valid() {
+                let val = cursor.val().clone();
+                cursor.map_times(|t, r| {
+                    if t.less_equal(time) {
+                        add(&val, r);
+                    }
+                });
+                cursor.step_val();
+            }
+        }
+        for (k, v, t, r) in staged.iter() {
+            if k == key && t.less_equal(time) {
+                add(v, r);
+            }
+        }
+        totals.retain(|(_, r)| !r.is_zero());
+        totals.sort_by(|a, b| a.0.cmp(&b.0));
+        totals
+    }
+}
+
+impl<B1, V2, R2, L> Operator for ReduceOperator<B1, V2, R2, L>
+where
+    B1: Batch<Time = Time> + 'static,
+    V2: Data,
+    R2: Abelian,
+    L: FnMut(&B1::Key, &[(B1::Val, B1::Diff)], &mut Vec<(V2, R2)>) + 'static,
+{
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn recv(&mut self, _port: usize, payload: BundleBox) {
+        self.queue.push(downcast_payload::<B1>(payload, self.name));
+    }
+
+    fn work(&mut self, output: &mut OutputContext<'_>) -> bool {
+        // Record the (key, time) pairs whose output may have changed.
+        for batch in self.queue.drain(..) {
+            let mut cursor = batch.cursor();
+            while cursor.key_valid() {
+                let key = cursor.key().clone();
+                while cursor.val_valid() {
+                    cursor.map_times(|time, _| {
+                        self.pending.insert((*time, key.clone()));
+                    });
+                    cursor.step_val();
+                }
+                cursor.step_key();
+            }
+        }
+
+        let frontier_advanced = !self.input_frontier.same_as(&self.output_upper);
+        if !frontier_advanced {
+            return false;
+        }
+
+        // Process, in an order compatible with the partial order on times, every pending
+        // pair whose time is now complete.
+        let mut staged: Vec<(B1::Key, V2, Time, R2)> = Vec::new();
+        let mut desired = Vec::new();
+        loop {
+            let next = self
+                .pending
+                .iter()
+                .find(|(time, _)| !self.input_frontier.less_equal(time))
+                .cloned();
+            let Some((time, key)) = next else { break };
+            self.pending.remove(&(time, key.clone()));
+
+            let (input_values, history_times) = self.accumulate_input(&key, &time);
+            let current = self.accumulate_output(&key, &time, &staged);
+
+            desired.clear();
+            if !input_values.is_empty() {
+                (self.logic)(&key, &input_values, &mut desired);
+            }
+            desired.sort_by(|a, b| a.0.cmp(&b.0));
+
+            // Emit the difference between the desired and current outputs at this time.
+            let mut d = 0;
+            let mut c = 0;
+            while d < desired.len() || c < current.len() {
+                let order = match (desired.get(d), current.get(c)) {
+                    (Some(want), Some(have)) => want.0.cmp(&have.0),
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, Some(_)) => std::cmp::Ordering::Greater,
+                    (None, None) => unreachable!(),
+                };
+                match order {
+                    std::cmp::Ordering::Less => {
+                        let (val, diff) = &desired[d];
+                        staged.push((key.clone(), val.clone(), time, diff.clone()));
+                        d += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let (val, diff) = &current[c];
+                        staged.push((key.clone(), val.clone(), time, diff.negated()));
+                        c += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let (val, want) = &desired[d];
+                        let have = &current[c].1;
+                        let mut delta = want.clone();
+                        delta.plus_equals(&have.negated());
+                        if !delta.is_zero() {
+                            staged.push((key.clone(), val.clone(), time, delta));
+                        }
+                        d += 1;
+                        c += 1;
+                    }
+                }
+            }
+
+            // Future work: the output may also change at joins of this time with other
+            // times in the key's history, even if no input arrives then (paper §5.3.2).
+            for other in history_times {
+                let joined = other.join(&time);
+                if joined != time {
+                    self.pending.insert((joined, key.clone()));
+                }
+            }
+        }
+
+        // Mint the output batch (possibly empty) so the output arrangement's upper tracks
+        // the input frontier.
+        let mut builder =
+            <ValBatch<B1::Key, V2, R2> as Batch>::Builder::with_capacity(staged.len());
+        for (key, val, time, diff) in staged {
+            builder.push(key, val, time, diff);
+        }
+        let since = self.output_trace.since();
+        let batch = builder.done(self.output_upper.clone(), self.input_frontier.clone(), since);
+        self.output_upper = self.input_frontier.clone();
+        self.output_trace.insert_batch(batch.clone());
+        output.send(Box::new(batch));
+
+        // Allow both traces to compact up to the new frontier.
+        self.input_trace
+            .set_logical_compaction(self.input_frontier.borrow());
+        self.output_trace
+            .set_logical_compaction(self.input_frontier.borrow());
+        true
+    }
+
+    fn set_frontier(&mut self, _port: usize, frontier: &Antichain<Time>) {
+        self.input_frontier = frontier.clone();
+    }
+
+    fn capabilities(&self) -> Antichain<Time> {
+        let mut result = Antichain::from_iter(self.pending.iter().map(|(t, _)| *t));
+        for batch in self.queue.iter() {
+            for time in batch.description().lower().elements() {
+                result.insert(*time);
+            }
+        }
+        result
+    }
+}
+
+impl<B1: Batch<Time = Time> + 'static> Arranged<B1> {
+    /// The general reduction: applies `logic` to each key's accumulated input whenever it
+    /// might change, maintaining (and sharing) the output as an arrangement.
+    pub fn reduce_core<V2, R2, L>(
+        &self,
+        name: &'static str,
+        logic: L,
+    ) -> Arranged<ValBatch<B1::Key, V2, R2>>
+    where
+        V2: Data,
+        R2: Abelian,
+        L: FnMut(&B1::Key, &[(B1::Val, B1::Diff)], &mut Vec<(V2, R2)>) + 'static,
+    {
+        let mut builder = self.builder.clone();
+        let output_trace = TraceAgent::<ValBatch<B1::Key, V2, R2>>::new(MergeEffort::Default);
+        let operator = ReduceOperator::<B1, V2, R2, L> {
+            name,
+            logic,
+            input_trace: self.trace.clone(),
+            output_trace: output_trace.clone(),
+            queue: Vec::new(),
+            pending: BTreeSet::new(),
+            input_frontier: Antichain::from_elem(Time::minimum()),
+            output_upper: Antichain::from_elem(Time::minimum()),
+            _marker: PhantomData,
+        };
+        let node = builder.add_operator(Box::new(operator), 1);
+        builder.connect(self.node, node, 0);
+        Arranged {
+            builder,
+            node,
+            depth: self.depth,
+            trace: output_trace,
+        }
+    }
+}
+
+impl<K: Data, V: Data, R: Semigroup> Collection<(K, V), R> {
+    /// Groups by key and applies `logic` to each key's accumulated values.
+    pub fn reduce<V2, R2, L>(&self, logic: L) -> Collection<(K, V2), R2>
+    where
+        V2: Data,
+        R2: Abelian,
+        L: FnMut(&K, &[(V, R)], &mut Vec<(V2, R2)>) + 'static,
+    {
+        self.arrange_by_key()
+            .reduce_core("Reduce", logic)
+            .as_collection(|key, val| (key.clone(), val.clone()))
+    }
+
+    /// Retains, for each key, the single greatest value.
+    pub fn max_by_key(&self) -> Collection<(K, V), Diff> {
+        self.reduce(|_key, input, output| {
+            if let Some((val, _)) = input.last() {
+                output.push((val.clone(), 1));
+            }
+        })
+    }
+
+    /// Retains, for each key, the single least value.
+    pub fn min_by_key(&self) -> Collection<(K, V), Diff> {
+        self.reduce(|_key, input, output| {
+            if let Some((val, _)) = input.first() {
+                output.push((val.clone(), 1));
+            }
+        })
+    }
+}
+
+impl<K: Data, R: Semigroup> Collection<K, R> {
+    /// Reduces each record to a single instance (set semantics).
+    pub fn distinct(&self) -> Collection<K, Diff>
+    where
+        R: Abelian,
+    {
+        self.threshold(|_, _| 1)
+    }
+
+    /// Maps each record's accumulated multiplicity through `logic`.
+    ///
+    /// `distinct` is `threshold(|_, _| 1)`; "records appearing at least three times" is
+    /// `threshold(|_, count| if count >= 3 { 1 } else { 0 })`-style logic.
+    pub fn threshold(&self, mut logic: impl FnMut(&K, &R) -> Diff + 'static) -> Collection<K, Diff>
+    where
+        R: Abelian,
+    {
+        let arranged: Arranged<KeyBatch<K, R>> = self.arrange_by_self();
+        arranged
+            .reduce_core("Threshold", move |key, input, output: &mut Vec<((), Diff)>| {
+                let count = &input[0].1;
+                let multiplicity = logic(key, count);
+                if multiplicity != 0 {
+                    output.push(((), multiplicity));
+                }
+            })
+            .as_collection(|key, _| key.clone())
+    }
+
+    /// Counts the occurrences of each record, producing `(record, count)` pairs.
+    pub fn count(&self) -> Collection<(K, R), Diff>
+    where
+        R: Abelian + Data,
+    {
+        let arranged: Arranged<KeyBatch<K, R>> = self.arrange_by_self();
+        arranged
+            .reduce_core("Count", |_key, input, output: &mut Vec<(R, Diff)>| {
+                output.push((input[0].1.clone(), 1));
+            })
+            .as_collection(|key, count| (key.clone(), count.clone()))
+    }
+}

@@ -1,0 +1,441 @@
+//! End-to-end tests of the differential operators: incremental maintenance, joins,
+//! reductions, iteration (the paper's Figure 1 reachability example), and sharing.
+
+use std::collections::BTreeMap;
+
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+
+/// Merges captured update streams from all workers and accumulates the multiset of
+/// records whose updates are at times `<= upto`.
+fn accumulate<D: Ord + Clone>(
+    captured: &[Vec<(D, Time, isize)>],
+    upto: Time,
+) -> BTreeMap<D, isize> {
+    use kpg_timestamp::PartialOrder;
+    let mut result = BTreeMap::new();
+    for worker in captured {
+        for (data, time, diff) in worker {
+            if time.less_equal(&upto) {
+                *result.entry(data.clone()).or_insert(0) += diff;
+            }
+        }
+    }
+    result.retain(|_, diff| *diff != 0);
+    result
+}
+
+fn epoch(e: u64) -> Time {
+    Time::from_epoch(e)
+}
+
+#[test]
+fn map_filter_concat_negate() {
+    let captured = execute(Config::new(1), |worker| {
+        let (mut input, probe, captured) = worker.dataflow(|builder| {
+            let (input, numbers) = new_collection::<u64, isize>(builder);
+            let evens = numbers.filter(|x| x % 2 == 0);
+            let doubled = evens.map(|x| x * 2);
+            let with_original = doubled.concat(&numbers.filter(|x| x % 2 == 0));
+            let minus_four = with_original.concat(&numbers.filter(|x| *x == 4).negate());
+            let consolidated = minus_four.consolidate();
+            let captured = consolidated.capture();
+            let probe = consolidated.probe();
+            (input, probe, captured)
+        });
+        for x in 0..6u64 {
+            input.insert(x);
+        }
+        input.advance_to(1);
+        worker.step_while(|| probe.less_than(&input.time()));
+        let result = captured.borrow().clone();
+        result
+    });
+    let totals = accumulate(&captured, epoch(0));
+    // Evens 0,2,4 double to 0,4,8 and are concatenated with the evens themselves, then one
+    // occurrence of 4 is removed.
+    let expected: BTreeMap<u64, isize> =
+        [(0u64, 2), (2, 1), (4, 1), (8, 1)].into_iter().collect();
+    assert_eq!(totals, expected);
+}
+
+#[test]
+fn count_and_distinct_maintain_updates() {
+    let captured = execute(Config::new(1), |worker| {
+        let (mut input, probe, counts, distinct) = worker.dataflow(|builder| {
+            let (input, words) = new_collection::<String, isize>(builder);
+            let counts = words.count().capture();
+            let distinct_words = words.distinct();
+            let probe = distinct_words.probe();
+            let distinct = distinct_words.capture();
+            (input, probe, counts, distinct)
+        });
+
+        input.insert("apple".to_string());
+        input.insert("apple".to_string());
+        input.insert("pear".to_string());
+        input.advance_to(1);
+        worker.step_while(|| probe.less_than(&input.time()));
+
+        // Retract one apple and remove pear entirely.
+        input.remove("apple".to_string());
+        input.remove("pear".to_string());
+        input.advance_to(2);
+        worker.step_while(|| probe.less_than(&input.time()));
+
+        let result = (counts.borrow().clone(), distinct.borrow().clone());
+        result
+    });
+
+    let counts: Vec<_> = captured.iter().map(|(c, _)| c.clone()).collect();
+    let distinct: Vec<_> = captured.iter().map(|(_, d)| d.clone()).collect();
+
+    let counts_at_1 = accumulate(&counts, epoch(0));
+    assert_eq!(counts_at_1.get(&("apple".to_string(), 2isize)), Some(&1));
+    assert_eq!(counts_at_1.get(&("pear".to_string(), 1isize)), Some(&1));
+
+    let counts_at_2 = accumulate(&counts, epoch(1));
+    assert_eq!(counts_at_2.get(&("apple".to_string(), 1isize)), Some(&1));
+    assert_eq!(counts_at_2.get(&("pear".to_string(), 1isize)), None);
+
+    let distinct_at_1 = accumulate(&distinct, epoch(0));
+    assert_eq!(distinct_at_1.len(), 2);
+    let distinct_at_2 = accumulate(&distinct, epoch(1));
+    assert_eq!(distinct_at_2.len(), 1);
+    assert_eq!(distinct_at_2.get(&"apple".to_string()), Some(&1));
+}
+
+#[test]
+fn join_maintains_matches_incrementally() {
+    let captured = execute(Config::new(1), |worker| {
+        let (mut people, mut cities, probe, captured) = worker.dataflow(|builder| {
+            let (people_in, people) = new_collection::<(u32, String), isize>(builder);
+            let (cities_in, cities) = new_collection::<(u32, String), isize>(builder);
+            let joined = people.join(&cities);
+            let probe = joined.probe();
+            let captured = joined.capture();
+            (people_in, cities_in, probe, captured)
+        });
+
+        people.insert((1, "alice".to_string()));
+        people.insert((2, "bob".to_string()));
+        cities.insert((1, "zurich".to_string()));
+        people.advance_to(1);
+        cities.advance_to(1);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+
+        // Add a city for bob and retract alice.
+        cities.insert((2, "boston".to_string()));
+        people.remove((1, "alice".to_string()));
+        people.advance_to(2);
+        cities.advance_to(2);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(2)));
+
+        let result = captured.borrow().clone();
+        result
+    });
+
+    let at_1 = accumulate(&captured, epoch(0));
+    assert_eq!(at_1.len(), 1);
+    assert_eq!(
+        at_1.get(&(1u32, ("alice".to_string(), "zurich".to_string()))),
+        Some(&1)
+    );
+
+    let at_2 = accumulate(&captured, epoch(1));
+    assert_eq!(at_2.len(), 1);
+    assert_eq!(
+        at_2.get(&(2u32, ("bob".to_string(), "boston".to_string()))),
+        Some(&1)
+    );
+}
+
+#[test]
+fn join_multiplies_multiplicities() {
+    let captured = execute(Config::new(1), |worker| {
+        let (mut left, mut right, probe, captured) = worker.dataflow(|builder| {
+            let (left_in, left) = new_collection::<(u8, u8), isize>(builder);
+            let (right_in, right) = new_collection::<(u8, u8), isize>(builder);
+            let joined = left.join_map(&right, |k, a, b| (*k, *a, *b));
+            (left_in, right_in, joined.probe(), joined.capture())
+        });
+        // Two copies on the left, three on the right: six matches.
+        left.update((1, 10), 2);
+        right.update((1, 20), 3);
+        left.advance_to(1);
+        right.advance_to(1);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+        let result = captured.borrow().clone();
+        result
+    });
+    let at_1 = accumulate(&captured, epoch(0));
+    assert_eq!(at_1.get(&(1u8, 10u8, 20u8)), Some(&6));
+}
+
+#[test]
+fn semijoin_and_antijoin_partition_keys() {
+    let captured = execute(Config::new(1), |worker| {
+        let (mut data, mut keys, probe, semi, anti) = worker.dataflow(|builder| {
+            let (data_in, data) = new_collection::<(u32, u32), isize>(builder);
+            let (keys_in, keys) = new_collection::<u32, isize>(builder);
+            let semi = data.semijoin(&keys);
+            let anti = data.antijoin(&keys.distinct());
+            let probe = anti.probe();
+            (data_in, keys_in, probe, semi.capture(), anti.capture())
+        });
+        for k in 0..4u32 {
+            data.insert((k, k * 100));
+        }
+        keys.insert(1);
+        keys.insert(3);
+        data.advance_to(1);
+        keys.advance_to(1);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+        let result = (semi.borrow().clone(), anti.borrow().clone());
+        result
+    });
+    let semi: Vec<_> = captured.iter().map(|(s, _)| s.clone()).collect();
+    let anti: Vec<_> = captured.iter().map(|(_, a)| a.clone()).collect();
+    let semi_at_1 = accumulate(&semi, epoch(0));
+    let anti_at_1 = accumulate(&anti, epoch(0));
+    assert_eq!(
+        semi_at_1.keys().cloned().collect::<Vec<_>>(),
+        vec![(1, 100), (3, 300)]
+    );
+    assert_eq!(
+        anti_at_1.keys().cloned().collect::<Vec<_>>(),
+        vec![(0, 0), (2, 200)]
+    );
+}
+
+#[test]
+fn reduce_tracks_maximum_per_key() {
+    let captured = execute(Config::new(1), |worker| {
+        let (mut input, probe, captured) = worker.dataflow(|builder| {
+            let (input, readings) = new_collection::<(u8, u32), isize>(builder);
+            let maxima = readings.max_by_key();
+            (input, maxima.probe(), maxima.capture())
+        });
+        input.insert((1, 10));
+        input.insert((1, 30));
+        input.insert((2, 5));
+        input.advance_to(1);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+
+        // Retract the maximum of key 1: the answer falls back to 10.
+        input.remove((1, 30));
+        input.advance_to(2);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(2)));
+        let result = captured.borrow().clone();
+        result
+    });
+    let at_1 = accumulate(&captured, epoch(0));
+    assert_eq!(at_1.get(&(1u8, 30u32)), Some(&1));
+    assert_eq!(at_1.get(&(2u8, 5u32)), Some(&1));
+    assert_eq!(at_1.len(), 2);
+    let at_2 = accumulate(&captured, epoch(1));
+    assert_eq!(at_2.get(&(1u8, 10u32)), Some(&1));
+    assert_eq!(at_2.get(&(1u8, 30u32)), None);
+    assert_eq!(at_2.len(), 2);
+}
+
+/// The paper's Figure 1: interactive graph reachability, incrementally maintained while
+/// both the query set and the edge set change.
+#[test]
+fn figure_one_reachability_is_incrementally_maintained() {
+    let captured = execute(Config::new(1), |worker| {
+        let (mut query, mut edges, probe, captured) = worker.dataflow(|builder| {
+            let (query_in, query) = new_collection::<(u32, u32), isize>(builder);
+            let (edges_in, edges) = new_collection::<(u32, u32), isize>(builder);
+
+            // Reachability: seed with query sources, repeatedly extend along edges.
+            let seeds = query.map(|(src, _dst)| (src, src)).distinct();
+            let reached = seeds.iterate(|reach| {
+                let edges = edges.enter();
+                let seeds = seeds.enter();
+                // reach: (node, root); follow edges from node, keeping the root.
+                let expanded = reach
+                    .map(|(node, root)| (node, root))
+                    .join_map(&edges, |_node, root, next| (*next, *root));
+                expanded.concat(&seeds).distinct().map(|(node, root)| (node, root))
+            });
+
+            // Intersect with the query pairs: (dst, src) reached means query (src, dst) holds.
+            let answers = query
+                .map(|(src, dst)| ((dst, src), ()))
+                .semijoin(&reached.map(|(node, root)| (node, root)))
+                .map(|((dst, src), ())| (src, dst));
+
+            let probe = answers.probe();
+            let captured = answers.capture();
+            (query_in, edges_in, probe, captured)
+        });
+
+        // Graph: 1 -> 2 -> 3, 4 -> 5. Queries: (1, 3) reachable, (1, 5) not.
+        for edge in [(1, 2), (2, 3), (4, 5)] {
+            edges.insert(edge);
+        }
+        query.insert((1, 3));
+        query.insert((1, 5));
+        edges.advance_to(1);
+        query.advance_to(1);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+
+        // Add the edge 3 -> 4: now (1, 5) becomes reachable.
+        edges.insert((3, 4));
+        edges.advance_to(2);
+        query.advance_to(2);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(2)));
+
+        // Remove 2 -> 3: both answers disappear.
+        edges.remove((2, 3));
+        edges.advance_to(3);
+        query.advance_to(3);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(3)));
+
+        let result = captured.borrow().clone();
+        result
+    });
+
+    let at_1 = accumulate(&captured, epoch(0));
+    assert_eq!(at_1.get(&(1u32, 3u32)), Some(&1));
+    assert_eq!(at_1.get(&(1u32, 5u32)), None);
+
+    let at_2 = accumulate(&captured, epoch(1));
+    assert_eq!(at_2.get(&(1u32, 3u32)), Some(&1));
+    assert_eq!(at_2.get(&(1u32, 5u32)), Some(&1));
+
+    let at_3 = accumulate(&captured, epoch(2));
+    assert!(at_3.is_empty(), "removing 2->3 disconnects both queries: {at_3:?}");
+}
+
+#[test]
+fn arrangements_are_shared_between_operators() {
+    // One arrangement of `edges` serves both a count and a join, and its trace reports a
+    // single copy of the data.
+    let stats = execute(Config::new(1), |worker| {
+        let (mut edges_in, probe, degrees, matches, trace_len) = worker.dataflow(|builder| {
+            let (edges_in, edges) = new_collection::<(u32, u32), isize>(builder);
+            let arranged = edges.arrange_by_key();
+            // Consumer 1: out-degrees, reading the shared arrangement.
+            let degrees = arranged
+                .reduce_core("Degrees", |_k, input, output: &mut Vec<(isize, isize)>| {
+                    let total: isize = input.iter().map(|(_, r)| *r).sum();
+                    output.push((total, 1));
+                })
+                .as_collection(|k, d| (*k, *d));
+            // Consumer 2: self-join on source, also reading the shared arrangement.
+            let matches = arranged.join_core(&arranged, |k, a, b| (*k, *a, *b));
+            let probe = degrees.probe();
+            let trace = arranged.trace.clone();
+            (
+                edges_in,
+                probe,
+                degrees.capture(),
+                matches.capture(),
+                trace,
+            )
+        });
+        for (src, dst) in [(1u32, 2u32), (1, 3), (2, 3)] {
+            edges_in.insert((src, dst));
+        }
+        edges_in.advance_to(1);
+        worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+        let result = (
+            degrees.borrow().clone(),
+            matches.borrow().clone(),
+            trace_len.len(),
+        );
+        result
+    });
+
+    let degrees: Vec<_> = stats.iter().map(|(d, _, _)| d.clone()).collect();
+    let matches: Vec<_> = stats.iter().map(|(_, m, _)| m.clone()).collect();
+    let trace_len: usize = stats.iter().map(|(_, _, l)| *l).sum();
+
+    let degrees_at_1 = accumulate(&degrees, epoch(0));
+    assert_eq!(degrees_at_1.get(&(1u32, 2isize)), Some(&1));
+    assert_eq!(degrees_at_1.get(&(2u32, 1isize)), Some(&1));
+
+    let matches_at_1 = accumulate(&matches, epoch(0));
+    // Key 1 has two destinations: 2x2 = 4 pairs; key 2 has one: 1 pair.
+    assert_eq!(matches_at_1.values().sum::<isize>(), 5);
+
+    // The shared trace holds exactly the three edges, once.
+    assert_eq!(trace_len, 3);
+}
+
+#[test]
+fn arrangements_import_into_new_dataflows() {
+    let results = execute(Config::new(1), |worker| {
+        // Dataflow 1 arranges the collection and keeps it maintained.
+        let (mut input, probe1, trace) = worker.dataflow(|builder| {
+            let (input, data) = new_collection::<(u32, u32), isize>(builder);
+            let arranged = data.arrange_by_key();
+            (input, arranged.probe(), arranged.trace.clone())
+        });
+        input.insert((1, 10));
+        input.insert((2, 20));
+        input.advance_to(1);
+        worker.step_while(|| probe1.less_than(&Time::from_epoch(1)));
+
+        // Dataflow 2 imports the arrangement after the fact and counts per key.
+        let (probe2, counts) = worker.dataflow(|builder| {
+            let imported = trace.import(builder);
+            let counts = imported
+                .reduce_core("Count", |_k, input, output: &mut Vec<(isize, isize)>| {
+                    let total: isize = input.iter().map(|(_, r)| *r).sum();
+                    output.push((total, 1));
+                })
+                .as_collection(|k, c| (*k, *c));
+            (counts.probe(), counts.capture())
+        });
+        // Step until the imported history has been processed.
+        worker.step_while(|| probe2.less_than(&Time::from_epoch(1)));
+
+        // Continue updating the original input; the imported dataflow follows along.
+        input.insert((1, 11));
+        input.advance_to(2);
+        worker.step_while(|| {
+            probe1.less_than(&Time::from_epoch(2)) || probe2.less_than(&Time::from_epoch(2))
+        });
+        let result = counts.borrow().clone();
+        result
+    });
+
+    let at_1 = accumulate(&results, epoch(0));
+    assert_eq!(at_1.get(&(1u32, 1isize)), Some(&1));
+    assert_eq!(at_1.get(&(2u32, 1isize)), Some(&1));
+    let at_2 = accumulate(&results, epoch(1));
+    assert_eq!(at_2.get(&(1u32, 2isize)), Some(&1), "imported dataflow tracks new updates");
+}
+
+#[test]
+fn two_workers_agree_with_one() {
+    // The same computation on one and two workers produces the same accumulated output.
+    fn run(workers: usize) -> BTreeMap<(u32, isize), isize> {
+        let captured = execute(Config::new(workers), |worker| {
+            let (mut input, probe, captured) = worker.dataflow(|builder| {
+                let (input, pairs) = new_collection::<(u32, u32), isize>(builder);
+                let counts = pairs.map(|(k, _)| k).count();
+                (input, counts.probe(), counts.capture())
+            });
+            // Each worker inserts a disjoint shard of the input.
+            for i in 0..100u32 {
+                if (i as usize) % worker.peers() == worker.index() {
+                    input.insert((i % 10, i));
+                }
+            }
+            input.advance_to(1);
+            worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+            let result = captured.borrow().clone();
+            result
+        });
+        accumulate(&captured, epoch(0))
+    }
+    let one = run(1);
+    let two = run(2);
+    assert_eq!(one, two);
+    assert_eq!(one.len(), 10);
+    assert!(one.keys().all(|(_, count)| *count == 10));
+}

@@ -1,0 +1,225 @@
+//! The operator interface: how typed operator logic plugs into the type-erased runtime.
+
+use std::any::Any;
+
+use kpg_timestamp::{Antichain, Time};
+
+use crate::fabric::{Fabric, RemoteMessage};
+use crate::graph::EdgeId;
+
+/// A type-erased, cloneable, sendable message payload.
+///
+/// Payloads are usually `Vec<(D, Time, R)>` update buffers or shared batch handles; the
+/// runtime only needs to clone them (for fan-out to several consumers) and move them
+/// across worker channels.
+pub trait AnyBundle: Any + Send {
+    /// Clones the payload into a new box.
+    fn clone_bundle(&self) -> BundleBox;
+    /// Upcasts to `Any` for downcasting by the receiving operator.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcasts to a boxed `Any` for by-value downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Send + Clone> AnyBundle for T {
+    fn clone_bundle(&self) -> BundleBox {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// A boxed type-erased payload.
+pub type BundleBox = Box<dyn AnyBundle>;
+
+/// Downcasts a payload to a concrete type, panicking with the operator name on mismatch.
+pub fn downcast_payload<T: 'static>(payload: BundleBox, operator: &str) -> T {
+    *payload
+        .into_any()
+        .downcast::<T>()
+        .unwrap_or_else(|_| panic!("operator {operator} received a payload of unexpected type"))
+}
+
+/// The interface every operator implements.
+///
+/// Operators are instantiated once per worker. They receive payloads on numbered input
+/// ports, perform work when scheduled (emitting payloads through the [`OutputContext`]),
+/// learn about input frontier changes, and report the times at which they may still
+/// produce output independently of future input (their *capabilities*).
+pub trait Operator: 'static {
+    /// A short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Accepts a payload on input port `port`. Implementations should only buffer here;
+    /// processing belongs in [`Operator::work`].
+    fn recv(&mut self, port: usize, payload: BundleBox);
+
+    /// Performs pending work, emitting outputs through `output`.
+    ///
+    /// Returns true if any work was performed (used by the quiescence protocol).
+    fn work(&mut self, output: &mut OutputContext<'_>) -> bool;
+
+    /// Observes a new frontier on input port `port`.
+    ///
+    /// Times not in advance of the frontier are complete: no further input will carry
+    /// them. Operators that buffer state (arrange, reduce) react by minting batches or
+    /// retiring pending work during their next [`Operator::work`] call.
+    fn set_frontier(&mut self, port: usize, frontier: &Antichain<Time>);
+
+    /// The times at which this operator may still produce output regardless of what its
+    /// inputs do: buffered updates, scheduled future work, or (for sources) the times of
+    /// data yet to be introduced.
+    ///
+    /// An empty antichain means the operator produces output only in direct response to
+    /// input. The runtime combines capabilities across workers and propagates them along
+    /// edges to compute every input frontier.
+    fn capabilities(&self) -> Antichain<Time>;
+}
+
+/// Where an emitted payload should go.
+enum Destination {
+    /// Deliver to the local instance of the edge's target.
+    Local,
+    /// Deliver to the instance of the edge's target on the given worker.
+    Worker(usize),
+}
+
+/// A single emission: an edge, a destination, and a payload.
+pub(crate) struct Emission {
+    pub edge: EdgeId,
+    pub worker: Option<usize>,
+    pub payload: BundleBox,
+}
+
+/// The output side of an operator invocation.
+///
+/// Emissions are buffered and delivered by the worker after the operator returns, which
+/// keeps operator scheduling free of re-entrancy.
+pub struct OutputContext<'a> {
+    pub(crate) worker_index: usize,
+    pub(crate) peers: usize,
+    pub(crate) dataflow: usize,
+    pub(crate) node_outputs: &'a [EdgeId],
+    pub(crate) emissions: &'a mut Vec<Emission>,
+    pub(crate) fabric: &'a Fabric,
+}
+
+impl<'a> OutputContext<'a> {
+    /// The index of the worker running this operator.
+    pub fn worker_index(&self) -> usize {
+        self.worker_index
+    }
+
+    /// The total number of workers.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// Emits `payload` along every outgoing edge of this node, to the local worker.
+    ///
+    /// This is the common case: operators produce data for their local downstream
+    /// consumers; only explicit exchange operators send across workers. When the node has
+    /// several consumers the payload is cloned per edge.
+    pub fn send(&mut self, payload: BundleBox) {
+        match self.node_outputs.len() {
+            0 => {}
+            1 => self.push(self.node_outputs[0], Destination::Local, payload),
+            _ => {
+                for index in 0..self.node_outputs.len() {
+                    let copy = if index + 1 == self.node_outputs.len() {
+                        // Move the original along the last edge.
+                        None
+                    } else {
+                        Some(payload.clone_bundle())
+                    };
+                    let edge = self.node_outputs[index];
+                    match copy {
+                        Some(copy) => self.push(edge, Destination::Local, copy),
+                        None => {
+                            self.push(edge, Destination::Local, payload);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits `payload` along every outgoing edge, destined for worker `worker`.
+    ///
+    /// Used by exchange operators, which partition their input by key and route each
+    /// partition to the worker that owns it.
+    pub fn send_to_worker(&mut self, worker: usize, payload: BundleBox) {
+        let destination = if worker == self.worker_index {
+            Destination::Local
+        } else {
+            Destination::Worker(worker)
+        };
+        match self.node_outputs.len() {
+            0 => {}
+            1 => self.push(self.node_outputs[0], destination, payload),
+            _ => {
+                let edges: Vec<EdgeId> = self.node_outputs.to_vec();
+                for (index, edge) in edges.iter().enumerate() {
+                    let dest = if worker == self.worker_index {
+                        Destination::Local
+                    } else {
+                        Destination::Worker(worker)
+                    };
+                    if index + 1 == edges.len() {
+                        self.push(*edge, dest, payload);
+                        return;
+                    } else {
+                        self.push(*edge, dest, payload.clone_bundle());
+                    }
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, edge: EdgeId, destination: Destination, payload: BundleBox) {
+        match destination {
+            Destination::Local => self.emissions.push(Emission {
+                edge,
+                worker: None,
+                payload,
+            }),
+            Destination::Worker(worker) => {
+                // Remote messages go straight to the fabric; local ones are queued for
+                // in-order delivery by the worker loop.
+                self.fabric.send(
+                    worker,
+                    RemoteMessage {
+                        dataflow: self.dataflow,
+                        edge: edge.0,
+                        payload,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip_through_any() {
+        let payload: BundleBox = Box::new(vec![(1u64, 2u64)]);
+        let cloned = payload.clone_bundle();
+        let back: Vec<(u64, u64)> = downcast_payload(cloned, "test");
+        assert_eq!(back, vec![(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn payload_downcast_mismatch_panics() {
+        let payload: BundleBox = Box::new(42u32);
+        let _: Vec<u64> = downcast_payload(payload, "test");
+    }
+}

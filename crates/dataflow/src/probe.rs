@@ -1,0 +1,81 @@
+//! Probes: observing how far a stream's frontier has advanced.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kpg_timestamp::{Antichain, Time};
+
+use crate::operator::{BundleBox, Operator, OutputContext};
+use crate::worker::DataflowBuilder;
+use crate::NodeId;
+
+/// A handle reporting the frontier of the stream it is attached to.
+///
+/// Probes are how user programs learn that the computation has caught up with their
+/// input: after advancing an input to epoch `e`, stepping the worker until the probe is
+/// no longer `less_than(Time::from_epoch(e))` guarantees all outputs for earlier epochs
+/// have been produced.
+#[derive(Clone)]
+pub struct ProbeHandle {
+    frontier: Rc<RefCell<Antichain<Time>>>,
+}
+
+impl ProbeHandle {
+    /// Creates a probe operator attached to the output of `source`.
+    pub fn new(builder: &mut DataflowBuilder, source: NodeId) -> Self {
+        let frontier = Rc::new(RefCell::new(Antichain::from_elem(Time::minimum())));
+        let operator = ProbeOperator {
+            frontier: Rc::clone(&frontier),
+        };
+        let node = builder.add_operator(Box::new(operator), 1);
+        builder.connect(source, node, 0);
+        ProbeHandle { frontier }
+    }
+
+    /// True iff the probed frontier could still produce `time`.
+    pub fn less_equal(&self, time: &Time) -> bool {
+        self.frontier.borrow().less_equal(time)
+    }
+
+    /// True iff some element of the probed frontier is strictly less than `time`, i.e.
+    /// outputs at times earlier than `time` may still be incomplete.
+    ///
+    /// The idiomatic completion loop is `worker.step_while(|| probe.less_than(&input.time()))`:
+    /// once the computation has caught up with everything before the input's current
+    /// epoch, the condition turns false.
+    pub fn less_than(&self, time: &Time) -> bool {
+        self.frontier.borrow().less_than(time)
+    }
+
+    /// True iff the probed stream is complete (its frontier is empty).
+    pub fn done(&self) -> bool {
+        self.frontier.borrow().is_empty()
+    }
+
+    /// A copy of the probed frontier.
+    pub fn frontier(&self) -> Antichain<Time> {
+        self.frontier.borrow().clone()
+    }
+}
+
+struct ProbeOperator {
+    frontier: Rc<RefCell<Antichain<Time>>>,
+}
+
+impl Operator for ProbeOperator {
+    fn name(&self) -> &str {
+        "Probe"
+    }
+    fn recv(&mut self, _port: usize, _payload: BundleBox) {
+        // Probes discard data; they exist only to observe frontiers.
+    }
+    fn work(&mut self, _output: &mut OutputContext<'_>) -> bool {
+        false
+    }
+    fn set_frontier(&mut self, _port: usize, frontier: &Antichain<Time>) {
+        *self.frontier.borrow_mut() = frontier.clone();
+    }
+    fn capabilities(&self) -> Antichain<Time> {
+        Antichain::new()
+    }
+}

@@ -1,0 +1,354 @@
+//! Progress tracking: turning operator capabilities into input frontiers.
+//!
+//! After every round of global quiescence, each worker publishes, per operator, the
+//! antichain of times at which that operator may still produce output on its own (its
+//! *capabilities*). Workers then independently — and deterministically — propagate these
+//! capabilities along the dataflow graph to compute the frontier of every operator input
+//! port: the set of times that may still appear there. Feedback edges advance the
+//! iteration round of everything that flows along them, and leave edges strip rounds, so
+//! the propagation is a least-fixed-point computation that converges because antichains
+//! absorb the ever-later times produced by running around a cycle.
+//!
+//! This replaces timely dataflow's asynchronous pointstamp protocol with a synchronous
+//! one (substitution S1 in DESIGN.md); the frontiers operators observe have exactly the
+//! same meaning.
+
+use kpg_timestamp::{Antichain, Time};
+use parking_lot::Mutex;
+
+use crate::graph::{DataflowGraph, NodeId};
+
+/// The progress state of one dataflow, shared by all workers.
+pub struct DataflowShared {
+    /// The graph structure, installed by the first worker to build the dataflow.
+    pub graph: Mutex<Option<DataflowGraph>>,
+    /// Capabilities per worker, per node.
+    pub capabilities: Mutex<Vec<Vec<Antichain<Time>>>>,
+}
+
+impl DataflowShared {
+    /// Creates an empty shared descriptor for a dataflow.
+    pub fn new() -> Self {
+        DataflowShared {
+            graph: Mutex::new(None),
+            capabilities: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Installs the graph structure (first worker) or checks consistency (the rest), and
+    /// ensures the capability table covers `workers` workers.
+    ///
+    /// Every node starts with a capability at `Time::minimum()` so that no frontier can
+    /// advance before the owning worker has published that node's true capabilities at
+    /// least once.
+    pub fn install(&self, graph: DataflowGraph, workers: usize) {
+        let nodes = graph.nodes;
+        {
+            let mut guard = self.graph.lock();
+            match guard.as_ref() {
+                None => *guard = Some(graph),
+                Some(existing) => {
+                    assert_eq!(
+                        existing.nodes, nodes,
+                        "workers must construct identical dataflows"
+                    );
+                }
+            }
+        }
+        let mut caps = self.capabilities.lock();
+        if caps.is_empty() {
+            *caps = vec![vec![Antichain::from_elem(Time::minimum()); nodes]; workers];
+        }
+    }
+
+    /// Publishes `capabilities` (one antichain per node) for `worker`.
+    pub fn publish(&self, worker: usize, capabilities: Vec<Antichain<Time>>) {
+        let mut caps = self.capabilities.lock();
+        caps[worker] = capabilities;
+    }
+
+    /// Computes the frontier of every node input port from the currently published
+    /// capabilities. The result is indexed as `result[node][port]`.
+    pub fn input_frontiers(&self) -> Vec<Vec<Antichain<Time>>> {
+        let graph = self.graph.lock();
+        let graph = graph.as_ref().expect("graph installed before stepping");
+        let caps = self.capabilities.lock();
+        compute_input_frontiers(graph, &caps)
+    }
+}
+
+impl Default for DataflowShared {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Combines per-worker capabilities and propagates them to per-port input frontiers.
+pub fn compute_input_frontiers(
+    graph: &DataflowGraph,
+    capabilities: &[Vec<Antichain<Time>>],
+) -> Vec<Vec<Antichain<Time>>> {
+    // Union the capabilities of all workers for each node.
+    let mut own: Vec<Antichain<Time>> = vec![Antichain::new(); graph.nodes];
+    for worker_caps in capabilities.iter() {
+        for (node, cap) in worker_caps.iter().enumerate() {
+            for time in cap.elements() {
+                own[node].insert(*time);
+            }
+        }
+    }
+
+    // Least-fixed-point propagation of output frontiers: a node may emit at any time in
+    // its own capabilities, or at any time it may still receive on an input (identity
+    // internal summary), transformed along the incoming edge.
+    let mut output: Vec<Antichain<Time>> = own.clone();
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed {
+        changed = false;
+        rounds += 1;
+        assert!(
+            rounds <= 16 * (graph.nodes + graph.edges.len() + 1),
+            "frontier propagation failed to converge"
+        );
+        for (index, edge) in graph.edges.iter().enumerate() {
+            let _ = index;
+            let source_frontier = output[edge.from.0].clone();
+            let transformed = edge.transform.apply_frontier(&source_frontier);
+            let target = &mut output[edge.to.0];
+            for time in transformed.elements() {
+                if target.insert(*time) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Per-port input frontiers: the union of transformed source output frontiers over the
+    // edges arriving at that port.
+    let mut inputs: Vec<Vec<Antichain<Time>>> = graph
+        .input_ports
+        .iter()
+        .map(|&ports| vec![Antichain::new(); ports])
+        .collect();
+    for edge in graph.edges.iter() {
+        let transformed = edge.transform.apply_frontier(&output[edge.from.0]);
+        let slot = &mut inputs[edge.to.0][edge.port];
+        for time in transformed.elements() {
+            slot.insert(*time);
+        }
+    }
+    inputs
+}
+
+/// Convenience: the output frontier of a single node given published capabilities.
+pub fn output_frontier(
+    graph: &DataflowGraph,
+    capabilities: &[Vec<Antichain<Time>>],
+    node: NodeId,
+) -> Antichain<Time> {
+    // Recompute inputs and combine with the node's own capabilities.
+    let mut result = Antichain::new();
+    for worker_caps in capabilities.iter() {
+        for time in worker_caps[node.0].elements() {
+            result.insert(*time);
+        }
+    }
+    let inputs = compute_input_frontiers(graph, capabilities);
+    for port in inputs[node.0].iter() {
+        for time in port.elements() {
+            result.insert(*time);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeDesc, EdgeTransform};
+
+    fn linear_graph() -> DataflowGraph {
+        // input(0) -> map(1) -> probe(2)
+        DataflowGraph {
+            nodes: 3,
+            names: vec!["input".into(), "map".into(), "probe".into()],
+            input_ports: vec![0, 1, 1],
+            edges: vec![
+                EdgeDesc {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    port: 0,
+                    transform: EdgeTransform::Identity,
+                },
+                EdgeDesc {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    port: 0,
+                    transform: EdgeTransform::Identity,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn linear_propagation_follows_source() {
+        let graph = linear_graph();
+        // Worker 0's input holds epoch 3; worker 1's input holds epoch 5.
+        let caps = vec![
+            vec![
+                Antichain::from_elem(Time::from_epoch(3)),
+                Antichain::new(),
+                Antichain::new(),
+            ],
+            vec![
+                Antichain::from_elem(Time::from_epoch(5)),
+                Antichain::new(),
+                Antichain::new(),
+            ],
+        ];
+        let inputs = compute_input_frontiers(&graph, &caps);
+        // The probe's frontier is held at the earlier of the two inputs.
+        assert_eq!(inputs[2][0].elements(), &[Time::from_epoch(3)]);
+    }
+
+    #[test]
+    fn closed_source_empties_frontiers() {
+        let graph = linear_graph();
+        let caps = vec![vec![Antichain::new(), Antichain::new(), Antichain::new()]];
+        let inputs = compute_input_frontiers(&graph, &caps);
+        assert!(inputs[1][0].is_empty());
+        assert!(inputs[2][0].is_empty());
+    }
+
+    #[test]
+    fn pending_operator_work_holds_downstream_frontier() {
+        let graph = linear_graph();
+        // Input has advanced to epoch 7, but the middle operator still owes output at 4.
+        let caps = vec![vec![
+            Antichain::from_elem(Time::from_epoch(7)),
+            Antichain::from_elem(Time::from_epoch(4)),
+            Antichain::new(),
+        ]];
+        let inputs = compute_input_frontiers(&graph, &caps);
+        assert_eq!(inputs[1][0].elements(), &[Time::from_epoch(7)]);
+        assert_eq!(inputs[2][0].elements(), &[Time::from_epoch(4)]);
+    }
+
+    fn loop_graph() -> DataflowGraph {
+        // input(0) -> enter/head(1) <-> body(2) -> feedback(3) -> head(1)
+        //                               body(2) -> leave(4) -> probe(5)
+        DataflowGraph {
+            nodes: 6,
+            names: vec![
+                "input".into(),
+                "head".into(),
+                "body".into(),
+                "feedback".into(),
+                "leave".into(),
+                "probe".into(),
+            ],
+            input_ports: vec![0, 1, 1, 1, 1, 1],
+            edges: vec![
+                EdgeDesc {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    port: 0,
+                    transform: EdgeTransform::Identity,
+                },
+                EdgeDesc {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    port: 0,
+                    transform: EdgeTransform::Identity,
+                },
+                EdgeDesc {
+                    from: NodeId(2),
+                    to: NodeId(3),
+                    port: 0,
+                    transform: EdgeTransform::Identity,
+                },
+                EdgeDesc {
+                    from: NodeId(3),
+                    to: NodeId(1),
+                    port: 0,
+                    transform: EdgeTransform::Feedback { depth: 1 },
+                },
+                EdgeDesc {
+                    from: NodeId(2),
+                    to: NodeId(4),
+                    port: 0,
+                    transform: EdgeTransform::Identity,
+                },
+                EdgeDesc {
+                    from: NodeId(4),
+                    to: NodeId(5),
+                    port: 0,
+                    transform: EdgeTransform::Leave { depth: 1 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn loop_with_pending_body_work_holds_round() {
+        let graph = loop_graph();
+        // The input is at epoch 1; the loop body holds work at epoch 0, round 2.
+        let mut caps = vec![vec![Antichain::new(); 6]];
+        caps[0][0] = Antichain::from_elem(Time::from_epoch(1));
+        caps[0][2] = Antichain::from_elem(Time::from_coords([0, 2, 0]));
+        let inputs = compute_input_frontiers(&graph, &caps);
+        // The loop head can still see epoch 1 (round 0) and epoch 0 at round 3 (the body's
+        // pending work, routed around the feedback edge).
+        let mut head: Vec<Time> = inputs[1][0].elements().to_vec();
+        head.sort();
+        assert_eq!(
+            head,
+            vec![Time::from_coords([0, 3, 0]), Time::from_coords([1, 0, 0])]
+        );
+        // Outside the loop, the leave edge collapses rounds: the probe must wait for
+        // epoch 0 to finish.
+        assert_eq!(inputs[5][0].elements(), &[Time::from_epoch(0)]);
+    }
+
+    #[test]
+    fn loop_quiet_body_lets_epoch_complete() {
+        let graph = loop_graph();
+        // No pending body work: only the input's capability at epoch 1 remains.
+        let mut caps = vec![vec![Antichain::new(); 6]];
+        caps[0][0] = Antichain::from_elem(Time::from_epoch(1));
+        let inputs = compute_input_frontiers(&graph, &caps);
+        // The probe sees epoch 1: epoch 0 is complete.
+        assert_eq!(inputs[5][0].elements(), &[Time::from_epoch(1)]);
+        // Inside the loop the head still admits epoch 1 round 0.
+        assert_eq!(inputs[1][0].elements(), &[Time::from_epoch(1)]);
+    }
+
+    #[test]
+    fn shared_state_install_and_publish() {
+        let shared = DataflowShared::new();
+        shared.install(linear_graph(), 2);
+        shared.install(linear_graph(), 2);
+        // Before publication every node holds the minimum capability.
+        let inputs = shared.input_frontiers();
+        assert_eq!(inputs[2][0].elements(), &[Time::minimum()]);
+        shared.publish(
+            0,
+            vec![
+                Antichain::from_elem(Time::from_epoch(2)),
+                Antichain::new(),
+                Antichain::new(),
+            ],
+        );
+        shared.publish(
+            1,
+            vec![
+                Antichain::from_elem(Time::from_epoch(2)),
+                Antichain::new(),
+                Antichain::new(),
+            ],
+        );
+        let inputs = shared.input_frontiers();
+        assert_eq!(inputs[2][0].elements(), &[Time::from_epoch(2)]);
+    }
+}

@@ -1,0 +1,450 @@
+//! Workers: threads that each own a shard of every dataflow and schedule its operators.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::Receiver;
+use kpg_timestamp::{Antichain, Time};
+use parking_lot::Mutex;
+
+use crate::fabric::{Fabric, RemoteMessage};
+use crate::graph::{DataflowGraph, EdgeDesc, EdgeId, EdgeTransform, NodeId};
+use crate::operator::{BundleBox, Emission, Operator, OutputContext};
+use crate::progress::DataflowShared;
+
+/// Runtime configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// The number of worker threads.
+    pub workers: usize,
+}
+
+impl Config {
+    /// A configuration with the given number of workers.
+    pub fn new(workers: usize) -> Self {
+        Config {
+            workers: workers.max(1),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { workers: 1 }
+    }
+}
+
+/// State shared by all workers of one computation.
+pub(crate) struct Shared {
+    pub workers: usize,
+    pub barrier: Barrier,
+    pub work_flags: Vec<AtomicBool>,
+    pub dataflows: Mutex<Vec<Arc<DataflowShared>>>,
+    pub fabric: Arc<Fabric>,
+}
+
+impl Shared {
+    fn dataflow_shared(&self, index: usize) -> Arc<DataflowShared> {
+        let mut dataflows = self.dataflows.lock();
+        while dataflows.len() <= index {
+            dataflows.push(Arc::new(DataflowShared::new()));
+        }
+        Arc::clone(&dataflows[index])
+    }
+}
+
+/// One worker's instantiation of a dataflow: its local operator state plus scheduling
+/// bookkeeping.
+struct DataflowInstance {
+    shared: Arc<DataflowShared>,
+    graph: DataflowGraph,
+    operators: Vec<Box<dyn Operator>>,
+    node_outputs: Vec<Vec<EdgeId>>,
+    queues: Vec<VecDeque<(usize, BundleBox)>>,
+    dirty: Vec<bool>,
+    last_frontiers: Vec<Vec<Antichain<Time>>>,
+}
+
+/// A single worker thread's handle onto the computation.
+///
+/// All workers execute the same program: they construct identical dataflows, feed their
+/// own shards of the input, and call [`Worker::step`] in lockstep. Steps are globally
+/// synchronized (substitution S1 in DESIGN.md): a step runs every operator until the
+/// whole computation is quiescent, then advances frontiers.
+pub struct Worker {
+    index: usize,
+    peers: usize,
+    shared: Arc<Shared>,
+    inbox: Receiver<RemoteMessage>,
+    dataflows: Vec<DataflowInstance>,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        index: usize,
+        peers: usize,
+        shared: Arc<Shared>,
+        inbox: Receiver<RemoteMessage>,
+    ) -> Self {
+        Worker {
+            index,
+            peers,
+            shared,
+            inbox,
+            dataflows: Vec::new(),
+        }
+    }
+
+    /// This worker's index in `0..peers`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The number of workers.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// Constructs a new dataflow; the closure receives a [`DataflowBuilder`] and returns
+    /// whatever handles (inputs, probes, arrangements) the caller wants to keep.
+    ///
+    /// Every worker must construct the same dataflows in the same order.
+    pub fn dataflow<R>(&mut self, logic: impl FnOnce(&mut DataflowBuilder) -> R) -> R {
+        let dataflow_index = self.dataflows.len();
+        let mut builder = DataflowBuilder {
+            worker_index: self.index,
+            peers: self.peers,
+            dataflow_index,
+            inner: Rc::new(RefCell::new(BuilderInner::default())),
+        };
+        let result = logic(&mut builder);
+
+        let mut inner = builder.inner.borrow_mut();
+        inner.sealed = true;
+        let graph = DataflowGraph {
+            nodes: inner.operators.len(),
+            names: std::mem::take(&mut inner.names),
+            input_ports: std::mem::take(&mut inner.input_ports),
+            edges: std::mem::take(&mut inner.edges),
+        };
+        let operators = std::mem::take(&mut inner.operators);
+        drop(inner);
+        let shared = self.shared.dataflow_shared(dataflow_index);
+        shared.install(graph.clone(), self.peers);
+
+        let node_outputs = (0..graph.nodes)
+            .map(|n| graph.edges_from(NodeId(n)).map(|(id, _)| id).collect())
+            .collect();
+        let queues = (0..graph.nodes).map(|_| VecDeque::new()).collect();
+        let dirty = vec![true; graph.nodes];
+        let last_frontiers = graph
+            .input_ports
+            .iter()
+            .map(|&ports| vec![Antichain::from_elem(Time::minimum()); ports])
+            .collect();
+
+        self.dataflows.push(DataflowInstance {
+            shared,
+            graph,
+            operators,
+            node_outputs,
+            queues,
+            dirty,
+            last_frontiers,
+        });
+        result
+    }
+
+    /// Runs operators locally until no more progress can be made without coordination.
+    fn do_local_work(&mut self) -> bool {
+        let mut did_anything = false;
+        let mut emissions: Vec<Emission> = Vec::new();
+        loop {
+            let mut progress = false;
+
+            // Drain the remote inbox into local queues.
+            while let Ok(message) = self.inbox.try_recv() {
+                self.shared.fabric.acknowledge();
+                let instance = &mut self.dataflows[message.dataflow];
+                let edge = &instance.graph.edges[message.edge];
+                instance.queues[edge.to.0].push_back((edge.port, message.payload));
+                instance.dirty[edge.to.0] = true;
+                progress = true;
+            }
+
+            // Deliver queued payloads and run dirty operators.
+            for dataflow_index in 0..self.dataflows.len() {
+                let instance = &mut self.dataflows[dataflow_index];
+                let DataflowInstance {
+                    graph,
+                    operators,
+                    node_outputs,
+                    queues,
+                    dirty,
+                    ..
+                } = instance;
+                for node in 0..graph.nodes {
+                    while let Some((port, payload)) = queues[node].pop_front() {
+                        operators[node].recv(port, payload);
+                        dirty[node] = true;
+                        progress = true;
+                    }
+                    if dirty[node] {
+                        dirty[node] = false;
+                        let mut context = OutputContext {
+                            worker_index: self.index,
+                            peers: self.peers,
+                            dataflow: dataflow_index,
+                            node_outputs: &node_outputs[node],
+                            emissions: &mut emissions,
+                            fabric: &self.shared.fabric,
+                        };
+                        if operators[node].work(&mut context) {
+                            progress = true;
+                        }
+                    }
+                    // Deliver local emissions produced by this operator.
+                    for emission in emissions.drain(..) {
+                        debug_assert!(emission.worker.is_none());
+                        let edge: &EdgeDesc = &graph.edges[emission.edge.0];
+                        queues[edge.to.0].push_back((edge.port, emission.payload));
+                        dirty[edge.to.0] = true;
+                        progress = true;
+                    }
+                }
+            }
+
+            if !progress {
+                break;
+            }
+            did_anything = true;
+        }
+        did_anything
+    }
+
+    /// Runs local work to quiescence and coordinates with the other workers until the
+    /// entire computation is quiescent (no messages in flight, no operator did work).
+    fn quiesce(&mut self) -> bool {
+        let mut did_anything = false;
+        loop {
+            let did = self.do_local_work();
+            did_anything |= did;
+            self.shared.work_flags[self.index].store(did, Ordering::SeqCst);
+            self.shared.barrier.wait();
+            let any_work = self
+                .shared
+                .work_flags
+                .iter()
+                .any(|flag| flag.load(Ordering::SeqCst));
+            let in_flight = self.shared.fabric.in_flight();
+            let done = !any_work && in_flight == 0;
+            self.shared.barrier.wait();
+            if done {
+                return did_anything;
+            }
+        }
+    }
+
+    /// Publishes capabilities, recomputes frontiers, and notifies operators of changes.
+    fn advance_frontiers(&mut self) -> bool {
+        // Publish this worker's capabilities for every dataflow.
+        for instance in self.dataflows.iter() {
+            let capabilities = instance
+                .operators
+                .iter()
+                .map(|op| op.capabilities())
+                .collect();
+            instance.shared.publish(self.index, capabilities);
+        }
+        self.shared.barrier.wait();
+
+        // Recompute frontiers (deterministically, from shared state) and deliver changes.
+        let mut changed_any = false;
+        for instance in self.dataflows.iter_mut() {
+            let frontiers = instance.shared.input_frontiers();
+            for node in 0..instance.graph.nodes {
+                for port in 0..instance.graph.input_ports[node] {
+                    let new = &frontiers[node][port];
+                    if !instance.last_frontiers[node][port].same_as(new) {
+                        instance.operators[node].set_frontier(port, new);
+                        instance.last_frontiers[node][port] = new.clone();
+                        instance.dirty[node] = true;
+                        changed_any = true;
+                    }
+                }
+            }
+        }
+        // Ensure all workers finish reading shared progress state before anyone starts
+        // mutating it again in the next step.
+        self.shared.barrier.wait();
+        changed_any
+    }
+
+    /// Performs one synchronized scheduling step: run all operators to global quiescence,
+    /// then advance frontiers. Returns true if any work was done or any frontier changed.
+    ///
+    /// All workers must call `step` in lockstep (they do, if they run the same program).
+    pub fn step(&mut self) -> bool {
+        // Give every operator a chance to run, even without fresh input: sources drain
+        // their user-supplied buffers, arrangements make progress on amortized merges.
+        for instance in self.dataflows.iter_mut() {
+            for flag in instance.dirty.iter_mut() {
+                *flag = true;
+            }
+        }
+        let worked = self.quiesce();
+        let advanced = self.advance_frontiers();
+        worked || advanced
+    }
+
+    /// Steps until `condition` returns false.
+    ///
+    /// The condition must be a function of globally consistent state (input handles and
+    /// probe frontiers), so that every worker makes the same sequence of decisions.
+    pub fn step_while(&mut self, mut condition: impl FnMut() -> bool) {
+        while condition() {
+            self.step();
+        }
+    }
+}
+
+/// The mutable interior of a [`DataflowBuilder`], shared by its clones.
+#[derive(Default)]
+struct BuilderInner {
+    operators: Vec<Box<dyn Operator>>,
+    names: Vec<String>,
+    input_ports: Vec<usize>,
+    output_transforms: Vec<EdgeTransform>,
+    edges: Vec<EdgeDesc>,
+    sealed: bool,
+}
+
+/// Builds one dataflow: operators plus the edges connecting them.
+///
+/// Builders are cheaply cloneable handles onto shared construction state, so higher-level
+/// wrappers (collections, arrangements) can carry one around and extend the dataflow as
+/// operators are chained. Once the `Worker::dataflow` closure returns, the builder is
+/// sealed and further construction panics.
+pub struct DataflowBuilder {
+    worker_index: usize,
+    peers: usize,
+    dataflow_index: usize,
+    inner: Rc<RefCell<BuilderInner>>,
+}
+
+impl Clone for DataflowBuilder {
+    fn clone(&self) -> Self {
+        DataflowBuilder {
+            worker_index: self.worker_index,
+            peers: self.peers,
+            dataflow_index: self.dataflow_index,
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl DataflowBuilder {
+    /// The index of the worker building this instance of the dataflow.
+    pub fn worker_index(&self) -> usize {
+        self.worker_index
+    }
+
+    /// The total number of workers.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// The index of this dataflow within the computation.
+    pub fn dataflow_index(&self) -> usize {
+        self.dataflow_index
+    }
+
+    /// Adds an operator with `inputs` input ports; returns its node id.
+    pub fn add_operator(&mut self, operator: Box<dyn Operator>, inputs: usize) -> NodeId {
+        self.add_operator_with_transform(operator, inputs, EdgeTransform::Identity)
+    }
+
+    /// Adds an operator whose outgoing edges carry the given timestamp transform.
+    ///
+    /// Feedback and leave nodes re-timestamp the data they forward; the matching edge
+    /// transform tells the progress tracker how their output frontier maps onto the times
+    /// their consumers may observe.
+    pub fn add_operator_with_transform(
+        &mut self,
+        operator: Box<dyn Operator>,
+        inputs: usize,
+        transform: EdgeTransform,
+    ) -> NodeId {
+        let mut inner = self.inner.borrow_mut();
+        assert!(!inner.sealed, "dataflow extended after construction finished");
+        let id = NodeId(inner.operators.len());
+        inner.names.push(operator.name().to_string());
+        inner.operators.push(operator);
+        inner.input_ports.push(inputs);
+        inner.output_transforms.push(transform);
+        id
+    }
+
+    /// Connects `from`'s output to input `port` of `to`, using `from`'s output transform.
+    pub fn connect(&mut self, from: NodeId, to: NodeId, port: usize) {
+        let transform = self.inner.borrow().output_transforms[from.0];
+        self.connect_with(from, to, port, transform);
+    }
+
+    /// Connects `from`'s output to input `port` of `to`, with an explicit transform.
+    pub fn connect_with(&mut self, from: NodeId, to: NodeId, port: usize, transform: EdgeTransform) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(!inner.sealed, "dataflow extended after construction finished");
+        inner.edges.push(EdgeDesc {
+            from,
+            to,
+            port,
+            transform,
+        });
+    }
+}
+
+/// Executes `logic` on `config.workers` worker threads and returns their results in
+/// worker order.
+///
+/// This is the entry point mirroring `timely::execute`: the closure runs once per worker,
+/// building dataflows, feeding inputs, and stepping the worker.
+pub fn execute<T, F>(config: Config, logic: F) -> Vec<T>
+where
+    F: Fn(&mut Worker) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let workers = config.workers.max(1);
+    let (fabric, mut receivers) = Fabric::new(workers);
+    let shared = Arc::new(Shared {
+        workers,
+        barrier: Barrier::new(workers),
+        work_flags: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        dataflows: Mutex::new(Vec::new()),
+        fabric,
+    });
+    let logic = Arc::new(logic);
+
+    let mut joins = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let inbox = receivers.remove(0);
+        let shared = Arc::clone(&shared);
+        let logic = Arc::clone(&logic);
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("kpg-worker-{index}"))
+                .spawn(move || {
+                    let mut worker = Worker::new(index, shared.workers, shared, inbox);
+                    logic(&mut worker)
+                })
+                .expect("failed to spawn worker thread"),
+        );
+    }
+    joins
+        .into_iter()
+        .map(|handle| handle.join().expect("worker thread panicked"))
+        .collect()
+}

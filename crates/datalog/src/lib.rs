@@ -1,0 +1,19 @@
+//! Datalog and program-analysis workloads (paper §6.3, §6.4, Appendix D).
+//!
+//! * [`programs`] — bottom-up transitive closure and same-generation, the two benchmark
+//!   queries of Appendix D, plus their top-down (seeded, "magic set" style) variants used
+//!   for the interactive experiments of Table 2.
+//! * [`graspan`] — the two Graspan-style static analyses of §6.4: the dataflow (null
+//!   propagation) analysis and a mutually recursive points-to analysis, each with the
+//!   optimized and non-shared variants Table 4 compares.
+//! * [`generate`] — synthetic program graphs standing in for the paper's linux/psql/httpd
+//!   inputs (substitution S4 in DESIGN.md).
+
+#![deny(missing_docs)]
+
+pub mod generate;
+pub mod graspan;
+pub mod programs;
+
+/// A directed edge in a base relation.
+pub type Edge = (u32, u32);

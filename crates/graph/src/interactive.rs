@@ -1,0 +1,211 @@
+//! Interactive graph queries (paper §6.2, Figure 5 and Table 10).
+//!
+//! Four query classes are maintained as differential dataflows whose *query arguments*
+//! are themselves interactively updatable collections — the paper's trick of treating
+//! queries as stored procedures:
+//!
+//! * point look-up: the out-neighbours of a queried node,
+//! * 1-hop: the same, re-using the shared arrangement,
+//! * 2-hop: neighbours of neighbours,
+//! * 4-hop path: pairs `(src, dst)` connected by a directed path of length at most four.
+//!
+//! The dataflow can be built in two modes: **shared**, where all query classes read one
+//! arrangement of the graph, and **not shared**, where each query class arranges the
+//! graph privately — the comparison behind Figures 5b and 5c.
+
+use kpg_core::arrange::ValBatch;
+use kpg_core::prelude::*;
+use kpg_dataflow::InputHandle;
+
+use crate::Edge;
+
+/// Handles for driving the interactive query dataflow.
+pub struct InteractiveQueries {
+    /// The graph's edge input.
+    pub edges: InputHandle<Edge, isize>,
+    /// Point look-up query arguments (node ids).
+    pub lookup: InputHandle<u32, isize>,
+    /// 1-hop query arguments (node ids).
+    pub one_hop: InputHandle<u32, isize>,
+    /// 2-hop query arguments (node ids).
+    pub two_hop: InputHandle<u32, isize>,
+    /// 4-hop path query arguments (source, destination pairs).
+    pub four_path: InputHandle<(u32, u32), isize>,
+    /// A probe on every query output; passing it means all answers are current.
+    pub probe: ProbeHandle,
+    /// Trace handles for every arrangement the dataflow maintains, for memory accounting
+    /// (the Figure 5c proxy: total updates held across arrangements).
+    pub traces: Vec<TraceAgent<ValBatch<u32, u32>>>,
+}
+
+impl InteractiveQueries {
+    /// Advances every input to `epoch`.
+    pub fn advance_to(&mut self, epoch: u64) {
+        self.edges.advance_to(epoch);
+        self.lookup.advance_to(epoch);
+        self.one_hop.advance_to(epoch);
+        self.two_hop.advance_to(epoch);
+        self.four_path.advance_to(epoch);
+    }
+
+    /// The total number of updates held across all graph arrangements (memory proxy).
+    pub fn arrangement_size(&self) -> usize {
+        self.traces.iter().map(|trace| trace.len()).sum()
+    }
+}
+
+/// Builds the interactive query dataflow.
+///
+/// With `shared = true` the four query classes read a single shared arrangement of the
+/// edges; with `shared = false` each class pays for its own copy, as systems without
+/// inter-query sharing must.
+pub fn interactive_queries(builder: &mut DataflowBuilder, shared: bool) -> InteractiveQueries {
+    let (edges_in, edges) = new_collection::<Edge, isize>(builder);
+    let (lookup_in, lookup) = new_collection::<u32, isize>(builder);
+    let (one_hop_in, one_hop) = new_collection::<u32, isize>(builder);
+    let (two_hop_in, two_hop) = new_collection::<u32, isize>(builder);
+    let (four_path_in, four_path) = new_collection::<(u32, u32), isize>(builder);
+
+    let mut traces = Vec::new();
+    let mut arrange = |label: &'static str| {
+        let arranged = edges.arrange_by_key_named(label, MergeEffort::Default);
+        traces.push(arranged.trace.clone());
+        arranged
+    };
+
+    let shared_arrangement = arrange("SharedEdges");
+    let mut next_arrangement = |label: &'static str| {
+        if shared {
+            shared_arrangement.clone()
+        } else {
+            arrange(label)
+        }
+    };
+
+    // Point look-up: neighbours of the queried node.
+    let lookup_edges = next_arrangement("LookupEdges");
+    let lookup_results = lookup
+        .map(|q| (q, ()))
+        .arrange_by_key()
+        .join_core(&lookup_edges, |q, (), dst| (*q, *dst));
+
+    // 1-hop: the same shape as look-up (kept separate to model a distinct query class).
+    let one_hop_edges = next_arrangement("OneHopEdges");
+    let one_hop_results = one_hop
+        .map(|q| (q, ()))
+        .arrange_by_key()
+        .join_core(&one_hop_edges, |q, (), dst| (*q, *dst));
+
+    // 2-hop: neighbours of neighbours.
+    let two_hop_edges = next_arrangement("TwoHopEdges");
+    let first_hop = two_hop
+        .map(|q| (q, ()))
+        .arrange_by_key()
+        .join_core(&two_hop_edges, |q, (), mid| (*mid, *q));
+    let two_hop_results = first_hop
+        .arrange_by_key()
+        .join_core(&two_hop_edges, |_mid, q, dst| (*q, *dst))
+        .distinct();
+
+    // 4-hop shortest path: (src, dst) pairs connected by a path of length <= 4, with the
+    // hop count of the shortest such path.
+    let path_edges = next_arrangement("PathEdges");
+    let frontier0 = four_path.map(|(src, dst)| (src, (src, dst)));
+    let mut reached_by_hops = Vec::new();
+    let mut frontier = frontier0;
+    for _hop in 1..=4u32 {
+        let next = frontier
+            .arrange_by_key()
+            .join_core(&path_edges, |_node, (src, dst), next| (*next, (*src, *dst)));
+        reached_by_hops.push(next.clone());
+        frontier = next.distinct();
+    }
+    let four_path_results = reached_by_hops
+        .iter()
+        .enumerate()
+        .map(|(index, reached)| {
+            let hops = index as u32 + 1;
+            reached
+                .filter(|(node, (_src, dst))| node == dst)
+                .map(move |(_node, (src, dst))| ((src, dst), hops))
+        })
+        .reduce(|a, b| a.concat(&b))
+        .expect("at least one hop level")
+        .min_by_key();
+
+    // One probe over all four outputs.
+    let all_outputs = lookup_results
+        .map(|(q, dst)| (q, dst, 0u8))
+        .concat(&one_hop_results.map(|(q, dst)| (q, dst, 1u8)))
+        .concat(&two_hop_results.map(|(q, dst)| (q, dst, 2u8)))
+        .concat(&four_path_results.map(|((src, dst), hops)| (src, dst, 10 + hops as u8)));
+    let probe = all_outputs.probe();
+
+    InteractiveQueries {
+        edges: edges_in,
+        lookup: lookup_in,
+        one_hop: one_hop_in,
+        two_hop: two_hop_in,
+        four_path: four_path_in,
+        probe,
+        traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpg_dataflow::Time;
+
+    fn run(shared: bool) -> (usize, usize) {
+        let results = execute(Config::new(1), move |worker| {
+            let mut queries = worker.dataflow(|builder| interactive_queries(builder, shared));
+            // A small diamond: 1 -> 2 -> 4, 1 -> 3 -> 4, 4 -> 5.
+            for edge in [(1, 2), (2, 4), (1, 3), (3, 4), (4, 5)] {
+                queries.edges.insert(edge);
+            }
+            queries.lookup.insert(1);
+            queries.two_hop.insert(1);
+            queries.four_path.insert((1, 5));
+            queries.four_path.insert((5, 1));
+            queries.advance_to(1);
+            let probe = queries.probe.clone();
+            worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+            (queries.arrangement_size(), queries.traces.len())
+        });
+        results[0]
+    }
+
+    #[test]
+    fn shared_mode_holds_one_copy_of_the_graph() {
+        let (shared_size, shared_traces) = run(true);
+        let (private_size, private_traces) = run(false);
+        assert_eq!(shared_traces, 1);
+        assert_eq!(private_traces, 5);
+        // Not sharing multiplies the edge state held across arrangements.
+        assert!(private_size >= 4 * shared_size, "{private_size} vs {shared_size}");
+    }
+
+    #[test]
+    fn queries_return_expected_answers() {
+        let answers = execute(Config::new(1), |worker| {
+            let (mut queries, captured) = worker.dataflow(|builder| {
+                let queries = interactive_queries(builder, true);
+                (queries, ())
+            });
+            let _ = captured;
+            for edge in [(1, 2), (2, 4), (1, 3), (3, 4), (4, 5)] {
+                queries.edges.insert(edge);
+            }
+            queries.lookup.insert(1);
+            queries.two_hop.insert(1);
+            queries.four_path.insert((1, 5));
+            queries.four_path.insert((5, 1));
+            queries.advance_to(1);
+            let probe = queries.probe.clone();
+            worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+            true
+        });
+        assert_eq!(answers, vec![true]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Graph workloads for the shared-arrangements evaluation (paper §6.2, Appendix C).
+//!
+//! * [`generate`] — seeded synthetic graph generators standing in for the paper's
+//!   LiveJournal/Orkut/Twitter datasets (substitution S3 in DESIGN.md).
+//! * [`algorithms`] — differential implementations of reachability, breadth-first
+//!   distances, single-source shortest paths, and undirected connectivity.
+//! * [`interactive`] — the four interactive query classes of Figure 5 / Table 10
+//!   (point look-up, 1-hop, 2-hop, 4-hop shortest path), built either against a shared
+//!   arrangement of the graph or against per-query private arrangements.
+//! * [`baseline`] — the paper's "purpose-written single-threaded code" comparators
+//!   (array- and hash-map-based BFS, union-find connectivity).
+
+#![deny(missing_docs)]
+
+pub mod algorithms;
+pub mod baseline;
+pub mod generate;
+pub mod interactive;
+
+/// A directed edge between two node identifiers.
+pub type Edge = (u32, u32);

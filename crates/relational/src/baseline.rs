@@ -1,0 +1,213 @@
+//! Full re-evaluation baseline: recompute each query from scratch over plain vectors.
+//!
+//! This is the comparator the paper's incremental-view-maintenance experiments need: a
+//! system that, on every logical batch, re-evaluates the query over the full current
+//! database (the behaviour DBToaster falls back to for queries it cannot incrementalise).
+//! It doubles as a correctness oracle for the differential query implementations.
+
+use std::collections::BTreeMap;
+
+use crate::data::{region_of, Database};
+use crate::queries::ResultRow;
+
+/// Recomputes the query with the given TPC-H number over the full database.
+pub fn evaluate(number: u32, db: &Database) -> Vec<ResultRow> {
+    let mut groups: BTreeMap<String, i64> = BTreeMap::new();
+    match number {
+        1 => {
+            for l in db.lineitems.iter().filter(|l| l.ship_date <= 2_400) {
+                *groups.entry(format!("{}|{}", l.return_flag, l.line_status)).or_insert(0) +=
+                    l.quantity + l.extended_price * (100 - l.discount) / 100;
+            }
+        }
+        3 => {
+            let customers: Vec<u32> = db
+                .customers
+                .iter()
+                .filter(|c| c.segment == 1)
+                .map(|c| c.key)
+                .collect();
+            let orders: Vec<u32> = db
+                .orders
+                .iter()
+                .filter(|o| o.order_date < 1_500 && customers.contains(&o.customer))
+                .map(|o| o.key)
+                .collect();
+            for l in db.lineitems.iter().filter(|l| l.ship_date > 1_500) {
+                if orders.contains(&l.order) {
+                    *groups.entry(format!("order-{}", l.order)).or_insert(0) +=
+                        l.extended_price * (100 - l.discount) / 100;
+                }
+            }
+        }
+        4 => {
+            let late: std::collections::BTreeSet<u32> = db
+                .lineitems
+                .iter()
+                .filter(|l| l.commit_date < l.receipt_date)
+                .map(|l| l.order)
+                .collect();
+            for o in db
+                .orders
+                .iter()
+                .filter(|o| o.order_date >= 1_000 && o.order_date < 1_100 && late.contains(&o.key))
+            {
+                *groups.entry(format!("priority-{}", o.priority)).or_insert(0) += 1;
+            }
+        }
+        5 => {
+            let customer_nation: BTreeMap<u32, u32> =
+                db.customers.iter().map(|c| (c.key, c.nation)).collect();
+            let order_nation: BTreeMap<u32, u32> = db
+                .orders
+                .iter()
+                .filter_map(|o| customer_nation.get(&o.customer).map(|n| (o.key, *n)))
+                .collect();
+            let supplier_nation: BTreeMap<u32, u32> =
+                db.suppliers.iter().map(|s| (s.key, s.nation)).collect();
+            for l in db.lineitems.iter() {
+                if let (Some(cn), Some(sn)) =
+                    (order_nation.get(&l.order), supplier_nation.get(&l.supplier))
+                {
+                    if region_of(*cn) == region_of(*sn) {
+                        *groups.entry(format!("region-{}", region_of(*cn))).or_insert(0) +=
+                            l.extended_price * (100 - l.discount) / 100;
+                    }
+                }
+            }
+        }
+        6 => {
+            let total: i64 = db
+                .lineitems
+                .iter()
+                .filter(|l| {
+                    l.ship_date >= 500
+                        && l.ship_date < 865
+                        && l.discount >= 5
+                        && l.discount <= 7
+                        && l.quantity < 24
+                })
+                .map(|l| l.extended_price * l.discount / 100)
+                .sum();
+            groups.insert("revenue".to_string(), total);
+        }
+        10 => {
+            let order_customer: BTreeMap<u32, u32> =
+                db.orders.iter().map(|o| (o.key, o.customer)).collect();
+            for l in db.lineitems.iter().filter(|l| l.return_flag == 2) {
+                if let Some(customer) = order_customer.get(&l.order) {
+                    *groups.entry(format!("customer-{customer}")).or_insert(0) +=
+                        l.extended_price * (100 - l.discount) / 100;
+                }
+            }
+        }
+        12 => {
+            let order_priority: BTreeMap<u32, u8> =
+                db.orders.iter().map(|o| (o.key, o.priority)).collect();
+            for l in db
+                .lineitems
+                .iter()
+                .filter(|l| (l.ship_mode == 3 || l.ship_mode == 5) && l.commit_date < l.receipt_date)
+            {
+                if let Some(priority) = order_priority.get(&l.order) {
+                    let urgent = u8::from(*priority <= 1);
+                    *groups
+                        .entry(format!("mode-{}-urgent-{}", l.ship_mode, urgent))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        14 => {
+            let promo: BTreeMap<u32, bool> = db
+                .parts
+                .iter()
+                .map(|p| (p.key, p.part_type < 25))
+                .collect();
+            let mut promo_revenue = 0i64;
+            let mut total_revenue = 0i64;
+            for l in db
+                .lineitems
+                .iter()
+                .filter(|l| l.ship_date >= 700 && l.ship_date < 730)
+            {
+                if let Some(is_promo) = promo.get(&l.part) {
+                    let revenue = l.extended_price * (100 - l.discount) / 100;
+                    total_revenue += revenue;
+                    if *is_promo {
+                        promo_revenue += revenue;
+                    }
+                }
+            }
+            let share = if total_revenue == 0 {
+                0
+            } else {
+                promo_revenue * 10_000 / total_revenue
+            };
+            groups.insert("promo_share_bp".to_string(), share);
+        }
+        other => panic!("query {other} is not implemented"),
+    }
+    groups.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::generate;
+    use crate::queries::{build_query, relations, IMPLEMENTED};
+    use kpg_core::prelude::*;
+    use kpg_dataflow::Time;
+
+    /// The differential implementation of every query must agree with full re-evaluation.
+    #[test]
+    fn differential_queries_agree_with_reevaluation() {
+        let db = generate(0.2, 17);
+        for &query in IMPLEMENTED {
+            let expected = evaluate(query, &db);
+            let db_rows = (
+                db.lineitems.clone(),
+                db.orders.clone(),
+                db.customers.clone(),
+                db.suppliers.clone(),
+                db.parts.clone(),
+            );
+            let out = execute(Config::new(1), move |worker| {
+                let rows = db_rows.clone();
+                let (mut inputs, probe, cap) = worker.dataflow(|builder| {
+                    let (inputs, rels) = relations(builder);
+                    let result = build_query(query, &rels);
+                    (inputs, result.probe(), result.capture())
+                });
+                for l in rows.0 {
+                    inputs.lineitem.insert(l);
+                }
+                for o in rows.1 {
+                    inputs.orders.insert(o);
+                }
+                for c in rows.2 {
+                    inputs.customer.insert(c);
+                }
+                for s in rows.3 {
+                    inputs.supplier.insert(s);
+                }
+                for p in rows.4 {
+                    inputs.part.insert(p);
+                }
+                inputs.advance_to(1);
+                worker.step_while(|| probe.less_than(&Time::from_epoch(1)));
+                let r = cap.borrow().clone();
+                r
+            });
+            let mut measured: BTreeMap<String, i64> = BTreeMap::new();
+            for ((key, value), _, diff) in &out[0] {
+                *measured.entry(key.clone()).or_insert(0) += value * (*diff as i64);
+            }
+            measured.retain(|_, v| *v != 0);
+            let expected: BTreeMap<String, i64> = expected
+                .into_iter()
+                .filter(|(_, value)| *value != 0)
+                .collect();
+            assert_eq!(measured, expected, "query {query} disagrees with re-evaluation");
+        }
+    }
+}

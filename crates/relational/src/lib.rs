@@ -1,0 +1,20 @@
+//! Relational analytics workload: a TPC-H-like schema, generator, incrementally
+//! maintained queries, and a full re-evaluation baseline (paper §6.1, Appendix B).
+//!
+//! The paper evaluates incremental view maintenance of the 22 TPC-H queries against
+//! DBToaster. dbgen data and DBToaster itself cannot be shipped here (substitution S2 in
+//! DESIGN.md), so this crate provides:
+//!
+//! * [`data`] — schema-compatible row types and a seeded generator with the same key
+//!   relationships and value skew, at laptop scale factors;
+//! * [`queries`] — a representative set of the TPC-H queries expressed as differential
+//!   dataflows over those relations (scan/filter/aggregate, join/aggregate, semijoin,
+//!   group-by shapes), each incrementally maintained as the lineitem/orders streams load;
+//! * [`baseline`] — a re-evaluation engine that recomputes each query from scratch per
+//!   logical batch, the behaviour DBToaster falls back to for complex aggregates.
+
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod data;
+pub mod queries;

@@ -1,0 +1,67 @@
+//! Partial order traits.
+
+/// A type whose values are partially ordered.
+///
+/// Unlike `std::cmp::PartialOrd`, this trait is about the *semantic* order of logical
+/// timestamps: two times may be incomparable (neither `less_equal` the other) even when
+/// the type also implements a total `Ord` used for sorting and deduplication.
+pub trait PartialOrder: Eq {
+    /// Returns true iff `self` is less than or equal to `other` in the partial order.
+    fn less_equal(&self, other: &Self) -> bool;
+
+    /// Returns true iff `self` is strictly less than `other` in the partial order.
+    fn less_than(&self, other: &Self) -> bool {
+        self.less_equal(other) && self != other
+    }
+}
+
+/// A marker trait for timestamps whose partial order is total.
+///
+/// Operators like `count` and `distinct` have substantially simpler implementations for
+/// totally ordered times (paper §5.3.2, "Specializations"); the marker lets those
+/// specializations be offered with type-level guarantees that they are not misused.
+pub trait TotalOrder: PartialOrder {}
+
+macro_rules! implement_partial_total {
+    ($($t:ty,)*) => (
+        $(
+            impl PartialOrder for $t {
+                #[inline]
+                fn less_equal(&self, other: &Self) -> bool { self <= other }
+                #[inline]
+                fn less_than(&self, other: &Self) -> bool { self < other }
+            }
+            impl TotalOrder for $t {}
+        )*
+    )
+}
+
+implement_partial_total!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize,);
+
+impl PartialOrder for () {
+    #[inline]
+    fn less_equal(&self, _other: &Self) -> bool {
+        true
+    }
+}
+impl TotalOrder for () {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_totally_ordered() {
+        assert!(3u64.less_equal(&3));
+        assert!(3u64.less_equal(&4));
+        assert!(!4u64.less_equal(&3));
+        assert!(3u64.less_than(&4));
+        assert!(!3u64.less_than(&3));
+    }
+
+    #[test]
+    fn unit_is_a_single_point() {
+        assert!(().less_equal(&()));
+        assert!(!().less_than(&()));
+    }
+}

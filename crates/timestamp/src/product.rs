@@ -1,0 +1,104 @@
+//! The product lattice used for iteration scopes.
+
+use crate::lattice::Lattice;
+use crate::order::PartialOrder;
+
+/// A pair of timestamps under the product partial order.
+///
+/// `iterate` scopes extend the enclosing scope's timestamp with a round-of-iteration
+/// counter. Two products are ordered if and only if both coordinates are ordered the same
+/// way (paper §5.4); this is what allows differential dataflow to distinguish "later
+/// epoch, earlier round" from "earlier epoch, later round" and compute minimal update
+/// sets for iterative computations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Product<TOuter, TInner> {
+    /// The outer (enclosing scope) component.
+    pub outer: TOuter,
+    /// The inner (round of iteration) component.
+    pub inner: TInner,
+}
+
+impl<TOuter, TInner> Product<TOuter, TInner> {
+    /// Creates a product timestamp from its two coordinates.
+    pub fn new(outer: TOuter, inner: TInner) -> Self {
+        Product { outer, inner }
+    }
+}
+
+impl<TOuter: PartialOrder, TInner: PartialOrder> PartialOrder for Product<TOuter, TInner> {
+    #[inline]
+    fn less_equal(&self, other: &Self) -> bool {
+        self.outer.less_equal(&other.outer) && self.inner.less_equal(&other.inner)
+    }
+}
+
+impl<TOuter: Lattice, TInner: Lattice> Lattice for Product<TOuter, TInner> {
+    #[inline]
+    fn join(&self, other: &Self) -> Self {
+        Product {
+            outer: self.outer.join(&other.outer),
+            inner: self.inner.join(&other.inner),
+        }
+    }
+    #[inline]
+    fn meet(&self, other: &Self) -> Self {
+        Product {
+            outer: self.outer.meet(&other.outer),
+            inner: self.inner.meet(&other.inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antichain::Antichain;
+
+    #[test]
+    fn product_partial_order_requires_both_coordinates() {
+        let a = Product::new(1u64, 5u64);
+        let b = Product::new(2u64, 3u64);
+        assert!(!a.less_equal(&b));
+        assert!(!b.less_equal(&a));
+        assert!(a.less_equal(&Product::new(1, 5)));
+        assert!(a.less_equal(&Product::new(2, 5)));
+        assert!(a.less_than(&Product::new(2, 5)));
+        assert!(!a.less_than(&Product::new(1, 5)));
+    }
+
+    #[test]
+    fn product_lattice_is_pointwise() {
+        let a = Product::new(1u64, 5u64);
+        let b = Product::new(2u64, 3u64);
+        assert_eq!(a.join(&b), Product::new(2, 5));
+        assert_eq!(a.meet(&b), Product::new(1, 3));
+    }
+
+    #[test]
+    fn product_advance_by_incomparable_frontier() {
+        // Frontier {(0,2), (1,0)}: a time (0,5) is indistinguishable from (1,5) only for
+        // observers at or beyond (1,0); its representative must preserve visibility from
+        // (0,5) onward along the (0,_) axis too.
+        let frontier = Antichain::from_iter([Product::new(0u64, 2u64), Product::new(1u64, 0u64)]);
+        let mut t = Product::new(0u64, 1u64);
+        t.advance_by(frontier.borrow());
+        // join with (0,2) = (0,2); join with (1,0) = (1,1); meet = (0,1)... the
+        // representative must compare identically to (0,1) for all times >= frontier.
+        // (0,1) <= (0,2) is true, and the representative (0,1) keeps that; compute and
+        // check correctness explicitly rather than hard-coding.
+        for probe in [
+            Product::new(0u64, 2u64),
+            Product::new(1, 0),
+            Product::new(1, 2),
+            Product::new(0, 5),
+            Product::new(3, 3),
+        ] {
+            assert_eq!(
+                Product::new(0u64, 1u64).less_equal(&probe),
+                t.less_equal(&probe),
+                "representative must agree with original at {:?}",
+                probe
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests re-proving the compaction theorems of Appendix A.
+//!
+//! Theorem 1 (Correctness): for any lattice element `t` and frontier `F`,
+//! `t ≡_F rep_F(t)` — the representative compares identically to `t` against every time
+//! greater than or equal to some element of `F`.
+//!
+//! Theorem 2 (Optimality): if `t1 ≡_F t2` then `rep_F(t1) = rep_F(t2)` — indistinguishable
+//! times share a representative, so compaction coalesces as much as is safe.
+
+use kpg_timestamp::{Antichain, Lattice, PartialOrder, Product, Time};
+use proptest::prelude::*;
+
+type P2 = Product<u64, u64>;
+
+fn small_product() -> impl Strategy<Value = P2> {
+    (0u64..6, 0u64..6).prop_map(|(a, b)| Product::new(a, b))
+}
+
+fn small_time() -> impl Strategy<Value = Time> {
+    ([0u64..5, 0u64..5, 0u64..5]).prop_map(Time::from_coords)
+}
+
+fn frontier_of<T: PartialOrder + Clone>(elements: Vec<T>) -> Antichain<T> {
+    Antichain::from_iter(elements)
+}
+
+/// `t1 ≡_F t2`: the two times compare identically to every probe in advance of `F`.
+/// We check against an exhaustive grid of probes, restricted to those in advance of `F`.
+fn equivalent_under<TP: PartialOrder>(
+    t1: &TP,
+    t2: &TP,
+    frontier: &Antichain<TP>,
+    probes: &[TP],
+) -> bool {
+    probes
+        .iter()
+        .filter(|p| frontier.less_equal(p))
+        .all(|p| t1.less_equal(p) == t2.less_equal(p))
+}
+
+fn product_probes() -> Vec<P2> {
+    let mut probes = Vec::new();
+    for a in 0..8u64 {
+        for b in 0..8u64 {
+            probes.push(Product::new(a, b));
+        }
+    }
+    probes
+}
+
+fn time_probes() -> Vec<Time> {
+    let mut probes = Vec::new();
+    for a in 0..6u64 {
+        for b in 0..6u64 {
+            for c in 0..6u64 {
+                probes.push(Time::from_coords([a, b, c]));
+            }
+        }
+    }
+    probes
+}
+
+proptest! {
+    /// Theorem 1 for the two-coordinate product lattice.
+    #[test]
+    fn correctness_product(t in small_product(), f in prop::collection::vec(small_product(), 1..4)) {
+        let frontier = frontier_of(f);
+        let mut rep = t;
+        rep.advance_by(frontier.borrow());
+        let probes = product_probes();
+        prop_assert!(equivalent_under(&t, &rep, &frontier, &probes),
+            "t={:?} rep={:?} frontier={:?}", t, rep, frontier);
+    }
+
+    /// Theorem 2 for the two-coordinate product lattice.
+    #[test]
+    fn optimality_product(
+        t1 in small_product(),
+        t2 in small_product(),
+        f in prop::collection::vec(small_product(), 1..4),
+    ) {
+        let frontier = frontier_of(f);
+        let probes = product_probes();
+        if equivalent_under(&t1, &t2, &frontier, &probes) {
+            let mut r1 = t1;
+            let mut r2 = t2;
+            r1.advance_by(frontier.borrow());
+            r2.advance_by(frontier.borrow());
+            prop_assert_eq!(r1, r2, "t1={:?} t2={:?} frontier={:?}", t1, t2, frontier);
+        }
+    }
+
+    /// Theorem 1 for the runtime's three-coordinate `Time`.
+    #[test]
+    fn correctness_time(t in small_time(), f in prop::collection::vec(small_time(), 1..4)) {
+        let frontier = frontier_of(f);
+        let mut rep = t;
+        rep.advance_by(frontier.borrow());
+        let probes = time_probes();
+        prop_assert!(equivalent_under(&t, &rep, &frontier, &probes));
+    }
+
+    /// Theorem 2 for the runtime's three-coordinate `Time`.
+    #[test]
+    fn optimality_time(
+        t1 in small_time(),
+        t2 in small_time(),
+        f in prop::collection::vec(small_time(), 1..4),
+    ) {
+        let frontier = frontier_of(f);
+        let probes = time_probes();
+        if equivalent_under(&t1, &t2, &frontier, &probes) {
+            let mut r1 = t1;
+            let mut r2 = t2;
+            r1.advance_by(frontier.borrow());
+            r2.advance_by(frontier.borrow());
+            prop_assert_eq!(r1, r2);
+        }
+    }
+
+    /// The representative never moves backwards: `t <= rep_F(t)` whenever t is in advance
+    /// of F... in general rep_F(t) >= t does not hold for arbitrary lattices unless t is
+    /// dominated; for the product of totally ordered chains `rep_F(t)` is always `>= t ∧ f`
+    /// for some f; we check the weaker monotonicity property used by the trace layer:
+    /// advancing by a *later* frontier never produces an *earlier* representative.
+    #[test]
+    fn advancing_is_monotone_in_frontier(
+        t in small_product(),
+        f1 in prop::collection::vec(small_product(), 1..4),
+    ) {
+        let frontier1 = frontier_of(f1);
+        // A strictly later frontier: every element advanced by (1,1).
+        let frontier2 = Antichain::from_iter(
+            frontier1.elements().iter().map(|p| Product::new(p.outer + 1, p.inner + 1)),
+        );
+        let mut r1 = t;
+        r1.advance_by(frontier1.borrow());
+        let mut r12 = r1;
+        r12.advance_by(frontier2.borrow());
+        let mut r2 = t;
+        r2.advance_by(frontier2.borrow());
+        // Compacting in two steps or one must agree wherever the later frontier can see.
+        let probes = product_probes();
+        prop_assert!(equivalent_under(&r12, &r2, &frontier2, &probes));
+    }
+
+    /// Lattice laws for Product: join/meet are commutative, associative, idempotent, and
+    /// consistent with the partial order.
+    #[test]
+    fn product_lattice_laws(a in small_product(), b in small_product(), c in small_product()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.join(&a), a);
+        prop_assert_eq!(a.meet(&a), a);
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        // Bounds.
+        prop_assert!(a.less_equal(&a.join(&b)));
+        prop_assert!(b.less_equal(&a.join(&b)));
+        prop_assert!(a.meet(&b).less_equal(&a));
+        prop_assert!(a.meet(&b).less_equal(&b));
+        // Absorption.
+        prop_assert_eq!(a.join(&a.meet(&b)), a);
+        prop_assert_eq!(a.meet(&a.join(&b)), a);
+    }
+
+    /// Antichain membership: after inserting arbitrary elements, the retained elements are
+    /// mutually incomparable and `less_equal` agrees with a direct scan of the inputs.
+    #[test]
+    fn antichain_is_minimal_and_faithful(elems in prop::collection::vec(small_product(), 1..10), probe in small_product()) {
+        let frontier = Antichain::from_iter(elems.clone());
+        for x in frontier.elements() {
+            for y in frontier.elements() {
+                if x != y {
+                    prop_assert!(!x.less_equal(y));
+                }
+            }
+        }
+        let direct = elems.iter().any(|e| e.less_equal(&probe));
+        prop_assert_eq!(frontier.less_equal(&probe), direct);
+    }
+}

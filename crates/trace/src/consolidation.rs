@@ -1,0 +1,119 @@
+//! Consolidation: coalescing updates with equal data (and time) by adding their diffs.
+//!
+//! The arrange operator's input buffer is "effectively a partially evaluated merge sort"
+//! (paper §4.2): sorting and consolidating keeps the number of buffered updates at most
+//! linear in the number of distinct `(data, time)` pairs (design principle 3, bounded
+//! memory footprint).
+
+use crate::diff::Semigroup;
+
+/// Sorts `updates` by data and adds together the diffs of equal data, dropping zeros.
+pub fn consolidate<D: Ord, R: Semigroup>(updates: &mut Vec<(D, R)>) {
+    if updates.len() <= 1 {
+        if updates.first().map(|(_, r)| r.is_zero()).unwrap_or(false) {
+            updates.clear();
+        }
+        return;
+    }
+    updates.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut write = 0;
+    let mut read = 0;
+    while read < updates.len() {
+        // Accumulate the run of equal data into position `read`.
+        let mut end = read + 1;
+        while end < updates.len() && updates[end].0 == updates[read].0 {
+            end += 1;
+        }
+        let (head, tail) = updates.split_at_mut(read + 1);
+        for other in &tail[..end - read - 1] {
+            head[read].1.plus_equals(&other.1);
+        }
+        if !updates[read].1.is_zero() {
+            updates.swap(write, read);
+            write += 1;
+        }
+        read = end;
+    }
+    updates.truncate(write);
+}
+
+/// Sorts `updates` by `(data, time)` and adds together the diffs of equal pairs, dropping
+/// zeros.
+pub fn consolidate_updates<D: Ord, T: Ord, R: Semigroup>(updates: &mut Vec<(D, T, R)>) {
+    if updates.len() <= 1 {
+        if updates.first().map(|(_, _, r)| r.is_zero()).unwrap_or(false) {
+            updates.clear();
+        }
+        return;
+    }
+    updates.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    let mut write = 0;
+    let mut read = 0;
+    while read < updates.len() {
+        let mut end = read + 1;
+        while end < updates.len() && updates[end].0 == updates[read].0 && updates[end].1 == updates[read].1
+        {
+            end += 1;
+        }
+        let (head, tail) = updates.split_at_mut(read + 1);
+        for other in &tail[..end - read - 1] {
+            head[read].2.plus_equals(&other.2);
+        }
+        if !updates[read].2.is_zero() {
+            updates.swap(write, read);
+            write += 1;
+        }
+        read = end;
+    }
+    updates.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consolidate_merges_and_drops_zeros() {
+        let mut updates = vec![("b", 1isize), ("a", 2), ("b", -1), ("a", 3), ("c", 0)];
+        consolidate(&mut updates);
+        assert_eq!(updates, vec![("a", 5)]);
+    }
+
+    #[test]
+    fn consolidate_empty_and_singleton() {
+        let mut empty: Vec<(u64, isize)> = vec![];
+        consolidate(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut zero = vec![(1u64, 0isize)];
+        consolidate(&mut zero);
+        assert!(zero.is_empty());
+
+        let mut one = vec![(1u64, 2isize)];
+        consolidate(&mut one);
+        assert_eq!(one, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn consolidate_updates_respects_times() {
+        let mut updates = vec![
+            ("a", 1u64, 1isize),
+            ("a", 2u64, 1),
+            ("a", 1u64, 1),
+            ("b", 1u64, 1),
+            ("b", 1u64, -1),
+        ];
+        consolidate_updates(&mut updates);
+        assert_eq!(updates, vec![("a", 1, 2), ("a", 2, 1)]);
+    }
+
+    #[test]
+    fn consolidate_is_stable_under_reordering() {
+        let mut a = vec![(3u64, 1u64, 1isize), (1, 2, 1), (3, 1, -1), (2, 1, 5)];
+        let mut b = a.clone();
+        b.reverse();
+        consolidate_updates(&mut a);
+        consolidate_updates(&mut b);
+        assert_eq!(a, b);
+    }
+}

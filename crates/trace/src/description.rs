@@ -1,0 +1,96 @@
+//! Batch descriptions: the frontiers that make a batch self-describing.
+
+use kpg_timestamp::{Antichain, PartialOrder};
+
+/// Describes the set of times a batch may contain and how far its times were compacted.
+///
+/// A batch with description `(lower, upper, since)` contains exactly the updates whose
+/// original times were in advance of `lower` and *not* in advance of `upper` (paper
+/// §4.1). The `since` frontier records how far those times may have been advanced by
+/// compaction: accumulations are only guaranteed correct when performed at times in
+/// advance of `since`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Description<T> {
+    lower: Antichain<T>,
+    upper: Antichain<T>,
+    since: Antichain<T>,
+}
+
+impl<T: PartialOrder + Clone + std::fmt::Debug> Description<T> {
+    /// Creates a description from its three frontiers.
+    pub fn new(lower: Antichain<T>, upper: Antichain<T>, since: Antichain<T>) -> Self {
+        Description {
+            lower,
+            upper,
+            since,
+        }
+    }
+
+    /// The lower bound of times contained in the batch.
+    pub fn lower(&self) -> &Antichain<T> {
+        &self.lower
+    }
+    /// The exclusive upper bound of times contained in the batch.
+    pub fn upper(&self) -> &Antichain<T> {
+        &self.upper
+    }
+    /// The compaction frontier the batch's times were advanced to.
+    pub fn since(&self) -> &Antichain<T> {
+        &self.since
+    }
+
+    /// A description for the merge of two abutting batches.
+    ///
+    /// The merged batch covers `[self.lower, other.upper)`; its compaction frontier is the
+    /// later of the two inputs' and the requested `since`.
+    pub fn merged_with(&self, other: &Description<T>, since: Antichain<T>) -> Description<T> {
+        debug_assert!(
+            self.upper.same_as(&other.lower),
+            "merged batches must abut: {:?} vs {:?}",
+            self.upper,
+            other.lower
+        );
+        Description::new(self.lower.clone(), other.upper.clone(), since)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpg_timestamp::Antichain;
+
+    #[test]
+    fn merged_description_spans_both() {
+        let a = Description::new(
+            Antichain::from_elem(0u64),
+            Antichain::from_elem(5u64),
+            Antichain::from_elem(0u64),
+        );
+        let b = Description::new(
+            Antichain::from_elem(5u64),
+            Antichain::from_elem(9u64),
+            Antichain::from_elem(0u64),
+        );
+        let merged = a.merged_with(&b, Antichain::from_elem(3u64));
+        assert_eq!(merged.lower().elements(), &[0]);
+        assert_eq!(merged.upper().elements(), &[9]);
+        assert_eq!(merged.since().elements(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "abut")]
+    #[cfg(debug_assertions)]
+    fn non_abutting_merge_panics() {
+        let a = Description::new(
+            Antichain::from_elem(0u64),
+            Antichain::from_elem(5u64),
+            Antichain::from_elem(0u64),
+        );
+        let b = Description::new(
+            Antichain::from_elem(6u64),
+            Antichain::from_elem(9u64),
+            Antichain::from_elem(0u64),
+        );
+        let _ = a.merged_with(&b, Antichain::from_elem(0u64));
+    }
+}

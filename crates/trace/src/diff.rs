@@ -1,0 +1,160 @@
+//! The algebra of differences.
+//!
+//! Differential dataflow requires the `diff` component of an update to form a commutative
+//! group (paper §3.2): updates can be added together, cancel to zero, and be negated (for
+//! retractions). Bilinear operators like `join` additionally multiply differences.
+
+/// A commutative, associative addition with a test for the zero element.
+pub trait Semigroup: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Adds `rhs` into `self`.
+    fn plus_equals(&mut self, rhs: &Self);
+    /// True iff `self` is the additive identity and the update it annotates can be dropped.
+    fn is_zero(&self) -> bool;
+}
+
+/// A semigroup with an explicit zero element.
+pub trait Monoid: Semigroup {
+    /// The additive identity.
+    fn zero() -> Self;
+}
+
+/// A monoid with additive inverses; required for retractions and the `negate` operator.
+pub trait Abelian: Monoid {
+    /// Replaces `self` with its additive inverse.
+    fn negate(&mut self);
+    /// Returns the additive inverse of `self`.
+    fn negated(&self) -> Self {
+        let mut clone = self.clone();
+        clone.negate();
+        clone
+    }
+}
+
+/// Multiplication of differences, used by bilinear operators such as `join`.
+pub trait Multiply<Rhs = Self> {
+    /// The type of the product.
+    type Output;
+    /// Multiplies `self` by `rhs`.
+    fn multiply(&self, rhs: &Rhs) -> Self::Output;
+}
+
+macro_rules! implement_diff_integer {
+    ($($t:ty,)*) => (
+        $(
+            impl Semigroup for $t {
+                #[inline]
+                fn plus_equals(&mut self, rhs: &Self) { *self += rhs; }
+                #[inline]
+                fn is_zero(&self) -> bool { *self == 0 }
+            }
+            impl Monoid for $t {
+                #[inline]
+                fn zero() -> Self { 0 }
+            }
+            impl Abelian for $t {
+                #[inline]
+                fn negate(&mut self) { *self = -*self; }
+            }
+            impl Multiply for $t {
+                type Output = $t;
+                #[inline]
+                fn multiply(&self, rhs: &Self) -> Self { self * rhs }
+            }
+        )*
+    )
+}
+
+implement_diff_integer!(i8, i16, i32, i64, i128, isize,);
+
+/// A pair of differences, combined coordinate-wise.
+///
+/// Useful when maintaining two aggregates at once (for example a sum and a count), the
+/// standard trick for maintaining averages incrementally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DiffPair<A, B> {
+    /// The first difference.
+    pub first: A,
+    /// The second difference.
+    pub second: B,
+}
+
+impl<A, B> DiffPair<A, B> {
+    /// Creates a pair of differences.
+    pub fn new(first: A, second: B) -> Self {
+        DiffPair { first, second }
+    }
+}
+
+impl<A: Semigroup, B: Semigroup> Semigroup for DiffPair<A, B> {
+    fn plus_equals(&mut self, rhs: &Self) {
+        self.first.plus_equals(&rhs.first);
+        self.second.plus_equals(&rhs.second);
+    }
+    fn is_zero(&self) -> bool {
+        self.first.is_zero() && self.second.is_zero()
+    }
+}
+
+impl<A: Monoid, B: Monoid> Monoid for DiffPair<A, B> {
+    fn zero() -> Self {
+        DiffPair::new(A::zero(), B::zero())
+    }
+}
+
+impl<A: Abelian, B: Abelian> Abelian for DiffPair<A, B> {
+    fn negate(&mut self) {
+        self.first.negate();
+        self.second.negate();
+    }
+}
+
+impl<A: Multiply<isize, Output = A>, B: Multiply<isize, Output = B>> Multiply<isize>
+    for DiffPair<A, B>
+{
+    type Output = DiffPair<A, B>;
+    fn multiply(&self, rhs: &isize) -> Self::Output {
+        DiffPair::new(self.first.multiply(rhs), self.second.multiply(rhs))
+    }
+}
+
+impl Multiply<i64> for isize {
+    type Output = isize;
+    fn multiply(&self, rhs: &i64) -> isize {
+        self * (*rhs as isize)
+    }
+}
+
+impl Multiply<isize> for i64 {
+    type Output = i64;
+    fn multiply(&self, rhs: &isize) -> i64 {
+        self * (*rhs as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_diffs_add_and_cancel() {
+        let mut a = 3isize;
+        a.plus_equals(&-3);
+        assert!(a.is_zero());
+        assert_eq!((-4isize).negated(), 4);
+        assert_eq!(3isize.multiply(&5isize), 15);
+    }
+
+    #[test]
+    fn diff_pair_is_coordinate_wise() {
+        let mut p = DiffPair::new(2isize, -1isize);
+        p.plus_equals(&DiffPair::new(-2, 1));
+        assert!(p.is_zero());
+        let mut q = DiffPair::new(1isize, 2isize);
+        q.negate();
+        assert_eq!(q, DiffPair::new(-1, -2));
+        assert_eq!(
+            DiffPair::new(2isize, 3isize).multiply(&2isize),
+            DiffPair::new(4, 6)
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! `OrdKeyBatch`: the simplified batch representation for key-only collections.
+//!
+//! Collections whose records carry no value (sets of keys, e.g. the `distinct` operator's
+//! inputs and outputs) do not need the two-level key/value navigation of
+//! [`OrdValBatch`](crate::OrdValBatch). The paper calls this out under "Modularity"
+//! (§4.2): the batch implementation can be swapped without rewriting the surrounding
+//! superstructure. This batch stores keys and their `(time, diff)` histories directly,
+//! presenting `()` as the value to keep the [`Cursor`] interface uniform.
+
+use std::sync::Arc;
+
+use crate::cursor::Cursor;
+use crate::description::Description;
+use crate::diff::Semigroup;
+use crate::ord_batch::compact_history;
+use crate::{Batch, BatchReader, Builder, Data, Merger};
+use kpg_timestamp::{Antichain, AntichainRef, Lattice, Timestamp};
+
+/// Columnar storage for an [`OrdKeyBatch`].
+#[derive(Debug)]
+pub struct OrdKeyStorage<K, T, R> {
+    /// Sorted, distinct keys.
+    pub keys: Vec<K>,
+    /// `key_offs[i]..key_offs[i+1]` are the update indices of `keys[i]`.
+    pub key_offs: Vec<usize>,
+    /// `(time, diff)` histories, grouped by key.
+    pub updates: Vec<(T, R)>,
+}
+
+impl<K, T, R> OrdKeyStorage<K, T, R> {
+    fn empty() -> Self {
+        OrdKeyStorage {
+            keys: Vec::new(),
+            key_offs: vec![0],
+            updates: Vec::new(),
+        }
+    }
+}
+
+/// An immutable batch of `(key, time, diff)` updates, indexed by key.
+#[derive(Debug)]
+pub struct OrdKeyBatch<K, T, R> {
+    storage: Arc<OrdKeyStorage<K, T, R>>,
+    description: Description<T>,
+}
+
+impl<K, T: Clone, R> Clone for OrdKeyBatch<K, T, R> {
+    fn clone(&self) -> Self {
+        OrdKeyBatch {
+            storage: Arc::clone(&self.storage),
+            description: self.description.clone(),
+        }
+    }
+}
+
+impl<K: Data, T: Timestamp + Lattice, R: Semigroup> OrdKeyBatch<K, T, R> {
+    /// The shared storage underlying this batch.
+    pub fn storage(&self) -> &OrdKeyStorage<K, T, R> {
+        &self.storage
+    }
+    /// The number of distinct keys in the batch.
+    pub fn key_count(&self) -> usize {
+        self.storage.keys.len()
+    }
+}
+
+impl<K: Data, T: Timestamp + Lattice, R: Semigroup> BatchReader for OrdKeyBatch<K, T, R> {
+    type Key = K;
+    type Val = ();
+    type Time = T;
+    type Diff = R;
+    type Cursor = OrdKeyCursor<K, T, R>;
+
+    fn cursor(&self) -> Self::Cursor {
+        OrdKeyCursor {
+            storage: Arc::clone(&self.storage),
+            key_pos: 0,
+            val_exhausted: false,
+        }
+    }
+    fn len(&self) -> usize {
+        self.storage.updates.len()
+    }
+    fn description(&self) -> &Description<T> {
+        &self.description
+    }
+}
+
+impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Batch for OrdKeyBatch<K, T, R> {
+    type Builder = OrdKeyBuilder<K, T, R>;
+    type Merger = OrdKeyMerger<K, T, R>;
+
+    fn empty(lower: Antichain<T>, upper: Antichain<T>, since: Antichain<T>) -> Self {
+        OrdKeyBatch {
+            storage: Arc::new(OrdKeyStorage::empty()),
+            description: Description::new(lower, upper, since),
+        }
+    }
+
+    fn begin_merge(&self, other: &Self, since: AntichainRef<'_, T>) -> Self::Merger {
+        OrdKeyMerger {
+            key1: 0,
+            key2: 0,
+            result: OrdKeyStorage::empty(),
+            since: since.to_owned(),
+            description: self
+                .description()
+                .merged_with(other.description(), since.to_owned()),
+            complete: false,
+        }
+    }
+}
+
+/// Builds an [`OrdKeyBatch`] from unsorted `(key, (), time, diff)` tuples.
+pub struct OrdKeyBuilder<K, T, R> {
+    buffer: Vec<(K, T, R)>,
+}
+
+impl<K, T, R> Default for OrdKeyBuilder<K, T, R> {
+    fn default() -> Self {
+        OrdKeyBuilder { buffer: Vec::new() }
+    }
+}
+
+impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Builder for OrdKeyBuilder<K, T, R> {
+    type Key = K;
+    type Val = ();
+    type Time = T;
+    type Diff = R;
+    type Output = OrdKeyBatch<K, T, R>;
+
+    fn with_capacity(capacity: usize) -> Self {
+        OrdKeyBuilder {
+            buffer: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn push(&mut self, key: K, _val: (), time: T, diff: R) {
+        self.buffer.push((key, time, diff));
+    }
+
+    fn done(
+        mut self,
+        lower: Antichain<T>,
+        upper: Antichain<T>,
+        since: Antichain<T>,
+    ) -> Self::Output {
+        // As for `OrdValBuilder`: fresh batches keep their original times; compaction to
+        // `since` happens lazily during merges.
+        self.buffer.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+
+        let mut storage = OrdKeyStorage::empty();
+        let mut index = 0;
+        while index < self.buffer.len() {
+            let mut diff = self.buffer[index].2.clone();
+            let mut end = index + 1;
+            while end < self.buffer.len()
+                && self.buffer[end].0 == self.buffer[index].0
+                && self.buffer[end].1 == self.buffer[index].1
+            {
+                diff.plus_equals(&self.buffer[end].2);
+                end += 1;
+            }
+            if !diff.is_zero() {
+                let (key, time, _) = &self.buffer[index];
+                push_key_update(&mut storage, key, time.clone(), diff);
+            }
+            index = end;
+        }
+        seal(&mut storage);
+        OrdKeyBatch {
+            storage: Arc::new(storage),
+            description: Description::new(lower, upper, since),
+        }
+    }
+}
+
+fn push_key_update<K: Data, T, R>(storage: &mut OrdKeyStorage<K, T, R>, key: &K, time: T, diff: R) {
+    if storage.keys.last() != Some(key) {
+        if !storage.keys.is_empty() {
+            storage.key_offs.push(storage.updates.len());
+        }
+        storage.keys.push(key.clone());
+    }
+    storage.updates.push((time, diff));
+}
+
+fn seal<K, T, R>(storage: &mut OrdKeyStorage<K, T, R>) {
+    if !storage.keys.is_empty() {
+        storage.key_offs.push(storage.updates.len());
+    }
+    debug_assert_eq!(storage.key_offs.len(), storage.keys.len() + 1);
+}
+
+/// A fuel-based, resumable merger of two [`OrdKeyBatch`]es.
+pub struct OrdKeyMerger<K, T, R> {
+    key1: usize,
+    key2: usize,
+    result: OrdKeyStorage<K, T, R>,
+    since: Antichain<T>,
+    description: Description<T>,
+    complete: bool,
+}
+
+impl<K: Data, T: Timestamp + Lattice, R: Semigroup> OrdKeyMerger<K, T, R> {
+    fn copy_key(&mut self, source: &OrdKeyStorage<K, T, R>, key_idx: usize) -> usize {
+        let key = &source.keys[key_idx];
+        let lo = source.key_offs[key_idx];
+        let hi = source.key_offs[key_idx + 1];
+        let mut history: Vec<(T, R)> = source.updates[lo..hi].to_vec();
+        let work = history.len();
+        compact_history(&mut history, self.since.borrow());
+        for (time, diff) in history {
+            push_key_update(&mut self.result, key, time, diff);
+        }
+        work
+    }
+
+    fn merge_key(&mut self, source1: &OrdKeyStorage<K, T, R>, source2: &OrdKeyStorage<K, T, R>) -> usize {
+        let key = source1.keys[self.key1].clone();
+        let mut history: Vec<(T, R)> = Vec::new();
+        history.extend_from_slice(
+            &source1.updates[source1.key_offs[self.key1]..source1.key_offs[self.key1 + 1]],
+        );
+        history.extend_from_slice(
+            &source2.updates[source2.key_offs[self.key2]..source2.key_offs[self.key2 + 1]],
+        );
+        let work = history.len();
+        compact_history(&mut history, self.since.borrow());
+        for (time, diff) in history {
+            push_key_update(&mut self.result, &key, time, diff);
+        }
+        work
+    }
+}
+
+impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Merger<OrdKeyBatch<K, T, R>>
+    for OrdKeyMerger<K, T, R>
+{
+    fn work(&mut self, source1: &OrdKeyBatch<K, T, R>, source2: &OrdKeyBatch<K, T, R>, fuel: &mut isize) {
+        let storage1 = source1.storage();
+        let storage2 = source2.storage();
+        while *fuel > 0 && !self.complete {
+            let have1 = self.key1 < storage1.keys.len();
+            let have2 = self.key2 < storage2.keys.len();
+            let work = match (have1, have2) {
+                (false, false) => {
+                    self.complete = true;
+                    0
+                }
+                (true, false) => {
+                    let w = self.copy_key(storage1, self.key1);
+                    self.key1 += 1;
+                    w
+                }
+                (false, true) => {
+                    let w = self.copy_key(storage2, self.key2);
+                    self.key2 += 1;
+                    w
+                }
+                (true, true) => match storage1.keys[self.key1].cmp(&storage2.keys[self.key2]) {
+                    std::cmp::Ordering::Less => {
+                        let w = self.copy_key(storage1, self.key1);
+                        self.key1 += 1;
+                        w
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let w = self.copy_key(storage2, self.key2);
+                        self.key2 += 1;
+                        w
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let w = self.merge_key(storage1, storage2);
+                        self.key1 += 1;
+                        self.key2 += 1;
+                        w
+                    }
+                },
+            };
+            *fuel -= work.max(1) as isize;
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    fn done(mut self, _s1: &OrdKeyBatch<K, T, R>, _s2: &OrdKeyBatch<K, T, R>) -> OrdKeyBatch<K, T, R> {
+        assert!(self.complete, "merge extracted before completion");
+        seal(&mut self.result);
+        OrdKeyBatch {
+            storage: Arc::new(self.result),
+            description: self.description,
+        }
+    }
+}
+
+/// A cursor over an [`OrdKeyBatch`], presenting `()` as the single value of each key.
+pub struct OrdKeyCursor<K, T, R> {
+    storage: Arc<OrdKeyStorage<K, T, R>>,
+    key_pos: usize,
+    val_exhausted: bool,
+}
+
+impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Cursor for OrdKeyCursor<K, T, R> {
+    type Key = K;
+    type Val = ();
+    type Time = T;
+    type Diff = R;
+
+    fn key_valid(&self) -> bool {
+        self.key_pos < self.storage.keys.len()
+    }
+    fn val_valid(&self) -> bool {
+        self.key_valid() && !self.val_exhausted
+    }
+    fn key(&self) -> &K {
+        &self.storage.keys[self.key_pos]
+    }
+    fn val(&self) -> &() {
+        &()
+    }
+    fn map_times(&mut self, mut logic: impl FnMut(&T, &R)) {
+        if self.val_valid() {
+            let lo = self.storage.key_offs[self.key_pos];
+            let hi = self.storage.key_offs[self.key_pos + 1];
+            for (time, diff) in &self.storage.updates[lo..hi] {
+                logic(time, diff);
+            }
+        }
+    }
+    fn step_key(&mut self) {
+        if self.key_valid() {
+            self.key_pos += 1;
+            self.val_exhausted = false;
+        }
+    }
+    fn seek_key(&mut self, key: &K) {
+        let remaining = &self.storage.keys[self.key_pos..];
+        self.key_pos += remaining.partition_point(|k| k < key);
+        self.val_exhausted = false;
+    }
+    fn step_val(&mut self) {
+        self.val_exhausted = true;
+    }
+    fn seek_val(&mut self, _val: &()) {}
+    fn rewind_keys(&mut self) {
+        self.key_pos = 0;
+        self.val_exhausted = false;
+    }
+    fn rewind_vals(&mut self) {
+        self.val_exhausted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::cursor_to_updates;
+
+    #[test]
+    fn key_batch_builds_and_navigates() {
+        let mut builder = OrdKeyBuilder::with_capacity(4);
+        builder.push(3u64, (), 0u64, 1isize);
+        builder.push(1, (), 0, 1);
+        builder.push(3, (), 1, -1);
+        builder.push(1, (), 0, 1);
+        let batch = builder.done(
+            Antichain::from_elem(0),
+            Antichain::from_elem(2),
+            Antichain::from_elem(0),
+        );
+        let mut cursor = batch.cursor();
+        let updates = cursor_to_updates(&mut cursor);
+        assert_eq!(updates, vec![(1, (), 0, 2), (3, (), 0, 1), (3, (), 1, -1)]);
+
+        let mut cursor = batch.cursor();
+        cursor.seek_key(&2);
+        assert_eq!(*cursor.key(), 3);
+    }
+
+    #[test]
+    fn key_batch_merge_cancels() {
+        let mut b1 = OrdKeyBuilder::with_capacity(2);
+        b1.push(1u64, (), 0u64, 1isize);
+        b1.push(2, (), 0, 1);
+        let batch1 = b1.done(
+            Antichain::from_elem(0),
+            Antichain::from_elem(1),
+            Antichain::from_elem(0),
+        );
+        let mut b2 = OrdKeyBuilder::with_capacity(1);
+        b2.push(1u64, (), 1u64, -1isize);
+        let batch2 = b2.done(
+            Antichain::from_elem(1),
+            Antichain::from_elem(2),
+            Antichain::from_elem(0),
+        );
+        let mut merger = batch1.begin_merge(&batch2, AntichainRef::new(&[5u64]));
+        let mut fuel = isize::MAX;
+        merger.work(&batch1, &batch2, &mut fuel);
+        let merged = merger.done(&batch1, &batch2);
+        let mut cursor = merged.cursor();
+        assert_eq!(cursor_to_updates(&mut cursor), vec![(2, (), 5, 1)]);
+    }
+}

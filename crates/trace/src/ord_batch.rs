@@ -1,0 +1,669 @@
+//! `OrdValBatch`: an immutable batch of updates indexed by key, then value.
+//!
+//! The storage is columnar: a sorted vector of keys, offsets into a vector of values, and
+//! offsets into a flat vector of `(time, diff)` updates. Batches are wrapped in an `Arc`
+//! so the batch stream and every trace reader share the same underlying memory (paper
+//! §4.2, "Shared references").
+
+use std::sync::Arc;
+
+use crate::cursor::Cursor;
+use crate::description::Description;
+use crate::diff::Semigroup;
+use crate::{Batch, BatchReader, Builder, Data, Merger};
+use kpg_timestamp::{Antichain, AntichainRef, Lattice, Timestamp};
+
+/// Columnar storage for an [`OrdValBatch`].
+#[derive(Debug)]
+pub struct OrdValStorage<K, V, T, R> {
+    /// Sorted, distinct keys.
+    pub keys: Vec<K>,
+    /// `key_offs[i]..key_offs[i+1]` are the value indices of `keys[i]`.
+    pub key_offs: Vec<usize>,
+    /// Values, grouped by key and sorted within each key.
+    pub vals: Vec<V>,
+    /// `val_offs[j]..val_offs[j+1]` are the update indices of `vals[j]`.
+    pub val_offs: Vec<usize>,
+    /// `(time, diff)` histories, grouped by value.
+    pub updates: Vec<(T, R)>,
+}
+
+impl<K, V, T, R> OrdValStorage<K, V, T, R> {
+    fn empty() -> Self {
+        OrdValStorage {
+            keys: Vec::new(),
+            key_offs: vec![0],
+            vals: Vec::new(),
+            val_offs: vec![0],
+            updates: Vec::new(),
+        }
+    }
+}
+
+/// An immutable batch of `(key, val, time, diff)` updates, indexed by key then value.
+#[derive(Debug)]
+pub struct OrdValBatch<K, V, T, R> {
+    storage: Arc<OrdValStorage<K, V, T, R>>,
+    description: Description<T>,
+}
+
+impl<K, V, T, R> Clone for OrdValBatch<K, V, T, R>
+where
+    T: Clone,
+{
+    fn clone(&self) -> Self {
+        OrdValBatch {
+            storage: Arc::clone(&self.storage),
+            description: self.description.clone(),
+        }
+    }
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> OrdValBatch<K, V, T, R> {
+    /// The shared storage underlying this batch.
+    pub fn storage(&self) -> &OrdValStorage<K, V, T, R> {
+        &self.storage
+    }
+
+    /// The number of distinct keys in the batch.
+    pub fn key_count(&self) -> usize {
+        self.storage.keys.len()
+    }
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> BatchReader for OrdValBatch<K, V, T, R> {
+    type Key = K;
+    type Val = V;
+    type Time = T;
+    type Diff = R;
+    type Cursor = OrdValCursor<K, V, T, R>;
+
+    fn cursor(&self) -> Self::Cursor {
+        OrdValCursor::new(Arc::clone(&self.storage))
+    }
+    fn len(&self) -> usize {
+        self.storage.updates.len()
+    }
+    fn description(&self) -> &Description<T> {
+        &self.description
+    }
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> Batch for OrdValBatch<K, V, T, R> {
+    type Builder = OrdValBuilder<K, V, T, R>;
+    type Merger = OrdValMerger<K, V, T, R>;
+
+    fn empty(lower: Antichain<T>, upper: Antichain<T>, since: Antichain<T>) -> Self {
+        OrdValBatch {
+            storage: Arc::new(OrdValStorage::empty()),
+            description: Description::new(lower, upper, since),
+        }
+    }
+
+    fn begin_merge(&self, other: &Self, since: AntichainRef<'_, T>) -> Self::Merger {
+        OrdValMerger::new(self, other, since.to_owned())
+    }
+}
+
+/// Builds an [`OrdValBatch`] from unsorted update tuples.
+pub struct OrdValBuilder<K, V, T, R> {
+    buffer: Vec<(K, V, T, R)>,
+}
+
+impl<K, V, T, R> Default for OrdValBuilder<K, V, T, R> {
+    fn default() -> Self {
+        OrdValBuilder { buffer: Vec::new() }
+    }
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> Builder for OrdValBuilder<K, V, T, R> {
+    type Key = K;
+    type Val = V;
+    type Time = T;
+    type Diff = R;
+    type Output = OrdValBatch<K, V, T, R>;
+
+    fn with_capacity(capacity: usize) -> Self {
+        OrdValBuilder {
+            buffer: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn push(&mut self, key: K, val: V, time: T, diff: R) {
+        self.buffer.push((key, val, time, diff));
+    }
+
+    fn done(
+        mut self,
+        lower: Antichain<T>,
+        upper: Antichain<T>,
+        since: Antichain<T>,
+    ) -> Self::Output {
+        // Freshly minted batches keep their original times: the `since` frontier records
+        // how far accumulations are valid, but times are only advanced lazily, during
+        // merges. Advancing here would re-timestamp the live batch stream that operator
+        // shells (and loop feedback paths) consume.
+        self.buffer
+            .sort_by(|a, b| (&a.0, &a.1, &a.2).cmp(&(&b.0, &b.1, &b.2)));
+
+        let mut storage = OrdValStorage::empty();
+        let mut index = 0;
+        while index < self.buffer.len() {
+            // Accumulate a run of identical (key, val, time).
+            let mut diff = self.buffer[index].3.clone();
+            let mut end = index + 1;
+            while end < self.buffer.len()
+                && self.buffer[end].0 == self.buffer[index].0
+                && self.buffer[end].1 == self.buffer[index].1
+                && self.buffer[end].2 == self.buffer[index].2
+            {
+                diff.plus_equals(&self.buffer[end].3);
+                end += 1;
+            }
+            if !diff.is_zero() {
+                let (key, val, time, _) = &self.buffer[index];
+                push_update(&mut storage, key, val, time.clone(), diff);
+            }
+            index = end;
+        }
+        seal(&mut storage);
+        OrdValBatch {
+            storage: Arc::new(storage),
+            description: Description::new(lower, upper, since),
+        }
+    }
+}
+
+/// Appends one consolidated update to storage under construction, opening new key/value
+/// groups as needed. Requires updates to arrive in `(key, val, time)` order.
+fn push_update<K: Data, V: Data, T: Timestamp, R: Semigroup>(
+    storage: &mut OrdValStorage<K, V, T, R>,
+    key: &K,
+    val: &V,
+    time: T,
+    diff: R,
+) {
+    let new_key = storage.keys.last() != Some(key);
+    if new_key {
+        // Seal the previous key's value range.
+        if !storage.keys.is_empty() {
+            storage.key_offs.push(storage.vals.len());
+        }
+        storage.keys.push(key.clone());
+    }
+    // Within a key, updates arrive sorted by value, so an equal trailing value means the
+    // same (key, val) group; an equal trailing value under a *different* key is covered by
+    // `new_key`.
+    let new_val = new_key || storage.vals.last() != Some(val);
+    if new_val {
+        if !storage.vals.is_empty() {
+            storage.val_offs.push(storage.updates.len());
+        }
+        storage.vals.push(val.clone());
+    }
+    storage.updates.push((time, diff));
+}
+
+/// Seals the trailing offset vectors once all updates have been pushed.
+fn seal<K, V, T, R>(storage: &mut OrdValStorage<K, V, T, R>) {
+    if !storage.vals.is_empty() {
+        storage.val_offs.push(storage.updates.len());
+    }
+    if !storage.keys.is_empty() {
+        storage.key_offs.push(storage.vals.len());
+    }
+    debug_assert_eq!(storage.key_offs.len(), storage.keys.len() + 1);
+    debug_assert_eq!(storage.val_offs.len(), storage.vals.len() + 1);
+}
+
+/// A fuel-based, resumable merger of two [`OrdValBatch`]es.
+pub struct OrdValMerger<K, V, T, R> {
+    key1: usize,
+    key2: usize,
+    result: OrdValStorage<K, V, T, R>,
+    since: Antichain<T>,
+    description: Description<T>,
+    complete: bool,
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> OrdValMerger<K, V, T, R> {
+    fn new(batch1: &OrdValBatch<K, V, T, R>, batch2: &OrdValBatch<K, V, T, R>, since: Antichain<T>) -> Self {
+        let description = batch1
+            .description()
+            .merged_with(batch2.description(), since.clone());
+        OrdValMerger {
+            key1: 0,
+            key2: 0,
+            result: OrdValStorage::empty(),
+            since,
+            description,
+            complete: false,
+        }
+    }
+
+    /// Copies the key at `key_idx` of `source`, compacting its times to `self.since`.
+    /// Returns the amount of work performed (updates touched).
+    fn copy_key(&mut self, source: &OrdValStorage<K, V, T, R>, key_idx: usize) -> usize {
+        let mut work = 0;
+        let key = &source.keys[key_idx];
+        let val_lo = source.key_offs[key_idx];
+        let val_hi = source.key_offs[key_idx + 1];
+        for val_idx in val_lo..val_hi {
+            let val = &source.vals[val_idx];
+            let upd_lo = source.val_offs[val_idx];
+            let upd_hi = source.val_offs[val_idx + 1];
+            let mut history: Vec<(T, R)> = source.updates[upd_lo..upd_hi].to_vec();
+            work += history.len();
+            compact_history(&mut history, self.since.borrow());
+            for (time, diff) in history {
+                push_update(&mut self.result, key, val, time, diff);
+            }
+        }
+        work
+    }
+
+    /// Merges the key present at `key1` in `source1` and `key2` in `source2` (same key).
+    fn merge_key(
+        &mut self,
+        source1: &OrdValStorage<K, V, T, R>,
+        source2: &OrdValStorage<K, V, T, R>,
+    ) -> usize {
+        let mut work = 0;
+        let key = source1.keys[self.key1].clone();
+        let (mut v1, v1_hi) = (
+            source1.key_offs[self.key1],
+            source1.key_offs[self.key1 + 1],
+        );
+        let (mut v2, v2_hi) = (
+            source2.key_offs[self.key2],
+            source2.key_offs[self.key2 + 1],
+        );
+        while v1 < v1_hi || v2 < v2_hi {
+            let take_from = if v1 >= v1_hi {
+                2
+            } else if v2 >= v2_hi {
+                1
+            } else {
+                match source1.vals[v1].cmp(&source2.vals[v2]) {
+                    std::cmp::Ordering::Less => 1,
+                    std::cmp::Ordering::Greater => 2,
+                    std::cmp::Ordering::Equal => 0,
+                }
+            };
+            let mut history: Vec<(T, R)> = Vec::new();
+            let val = match take_from {
+                1 => {
+                    let val = source1.vals[v1].clone();
+                    history.extend_from_slice(
+                        &source1.updates[source1.val_offs[v1]..source1.val_offs[v1 + 1]],
+                    );
+                    v1 += 1;
+                    val
+                }
+                2 => {
+                    let val = source2.vals[v2].clone();
+                    history.extend_from_slice(
+                        &source2.updates[source2.val_offs[v2]..source2.val_offs[v2 + 1]],
+                    );
+                    v2 += 1;
+                    val
+                }
+                _ => {
+                    let val = source1.vals[v1].clone();
+                    history.extend_from_slice(
+                        &source1.updates[source1.val_offs[v1]..source1.val_offs[v1 + 1]],
+                    );
+                    history.extend_from_slice(
+                        &source2.updates[source2.val_offs[v2]..source2.val_offs[v2 + 1]],
+                    );
+                    v1 += 1;
+                    v2 += 1;
+                    val
+                }
+            };
+            work += history.len();
+            compact_history(&mut history, self.since.borrow());
+            for (time, diff) in history {
+                push_update(&mut self.result, &key, &val, time, diff);
+            }
+        }
+        work
+    }
+}
+
+/// Advances every time in `history` to `since` and consolidates equal times, dropping
+/// zero diffs. This is the per-value unit of compaction performed during merges.
+pub(crate) fn compact_history<T: Timestamp + Lattice, R: Semigroup>(
+    history: &mut Vec<(T, R)>,
+    since: AntichainRef<'_, T>,
+) {
+    if !since.is_empty() {
+        for (time, _) in history.iter_mut() {
+            time.advance_by(since);
+        }
+    }
+    history.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut write = 0;
+    let mut read = 0;
+    while read < history.len() {
+        let mut end = read + 1;
+        while end < history.len() && history[end].0 == history[read].0 {
+            end += 1;
+        }
+        let (head, tail) = history.split_at_mut(read + 1);
+        for other in &tail[..end - read - 1] {
+            head[read].1.plus_equals(&other.1);
+        }
+        if !history[read].1.is_zero() {
+            history.swap(write, read);
+            write += 1;
+        }
+        read = end;
+    }
+    history.truncate(write);
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> Merger<OrdValBatch<K, V, T, R>>
+    for OrdValMerger<K, V, T, R>
+{
+    fn work(
+        &mut self,
+        source1: &OrdValBatch<K, V, T, R>,
+        source2: &OrdValBatch<K, V, T, R>,
+        fuel: &mut isize,
+    ) {
+        let storage1 = source1.storage();
+        let storage2 = source2.storage();
+        while *fuel > 0 && !self.complete {
+            let have1 = self.key1 < storage1.keys.len();
+            let have2 = self.key2 < storage2.keys.len();
+            let work = match (have1, have2) {
+                (false, false) => {
+                    self.complete = true;
+                    0
+                }
+                (true, false) => {
+                    let w = self.copy_key(storage1, self.key1);
+                    self.key1 += 1;
+                    w
+                }
+                (false, true) => {
+                    let w = self.copy_key(storage2, self.key2);
+                    self.key2 += 1;
+                    w
+                }
+                (true, true) => match storage1.keys[self.key1].cmp(&storage2.keys[self.key2]) {
+                    std::cmp::Ordering::Less => {
+                        let w = self.copy_key(storage1, self.key1);
+                        self.key1 += 1;
+                        w
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let w = self.copy_key(storage2, self.key2);
+                        self.key2 += 1;
+                        w
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let w = self.merge_key(storage1, storage2);
+                        self.key1 += 1;
+                        self.key2 += 1;
+                        w
+                    }
+                },
+            };
+            // Each key costs at least one unit so empty batches still complete promptly.
+            *fuel -= work.max(1) as isize;
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    fn done(
+        mut self,
+        _source1: &OrdValBatch<K, V, T, R>,
+        _source2: &OrdValBatch<K, V, T, R>,
+    ) -> OrdValBatch<K, V, T, R> {
+        assert!(self.complete, "merge extracted before completion");
+        seal(&mut self.result);
+        OrdValBatch {
+            storage: Arc::new(self.result),
+            description: self.description,
+        }
+    }
+}
+
+/// A cursor over an [`OrdValBatch`].
+pub struct OrdValCursor<K, V, T, R> {
+    storage: Arc<OrdValStorage<K, V, T, R>>,
+    key_pos: usize,
+    val_pos: usize,
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> OrdValCursor<K, V, T, R> {
+    fn new(storage: Arc<OrdValStorage<K, V, T, R>>) -> Self {
+        OrdValCursor {
+            storage,
+            key_pos: 0,
+            val_pos: 0,
+        }
+    }
+
+    fn val_bounds(&self) -> (usize, usize) {
+        (
+            self.storage.key_offs[self.key_pos],
+            self.storage.key_offs[self.key_pos + 1],
+        )
+    }
+
+    fn reset_vals(&mut self) {
+        if self.key_valid() {
+            self.val_pos = self.storage.key_offs[self.key_pos];
+        }
+    }
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> Cursor for OrdValCursor<K, V, T, R> {
+    type Key = K;
+    type Val = V;
+    type Time = T;
+    type Diff = R;
+
+    fn key_valid(&self) -> bool {
+        self.key_pos < self.storage.keys.len()
+    }
+    fn val_valid(&self) -> bool {
+        self.key_valid() && self.val_pos < self.val_bounds().1
+    }
+    fn key(&self) -> &K {
+        &self.storage.keys[self.key_pos]
+    }
+    fn val(&self) -> &V {
+        &self.storage.vals[self.val_pos]
+    }
+    fn map_times(&mut self, mut logic: impl FnMut(&T, &R)) {
+        if self.val_valid() {
+            let lo = self.storage.val_offs[self.val_pos];
+            let hi = self.storage.val_offs[self.val_pos + 1];
+            for (time, diff) in &self.storage.updates[lo..hi] {
+                logic(time, diff);
+            }
+        }
+    }
+    fn step_key(&mut self) {
+        if self.key_valid() {
+            self.key_pos += 1;
+            self.reset_vals();
+        }
+    }
+    fn seek_key(&mut self, key: &K) {
+        let remaining = &self.storage.keys[self.key_pos..];
+        self.key_pos += remaining.partition_point(|k| k < key);
+        self.reset_vals();
+    }
+    fn step_val(&mut self) {
+        if self.val_valid() {
+            self.val_pos += 1;
+        }
+    }
+    fn seek_val(&mut self, val: &V) {
+        if self.key_valid() {
+            let (lo, hi) = self.val_bounds();
+            let start = self.val_pos.max(lo);
+            let remaining = &self.storage.vals[start..hi];
+            self.val_pos = start + remaining.partition_point(|v| v < val);
+        }
+    }
+    fn rewind_keys(&mut self) {
+        self.key_pos = 0;
+        self.reset_vals();
+    }
+    fn rewind_vals(&mut self) {
+        self.reset_vals();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::cursor_to_updates;
+
+    fn batch_from(
+        updates: Vec<(u64, &'static str, u64, isize)>,
+        upper: u64,
+    ) -> OrdValBatch<u64, &'static str, u64, isize> {
+        let mut builder = OrdValBuilder::with_capacity(updates.len());
+        for (k, v, t, r) in updates {
+            builder.push(k, v, t, r);
+        }
+        builder.done(
+            Antichain::from_elem(0),
+            Antichain::from_elem(upper),
+            Antichain::from_elem(0),
+        )
+    }
+
+    #[test]
+    fn builder_sorts_and_consolidates() {
+        let batch = batch_from(
+            vec![
+                (2, "b", 0, 1),
+                (1, "a", 0, 1),
+                (1, "a", 0, 2),
+                (1, "z", 1, 1),
+                (3, "c", 0, 1),
+                (3, "c", 0, -1),
+            ],
+            2,
+        );
+        let mut cursor = batch.cursor();
+        let updates = cursor_to_updates(&mut cursor);
+        assert_eq!(
+            updates,
+            vec![
+                (1, "a", 0, 3),
+                (1, "z", 1, 1),
+                (2, "b", 0, 1),
+            ]
+        );
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.key_count(), 2);
+    }
+
+    #[test]
+    fn cursor_seeks_keys_and_vals() {
+        let batch = batch_from(
+            vec![
+                (1, "a", 0, 1),
+                (1, "b", 0, 1),
+                (5, "a", 0, 1),
+                (9, "x", 0, 1),
+            ],
+            1,
+        );
+        let mut cursor = batch.cursor();
+        cursor.seek_key(&4);
+        assert!(cursor.key_valid());
+        assert_eq!(*cursor.key(), 5);
+        cursor.seek_key(&9);
+        assert_eq!(*cursor.key(), 9);
+        cursor.seek_key(&10);
+        assert!(!cursor.key_valid());
+
+        let mut cursor = batch.cursor();
+        cursor.seek_val(&"b");
+        assert_eq!(*cursor.val(), "b");
+        cursor.rewind_vals();
+        assert_eq!(*cursor.val(), "a");
+    }
+
+    #[test]
+    fn same_value_under_different_keys() {
+        let batch = batch_from(vec![(1, "a", 0, 1), (2, "a", 0, 1)], 1);
+        let mut cursor = batch.cursor();
+        let updates = cursor_to_updates(&mut cursor);
+        assert_eq!(updates, vec![(1, "a", 0, 1), (2, "a", 0, 1)]);
+        assert_eq!(batch.key_count(), 2);
+    }
+
+    #[test]
+    fn merge_combines_and_cancels() {
+        let batch1 = batch_from(vec![(1, "a", 0, 1), (2, "b", 0, 1)], 1);
+        let mut builder = OrdValBuilder::with_capacity(2);
+        builder.push(1, "a", 1, -1);
+        builder.push(3, "c", 1, 1);
+        let batch2 = builder.done(
+            Antichain::from_elem(1),
+            Antichain::from_elem(2),
+            Antichain::from_elem(0),
+        );
+
+        // Merge with a since of 1: the (1,"a") history becomes +1 at 1 and -1 at 1 = zero.
+        let mut merger = batch1.begin_merge(&batch2, AntichainRef::new(&[1u64]));
+        let mut fuel = isize::MAX;
+        merger.work(&batch1, &batch2, &mut fuel);
+        assert!(merger.is_complete());
+        let merged = merger.done(&batch1, &batch2);
+        let mut cursor = merged.cursor();
+        let updates = cursor_to_updates(&mut cursor);
+        assert_eq!(updates, vec![(2, "b", 1, 1), (3, "c", 1, 1)]);
+        assert_eq!(merged.description().lower().elements(), &[0]);
+        assert_eq!(merged.description().upper().elements(), &[2]);
+    }
+
+    #[test]
+    fn merge_respects_fuel() {
+        let batch1 = batch_from((0..100).map(|i| (i, "a", 0, 1isize)).collect(), 1);
+        let mut builder = OrdValBuilder::with_capacity(100);
+        for i in 0..100u64 {
+            builder.push(i, "b", 1, 1isize);
+        }
+        let batch2 = builder.done(
+            Antichain::from_elem(1),
+            Antichain::from_elem(2),
+            Antichain::from_elem(0),
+        );
+        let mut merger = batch1.begin_merge(&batch2, AntichainRef::new(&[0u64]));
+        let mut fuel = 10isize;
+        merger.work(&batch1, &batch2, &mut fuel);
+        assert!(!merger.is_complete());
+        assert!(fuel <= 0);
+        let mut fuel = isize::MAX;
+        merger.work(&batch1, &batch2, &mut fuel);
+        assert!(merger.is_complete());
+        let merged = merger.done(&batch1, &batch2);
+        assert_eq!(merged.len(), 200);
+    }
+
+    #[test]
+    fn empty_batch_has_no_keys() {
+        let batch = OrdValBatch::<u64, u64, u64, isize>::empty(
+            Antichain::from_elem(0),
+            Antichain::from_elem(0),
+            Antichain::from_elem(0),
+        );
+        assert!(batch.is_empty());
+        assert!(!batch.cursor().key_valid());
+    }
+}

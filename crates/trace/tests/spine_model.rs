@@ -1,0 +1,138 @@
+//! Model-based property tests: a `Spine` must accumulate exactly like a naive list of
+//! updates, before and after compaction, for arbitrary update sequences.
+
+use kpg_timestamp::{Antichain, AntichainRef, PartialOrder};
+use kpg_trace::cursor::Cursor;
+use kpg_trace::ord_batch::{OrdValBatch, OrdValBuilder};
+use kpg_trace::{Builder, MergeEffort, Spine};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Key = u8;
+type Val = u8;
+type TimeT = u64;
+
+/// Accumulate a naive update list at `time` for every (key, val).
+fn naive_accumulate(
+    updates: &[(Key, Val, TimeT, isize)],
+    upto: TimeT,
+) -> BTreeMap<(Key, Val), isize> {
+    let mut result = BTreeMap::new();
+    for (k, v, t, r) in updates {
+        if (*t).less_equal(&upto) {
+            *result.entry((*k, *v)).or_insert(0) += *r;
+        }
+    }
+    result.retain(|_, r| *r != 0);
+    result
+}
+
+/// Accumulate the spine's cursor at `time` for every (key, val).
+fn spine_accumulate(
+    spine: &Spine<OrdValBatch<Key, Val, TimeT, isize>>,
+    upto: TimeT,
+) -> BTreeMap<(Key, Val), isize> {
+    let mut result = BTreeMap::new();
+    let mut cursor = spine.cursor();
+    while cursor.key_valid() {
+        while cursor.val_valid() {
+            let key = *cursor.key();
+            let val = *cursor.val();
+            let mut sum = 0isize;
+            cursor.map_times(|t, r| {
+                if t.less_equal(&upto) {
+                    sum += *r;
+                }
+            });
+            if sum != 0 {
+                result.insert((key, val), sum);
+            }
+            cursor.step_val();
+        }
+        cursor.step_key();
+    }
+    result
+}
+
+fn build_spine(
+    epochs: &[Vec<(Key, Val, isize)>],
+    effort: MergeEffort,
+    compaction: Option<TimeT>,
+) -> (Spine<OrdValBatch<Key, Val, TimeT, isize>>, Vec<(Key, Val, TimeT, isize)>) {
+    let mut spine = Spine::new(effort);
+    let mut all_updates = Vec::new();
+    for (epoch, changes) in epochs.iter().enumerate() {
+        let time = epoch as TimeT;
+        let mut builder = OrdValBuilder::with_capacity(changes.len());
+        for (k, v, r) in changes {
+            builder.push(*k, *v, time, *r);
+            all_updates.push((*k, *v, time, *r));
+        }
+        let batch = builder.done(
+            Antichain::from_elem(time),
+            Antichain::from_elem(time + 1),
+            Antichain::from_elem(0),
+        );
+        spine.insert(batch);
+        if let Some(since) = compaction {
+            if time >= since {
+                spine.set_logical_compaction(AntichainRef::new(&[since]));
+            }
+        }
+    }
+    (spine, all_updates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Without compaction, the spine accumulates identically to the naive model at every
+    /// probe time, regardless of merge effort.
+    #[test]
+    fn spine_matches_naive_model(
+        epochs in prop::collection::vec(
+            prop::collection::vec((0u8..8, 0u8..4, -2isize..3), 0..8),
+            1..12,
+        ),
+        effort_idx in 0usize..3,
+        probe in 0u64..12,
+    ) {
+        let effort = [MergeEffort::Eager, MergeEffort::Default, MergeEffort::Lazy][effort_idx];
+        let (spine, updates) = build_spine(&epochs, effort, None);
+        prop_assert_eq!(spine_accumulate(&spine, probe), naive_accumulate(&updates, probe));
+    }
+
+    /// With the logical compaction frontier advanced to `since`, accumulations at times at
+    /// or beyond `since` are still exact.
+    #[test]
+    fn spine_compaction_preserves_accumulations_beyond_since(
+        epochs in prop::collection::vec(
+            prop::collection::vec((0u8..8, 0u8..4, -2isize..3), 0..8),
+            2..12,
+        ),
+        since in 0u64..6,
+        probe_offset in 0u64..8,
+    ) {
+        let (spine, updates) = build_spine(&epochs, MergeEffort::Eager, Some(since));
+        let probe = since + probe_offset;
+        prop_assert_eq!(spine_accumulate(&spine, probe), naive_accumulate(&updates, probe));
+    }
+
+    /// The spine never holds more updates than were inserted (consolidation only shrinks),
+    /// and its layer count stays logarithmic.
+    #[test]
+    fn spine_is_compact(
+        epochs in prop::collection::vec(
+            prop::collection::vec((0u8..4, 0u8..2, -1isize..2), 0..6),
+            1..40,
+        ),
+    ) {
+        let (mut spine, updates) = build_spine(&epochs, MergeEffort::Default, None);
+        prop_assert!(spine.len() <= updates.len());
+        for _ in 0..32 { spine.exert(1 << 12); }
+        let non_empty = updates.len().max(2);
+        let bound = 4 * (non_empty as f64).log2().ceil() as usize + 4;
+        prop_assert!(spine.layer_count() <= bound,
+            "{} layers for {} updates", spine.layer_count(), updates.len());
+    }
+}

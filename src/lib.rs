@@ -1,0 +1,33 @@
+//! # Shared Arrangements (K-Pg) — umbrella crate
+//!
+//! This crate re-exports the public API of the reproduction of *Shared Arrangements:
+//! practical inter-query sharing for streaming dataflows* (VLDB 2020). The heavy lifting
+//! lives in the workspace crates:
+//!
+//! * [`timestamp`] — partially ordered timestamps, lattices, antichains, compaction.
+//! * [`trace`] — immutable indexed batches, cursors, and the amortized-merging spine
+//!   that backs every arrangement.
+//! * [`dataflow`] — the multi-worker dataflow runtime (workers, exchange channels,
+//!   epoch/round-synchronous progress tracking).
+//! * [`core`](mod@core) — differential collections, the `arrange` operator, and the
+//!   batch-oriented operator shells (`join`, `reduce`, `distinct`, `count`, `iterate`).
+//! * [`relational`], [`graph`], [`datalog`] — the workloads used by the paper's
+//!   evaluation (TPC-H-like analytics, graph processing, Datalog / program analysis).
+//!
+//! The fastest way to get started is the `examples/quickstart.rs` binary, which builds
+//! the paper's reachability dataflow (Figure 1) and interactively updates it.
+
+pub use kpg_core as core;
+pub use kpg_dataflow as dataflow;
+pub use kpg_datalog as datalog;
+pub use kpg_graph as graph;
+pub use kpg_relational as relational;
+pub use kpg_timestamp as timestamp;
+pub use kpg_trace as trace;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use kpg_core::prelude::*;
+    pub use kpg_dataflow::{execute, Config, InputHandle, ProbeHandle, Worker};
+    pub use kpg_timestamp::{Antichain, Lattice, PartialOrder, Time, Timestamp};
+}
