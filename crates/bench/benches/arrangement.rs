@@ -1,8 +1,12 @@
-//! Criterion microbenchmarks for the arrangement substrate: batch building, spine
-//! insertion with the three merge-effort settings, cursor navigation, and the cursor
-//! merge used by the join operator. These complement the end-to-end harness binaries.
+//! Microbenchmarks for the arrangement substrate: batch building, spine insertion with
+//! the three merge-effort settings, cursor navigation, and the seek pattern used by the
+//! join operator. These complement the end-to-end harness binaries.
+//!
+//! Runs as a plain `harness = false` benchmark (no external benchmarking framework):
+//! `cargo bench -p kpg_bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
 use kpg_timestamp::Antichain;
 use kpg_trace::cursor::Cursor;
 use kpg_trace::ord_batch::{OrdValBatch, OrdValBuilder};
@@ -22,75 +26,84 @@ fn build_batch(keys: u64, time: u64) -> TestBatch {
     )
 }
 
-fn bench_batch_builder(c: &mut Criterion) {
-    c.bench_function("batch_build_10k", |b| {
-        b.iter(|| build_batch(10_000, 0));
-    });
+/// Times `iters` runs of `body` (after one warmup) and prints mean latency per run.
+fn bench<T>(name: &str, iters: usize, mut body: impl FnMut() -> T) {
+    let sink = body();
+    std::hint::black_box(&sink);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(body());
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:<32} {iters:>5} iters  {:>12.3?} total  {:>12.3?}/iter",
+        total,
+        total / iters as u32
+    );
 }
 
-fn bench_spine_insert(c: &mut Criterion) {
+fn bench_batch_builder() {
+    bench("batch_build_10k", 10, || build_batch(10_000, 0));
+}
+
+fn bench_spine_insert() {
+    // Built once outside the timed region (batch handles are cheap shared clones), so
+    // the three merge-effort settings are compared on insertion cost alone.
+    let batches = (0..100u64)
+        .map(|t| build_batch(1_000, t))
+        .collect::<Vec<_>>();
     for (label, effort) in [
         ("eager", MergeEffort::Eager),
         ("default", MergeEffort::Default),
         ("lazy", MergeEffort::Lazy),
     ] {
-        c.bench_function(&format!("spine_insert_100x1k_{label}"), |b| {
-            b.iter_batched(
-                || (0..100u64).map(|t| build_batch(1_000, t)).collect::<Vec<_>>(),
-                |batches| {
-                    let mut spine = Spine::new(effort);
-                    for batch in batches {
-                        spine.insert(batch);
-                    }
-                    spine.len()
-                },
-                BatchSize::SmallInput,
-            );
+        bench(&format!("spine_insert_100x1k_{label}"), 10, || {
+            let mut spine = Spine::new(effort);
+            for batch in batches.iter().cloned() {
+                spine.insert(batch);
+            }
+            spine.len()
         });
     }
 }
 
-fn bench_cursor_scan(c: &mut Criterion) {
+fn bench_cursor_scan() {
     let mut spine = Spine::new(MergeEffort::Default);
     for t in 0..64u64 {
         spine.insert(build_batch(2_000, t));
     }
-    c.bench_function("cursor_scan_spine", |b| {
-        b.iter(|| {
-            let mut cursor = spine.cursor();
-            let mut count = 0usize;
-            while cursor.key_valid() {
-                while cursor.val_valid() {
-                    cursor.map_times(|_, _| count += 1);
-                    cursor.step_val();
-                }
-                cursor.step_key();
+    bench("cursor_scan_spine", 10, || {
+        let mut cursor = spine.cursor();
+        let mut count = 0usize;
+        while cursor.key_valid() {
+            while cursor.val_valid() {
+                cursor.map_times(|_, _| count += 1);
+                cursor.step_val();
             }
-            count
-        });
+            cursor.step_key();
+        }
+        count
     });
 }
 
-fn bench_cursor_seek(c: &mut Criterion) {
+fn bench_cursor_seek() {
     let batch = build_batch(100_000, 0);
-    c.bench_function("cursor_seek_1k_keys", |b| {
-        b.iter(|| {
-            let mut cursor = batch.cursor();
-            let mut found = 0usize;
-            for key in (0..100_000u64).step_by(100) {
-                cursor.seek_key(&key);
-                if cursor.key_valid() {
-                    found += 1;
-                }
+    bench("cursor_seek_1k_keys", 100, || {
+        let mut cursor = batch.cursor();
+        let mut found = 0usize;
+        for key in (0..100_000u64).step_by(100) {
+            cursor.seek_key(&key);
+            if cursor.key_valid() {
+                found += 1;
             }
-            found
-        });
+        }
+        found
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_batch_builder, bench_spine_insert, bench_cursor_scan, bench_cursor_seek
-);
-criterion_main!(benches);
+fn main() {
+    bench_batch_builder();
+    bench_spine_insert();
+    bench_cursor_scan();
+    bench_cursor_seek();
+}

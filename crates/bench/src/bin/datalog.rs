@@ -8,8 +8,7 @@ use kpg_core::prelude::*;
 use kpg_dataflow::Time;
 use kpg_datalog::programs::{same_generation, tc_from, tc_to, transitive_closure};
 use kpg_datalog::Edge;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kpg_timestamp::rng::SmallRng;
 
 fn run_batch(
     name: &str,
@@ -66,7 +65,7 @@ fn interactive_tc(edges: Vec<Edge>, nodes: u32, queries: usize, reverse: bool) -
         worker.step_while(|| probe.less_than(&Time::from_epoch(epoch)));
 
         let mut recorder = LatencyRecorder::new();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..queries {
             let seed = rng.gen_range(0..nodes);
             seeds_in.insert(seed);
@@ -92,12 +91,20 @@ fn main() {
     let gnp = kpg_datalog::generate::gnp((600.0 * scale) as u32, (1_800.0 * scale) as usize, 4);
 
     println!("# Table 11 analogue: batch Datalog evaluation");
-    let inputs: Vec<(&str, Vec<Edge>)> =
-        vec![("tree", tree.clone()), ("grid", grid.clone()), ("gnp", gnp.clone())];
+    let inputs: Vec<(&str, Vec<Edge>)> = vec![
+        ("tree", tree.clone()),
+        ("grid", grid.clone()),
+        ("gnp", gnp.clone()),
+    ];
     for (name, edges) in &inputs {
         let mut workers = 1;
         while workers <= max_workers {
-            run_batch(&format!("tc({name})"), edges.clone(), workers, &transitive_closure);
+            run_batch(
+                &format!("tc({name})"),
+                edges.clone(),
+                workers,
+                &transitive_closure,
+            );
             workers *= 2;
         }
     }
@@ -105,7 +112,9 @@ fn main() {
         run_batch(&format!("sg({name})"), edges.clone(), 1, &same_generation);
     }
 
-    println!("\n# Table 2 analogue: interactive top-down queries (median/max of {queries} queries)");
+    println!(
+        "\n# Table 2 analogue: interactive top-down queries (median/max of {queries} queries)"
+    );
     println!("query\tgraph\tmedian (ms)\tmax (ms)\tfull eval (s)");
     for (name, edges) in &inputs {
         let nodes = edges.iter().map(|(s, d)| s.max(d) + 1).max().unwrap_or(1);

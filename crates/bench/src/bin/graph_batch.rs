@@ -26,7 +26,14 @@ fn run_differential(edges: Vec<Edge>, workers: usize) -> (f64, f64, f64, f64) {
                 let reach_probe = reachability(&edge_coll, &roots).probe();
                 let bfs_probe = bfs_distances(&edge_coll, &roots).probe();
                 let wcc_probe = connected_components(&edge_coll).probe();
-                (edges_in, roots_in, index_probe, reach_probe, bfs_probe, wcc_probe)
+                (
+                    edges_in,
+                    roots_in,
+                    index_probe,
+                    reach_probe,
+                    bfs_probe,
+                    wcc_probe,
+                )
             });
         for (index, edge) in edges.iter().enumerate() {
             if index % worker.peers() == worker.index() {
@@ -73,7 +80,11 @@ fn main() {
 
     for (name, edges) in graphs {
         let nodes = edges.iter().map(|(s, d)| s.max(d) + 1).max().unwrap_or(1);
-        println!("\n# Table 7/8/9 analogue: {name} — {} nodes, {} edges", nodes, edges.len());
+        println!(
+            "\n# Table 7/8/9 analogue: {name} — {} nodes, {} edges",
+            nodes,
+            edges.len()
+        );
         println!("system\tworkers\tindex (s)\treach (s)\tbfs (s)\twcc (s)");
 
         // Single-threaded baselines.

@@ -33,8 +33,7 @@ fn dataflow_analysis(variables: u32, seed: u64, retractions: usize) -> (f64, Lat
         let mut epoch = 1u64;
         assign_in.advance_to(epoch);
         null_in.advance_to(epoch);
-        let (_, full) =
-            timed(|| worker.step_while(|| probe.less_than(&Time::from_epoch(epoch))));
+        let (_, full) = timed(|| worker.step_while(|| probe.less_than(&Time::from_epoch(epoch))));
 
         // Retract null sources one at a time, measuring each correction latency.
         let mut recorder = LatencyRecorder::new();
@@ -59,7 +58,8 @@ fn points_to_analysis(variables: u32, seed: u64, materialise_alias: bool) -> f64
                 let (a_in, assignments) = new_collection::<Edge, isize>(builder);
                 let (o_in, allocations) = new_collection::<Edge, isize>(builder);
                 let (d_in, dereferences) = new_collection::<Edge, isize>(builder);
-                let result = points_to(&assignments, &allocations, &dereferences, materialise_alias);
+                let result =
+                    points_to(&assignments, &allocations, &dereferences, materialise_alias);
                 (a_in, o_in, d_in, result.probe())
             });
             for e in graph.assignments.iter() {

@@ -10,8 +10,7 @@
 use kpg_bench::{arg_usize, timed, LatencyRecorder};
 use kpg_core::prelude::*;
 use kpg_dataflow::Time;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kpg_timestamp::rng::SmallRng;
 
 /// Drives an arrangement of `keys` 64-bit identifiers with `updates_per_round` changes
 /// per round for `rounds` rounds, recording per-round completion latency.
@@ -30,7 +29,7 @@ fn drive_arrangement(
                 .arrange_by_key_named("MicroArrange", effort);
             (input, arranged.probe())
         });
-        let mut rng = StdRng::seed_from_u64(worker.index() as u64);
+        let mut rng = SmallRng::seed_from_u64(worker.index() as u64);
         let mut recorder = LatencyRecorder::new();
         let mut epoch = 0u64;
         for _ in 0..rounds {
@@ -59,7 +58,7 @@ fn throughput(workers: usize, keys: u64, total_updates: usize) -> f64 {
                 let counted = collection.count();
                 (input, counted.probe())
             });
-            let mut rng = StdRng::seed_from_u64(worker.index() as u64);
+            let mut rng = SmallRng::seed_from_u64(worker.index() as u64);
             let share = total_updates / worker.peers().max(1);
             let batch = 10_000.min(share.max(1));
             let mut sent = 0;
@@ -145,8 +144,13 @@ fn main() {
     println!("\n# Figure 6c: latency CCDF vs workers (load proportional to workers)");
     let mut workers = 1;
     while workers <= max_workers {
-        let recorder =
-            drive_arrangement(workers, keys * workers as u64, 4_000 * workers, rounds, MergeEffort::Default);
+        let recorder = drive_arrangement(
+            workers,
+            keys * workers as u64,
+            4_000 * workers,
+            rounds,
+            MergeEffort::Default,
+        );
         recorder.print_ccdf(&format!("weak-{workers}"));
         workers *= 2;
     }

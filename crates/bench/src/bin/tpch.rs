@@ -111,7 +111,10 @@ fn main() {
         println!("q{query}\t1.0x\t{:.1}x", scaled / base);
     }
 
-    println!("\n## Table 5: streaming rates with logical batches of {} rows", (rows / 10).max(1));
+    println!(
+        "\n## Table 5: streaming rates with logical batches of {} rows",
+        (rows / 10).max(1)
+    );
     println!("query\tw=1 rows/s\tw={max_workers} rows/s");
     let logical = (rows / 10).max(1);
     for &query in IMPLEMENTED {

@@ -40,6 +40,7 @@ pub type KeyBatch<K, R = Diff> = OrdKeyBatch<K, Time, R>;
 pub struct TraceBox<B: Batch<Time = Time>> {
     spine: Spine<B>,
     reader_sinces: Vec<Option<Antichain<Time>>>,
+    free_slots: Vec<usize>,
     queues: Vec<Weak<RefCell<VecDeque<B>>>>,
 }
 
@@ -48,6 +49,7 @@ impl<B: Batch<Time = Time>> TraceBox<B> {
         TraceBox {
             spine: Spine::new(effort),
             reader_sinces: Vec::new(),
+            free_slots: Vec::new(),
             queues: Vec::new(),
         }
     }
@@ -64,8 +66,32 @@ impl<B: Batch<Time = Time>> TraceBox<B> {
     }
 
     fn register_reader(&mut self, since: Antichain<Time>) -> usize {
-        self.reader_sinces.push(Some(since));
-        self.reader_sinces.len() - 1
+        // Reuse the slot of a departed reader if one is free, so that long-lived workers
+        // cycling through many short-lived handles don't grow the table unboundedly.
+        match self.free_slots.pop() {
+            Some(slot) => {
+                debug_assert!(self.reader_sinces[slot].is_none());
+                self.reader_sinces[slot] = Some(since);
+                slot
+            }
+            None => {
+                self.reader_sinces.push(Some(since));
+                self.reader_sinces.len() - 1
+            }
+        }
+    }
+
+    /// Clears a departed reader's slot, frees it for reuse, and lets the spine compact
+    /// past the frontier the reader was pinning.
+    fn deregister_reader(&mut self, slot: usize) {
+        self.reader_sinces[slot] = None;
+        self.free_slots.push(slot);
+        self.recompute_compaction();
+    }
+
+    /// The number of currently registered readers.
+    fn reader_count(&self) -> usize {
+        self.reader_sinces.iter().flatten().count()
     }
 
     fn recompute_compaction(&mut self) {
@@ -153,6 +179,18 @@ impl<B: Batch<Time = Time>> TraceAgent<B> {
         self.boxed.borrow().spine.batch_count()
     }
 
+    /// The number of live read handles (including this one) registered on the trace.
+    pub fn reader_count(&self) -> usize {
+        self.boxed.borrow().reader_count()
+    }
+
+    /// The capacity of the reader table, counting free slots awaiting reuse.
+    ///
+    /// Exposed so tests can check that reader churn does not grow the table unboundedly.
+    pub fn reader_slot_capacity(&self) -> usize {
+        self.boxed.borrow().reader_sinces.len()
+    }
+
     /// Inserts a batch into the trace directly.
     ///
     /// This is how operators that maintain their own output arrangement (notably
@@ -180,7 +218,7 @@ impl<B: Batch<Time = Time>> TraceAgent<B> {
         let emitted_upper = Antichain::from_elem(Time::minimum());
         let operator = ImportOperator {
             queue,
-            _trace: trace.clone(),
+            trace: trace.clone(),
             initial: Some(initial),
             emitted_upper,
         };
@@ -191,6 +229,18 @@ impl<B: Batch<Time = Time>> TraceAgent<B> {
             depth: 0,
             trace,
         }
+    }
+}
+
+impl<B: Batch<Time = Time>> std::fmt::Debug for TraceAgent<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceAgent")
+            .field("len", &self.len())
+            .field("batches", &self.batch_count())
+            .field("since", &self.since())
+            .field("upper", &self.upper())
+            .field("readers", &self.reader_count())
+            .finish()
     }
 }
 
@@ -212,9 +262,7 @@ impl<B: Batch<Time = Time>> Clone for TraceAgent<B> {
 
 impl<B: Batch<Time = Time>> Drop for TraceAgent<B> {
     fn drop(&mut self) {
-        let mut boxed = self.boxed.borrow_mut();
-        boxed.reader_sinces[self.slot] = None;
-        boxed.recompute_compaction();
+        self.boxed.borrow_mut().deregister_reader(self.slot);
     }
 }
 
@@ -278,6 +326,7 @@ impl<B: Batch<Time = Time>> Arranged<B> {
 }
 
 /// The arrange operator: batches and indexes updates as the input frontier advances.
+#[allow(clippy::type_complexity)]
 struct ArrangeOperator<D, B, S>
 where
     B: Batch<Time = Time>,
@@ -371,7 +420,7 @@ where
 /// Replays a shared trace into another dataflow: history first, then live batches.
 struct ImportOperator<B: Batch<Time = Time>> {
     queue: Rc<RefCell<VecDeque<B>>>,
-    _trace: TraceAgent<B>,
+    trace: TraceAgent<B>,
     initial: Option<Vec<B>>,
     emitted_upper: Antichain<Time>,
 }
@@ -403,6 +452,14 @@ impl<B: Batch<Time = Time> + 'static> Operator for ImportOperator<B> {
                 None => break,
             }
         }
+        if did {
+            // Everything before the emitted upper has been forwarded downstream as
+            // shared batches; this handle no longer needs to distinguish those times,
+            // so release them for compaction rather than pinning the trace's history
+            // for as long as the importing dataflow lives.
+            self.trace
+                .set_logical_compaction(self.emitted_upper.borrow());
+        }
         did
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
@@ -431,7 +488,8 @@ where
         "AsCollection"
     }
     fn recv(&mut self, _port: usize, payload: BundleBox) {
-        self.pending.push(downcast_payload::<B>(payload, "AsCollection"));
+        self.pending
+            .push(downcast_payload::<B>(payload, "AsCollection"));
     }
     fn work(&mut self, output: &mut OutputContext<'_>) -> bool {
         if self.pending.is_empty() {
@@ -443,7 +501,8 @@ where
             while cursor.key_valid() {
                 while cursor.val_valid() {
                     let data = (self.logic)(cursor.key(), cursor.val());
-                    cursor.map_times(|time, diff| updates.push((data.clone(), *time, diff.clone())));
+                    cursor
+                        .map_times(|time, diff| updates.push((data.clone(), *time, diff.clone())));
                     cursor.step_val();
                 }
                 cursor.step_key();
@@ -456,9 +515,11 @@ where
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
     fn capabilities(&self) -> Antichain<Time> {
-        Antichain::from_iter(self.pending.iter().flat_map(|batch| {
-            batch.description().lower().elements().iter().copied()
-        }))
+        Antichain::from_iter(
+            self.pending
+                .iter()
+                .flat_map(|batch| batch.description().lower().elements().iter().copied()),
+        )
     }
 }
 

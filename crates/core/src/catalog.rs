@@ -1,0 +1,526 @@
+//! The arrangement catalog and the query-session lifecycle (paper §4.3, §6.2).
+//!
+//! The paper's headline capability is *interactive* sharing: a system that keeps serving
+//! standing queries while new queries are installed mid-stream against already-maintained
+//! indexes, and while old queries are retired without leaking the resources they pinned.
+//! This module is that capability's public API:
+//!
+//! * [`Catalog`] — a per-worker registry of named, type-erased arrangements. Producers
+//!   [`publish`](Catalog::publish) an arrangement's trace under a name; consumers
+//!   [`lookup`](Catalog::lookup) it by name (recovering the concrete batch type) and
+//!   [`import`](Catalog::import) it into their own dataflow. The erasure layer
+//!   ([`AnyTrace`]) lets one catalog hold `OrdKeyBatch` and `OrdValBatch` traces of any
+//!   key/value type side by side, while lookups remain fully type-checked.
+//! * [`QueryLifecycle`] — the install/uninstall extension on [`Worker`]:
+//!   [`install_query`](QueryLifecycle::install_query) builds a named dataflow whose
+//!   closure receives the catalog (so it can look up shared arrangements and publish new
+//!   ones), and [`uninstall_query`](QueryLifecycle::uninstall_query) retires the
+//!   dataflow from the scheduler, drops every trace handle its operators held, and
+//!   unpublishes what it published — so the shared spines can compact past the departed
+//!   reader's frontier. A reader that is never retired pins trace history exactly the way
+//!   a pinned snapshot bloats an LSM-tree; uninstall is the API that prevents it.
+//!
+//! ```no_run
+//! use kpg_core::prelude::*;
+//!
+//! execute(Config::new(1), |worker| {
+//!     let catalog = Catalog::new();
+//!     // Publish the graph once...
+//!     let (mut edges, probe) = worker.install("graph", |builder| {
+//!         let (input, edges) = new_collection::<(u32, u32), isize>(builder);
+//!         let arranged = edges.arrange_by_key();
+//!         catalog.publish("edges", &arranged).unwrap();
+//!         (input, arranged.probe())
+//!     });
+//!     // ...then install queries against it by name, and retire them when done.
+//!     let degrees = worker
+//!         .install_query("degrees", &catalog, |builder, catalog| {
+//!             let edges = catalog
+//!                 .import::<ValBatch<u32, u32>>("edges", builder)
+//!                 .unwrap();
+//!             edges.as_collection(|k, _| *k).probe()
+//!         })
+//!         .unwrap();
+//!     let _ = (&mut edges, probe, degrees);
+//!     worker.uninstall_query("degrees", &catalog);
+//! });
+//! ```
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use kpg_dataflow::{DataflowBuilder, Time, Worker};
+use kpg_timestamp::{Antichain, AntichainRef};
+use kpg_trace::Batch;
+
+use crate::arrange::{Arranged, TraceAgent};
+
+/// A type-erased, named view of a shared trace: the dynamic face of a
+/// [`TraceAgent`] that lets one catalog hold arrangements of heterogeneous key, value,
+/// and batch types.
+///
+/// The erased surface carries exactly what name-based administration needs — frontier
+/// inspection, read-frontier advancement, and size accounting — while
+/// [`Catalog::lookup`] recovers the concrete `TraceAgent<B>` for actual reading.
+pub trait AnyTrace {
+    /// The handle as `Any`, for checked downcasts to a concrete `TraceAgent<B>`.
+    fn as_any(&self) -> &dyn Any;
+    /// The concrete type's name, for diagnostics and mismatch errors.
+    fn trace_type(&self) -> &'static str;
+    /// The trace's compaction frontier.
+    fn since(&self) -> Antichain<Time>;
+    /// The upper frontier of updates the trace has absorbed.
+    fn upper(&self) -> Antichain<Time>;
+    /// The number of updates currently held.
+    fn len(&self) -> usize;
+    /// True iff the trace currently holds no updates.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The number of live read handles on the trace.
+    fn reader_count(&self) -> usize;
+    /// Advances this handle's read frontier, permitting compaction.
+    fn advance_since(&mut self, frontier: AntichainRef<'_, Time>);
+}
+
+impl<B: Batch<Time = Time> + 'static> AnyTrace for TraceAgent<B> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn trace_type(&self) -> &'static str {
+        std::any::type_name::<TraceAgent<B>>()
+    }
+    fn since(&self) -> Antichain<Time> {
+        TraceAgent::since(self)
+    }
+    fn upper(&self) -> Antichain<Time> {
+        TraceAgent::upper(self)
+    }
+    fn len(&self) -> usize {
+        TraceAgent::len(self)
+    }
+    fn reader_count(&self) -> usize {
+        TraceAgent::reader_count(self)
+    }
+    fn advance_since(&mut self, frontier: AntichainRef<'_, Time>) {
+        self.set_logical_compaction(frontier);
+    }
+}
+
+/// Why a catalog operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A publish used a name that is already bound.
+    NameTaken(String),
+    /// A lookup named an arrangement that is not in the catalog.
+    NotFound(String),
+    /// A lookup asked for a different trace type than the name is bound to.
+    TypeMismatch {
+        /// The name looked up.
+        name: String,
+        /// The type the lookup requested.
+        requested: &'static str,
+        /// The type the catalog actually holds under the name.
+        held: &'static str,
+    },
+    /// An install reused the name of a live query.
+    QueryExists(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::NameTaken(name) => {
+                write!(f, "an arrangement named {name:?} is already published")
+            }
+            CatalogError::NotFound(name) => {
+                write!(f, "no arrangement named {name:?} is published")
+            }
+            CatalogError::TypeMismatch {
+                name,
+                requested,
+                held,
+            } => write!(
+                f,
+                "arrangement {name:?} holds {held}, but {requested} was requested"
+            ),
+            CatalogError::QueryExists(name) => {
+                write!(f, "a query named {name:?} is already installed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+struct CatalogEntry {
+    trace: Box<dyn AnyTrace>,
+    /// The query that published this entry (`None` for entries published outside any
+    /// `install_query` closure). Uninstalling a query unpublishes its entries.
+    publisher: Option<String>,
+}
+
+#[derive(Default)]
+struct CatalogInner {
+    entries: HashMap<String, CatalogEntry>,
+    /// The name of the query currently being installed, if an `install_query` closure is
+    /// on the stack; publishes made inside it are tagged as owned by that query.
+    installing: Option<String>,
+}
+
+/// A per-worker registry of named, type-erased arrangements.
+///
+/// The catalog is a cheaply clonable handle onto shared state, so the same catalog can
+/// be moved into `install_query` closures and still be used from the worker's main loop.
+/// Each published entry holds its own [`TraceAgent`] — a real reader with a read
+/// frontier — so a published trace stays importable even after the publishing dataflow's
+/// other handles are gone. Advance the catalog's readers with
+/// [`advance_all`](Catalog::advance_all) (or drop entries) to let spines compact.
+pub struct Catalog {
+    inner: Rc<RefCell<CatalogInner>>,
+}
+
+impl Clone for Catalog {
+    fn clone(&self) -> Self {
+        Catalog {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            inner: Rc::new(RefCell::new(CatalogInner::default())),
+        }
+    }
+
+    /// Publishes an arrangement's trace under `name`.
+    ///
+    /// The catalog registers its own read handle on the trace (cloned from the
+    /// arrangement's), so the published entry remains live and importable independent of
+    /// the handle it was published from.
+    pub fn publish<B: Batch<Time = Time> + 'static>(
+        &self,
+        name: &str,
+        arranged: &Arranged<B>,
+    ) -> Result<(), CatalogError> {
+        self.publish_trace(name, &arranged.trace)
+    }
+
+    /// Publishes a trace handle under `name`. See [`Catalog::publish`].
+    pub fn publish_trace<B: Batch<Time = Time> + 'static>(
+        &self,
+        name: &str,
+        trace: &TraceAgent<B>,
+    ) -> Result<(), CatalogError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.entries.contains_key(name) {
+            return Err(CatalogError::NameTaken(name.to_string()));
+        }
+        let publisher = inner.installing.clone();
+        inner.entries.insert(
+            name.to_string(),
+            CatalogEntry {
+                trace: Box::new(trace.clone()),
+                publisher,
+            },
+        );
+        Ok(())
+    }
+
+    /// Looks up the arrangement published under `name`, recovering its concrete batch
+    /// type. Returns a fresh read handle (with its own read frontier) onto the shared
+    /// trace.
+    pub fn lookup<B: Batch<Time = Time> + 'static>(
+        &self,
+        name: &str,
+    ) -> Result<TraceAgent<B>, CatalogError> {
+        let inner = self.inner.borrow();
+        let entry = inner
+            .entries
+            .get(name)
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
+        entry
+            .trace
+            .as_any()
+            .downcast_ref::<TraceAgent<B>>()
+            .cloned()
+            .ok_or_else(|| CatalogError::TypeMismatch {
+                name: name.to_string(),
+                requested: std::any::type_name::<TraceAgent<B>>(),
+                held: entry.trace.trace_type(),
+            })
+    }
+
+    /// Looks up `name` and imports it into `builder`'s dataflow: the shorthand for the
+    /// paper's attach-a-new-query-to-existing-state operation.
+    pub fn import<B: Batch<Time = Time> + 'static>(
+        &self,
+        name: &str,
+        builder: &mut DataflowBuilder,
+    ) -> Result<Arranged<B>, CatalogError> {
+        Ok(self.lookup::<B>(name)?.import(builder))
+    }
+
+    /// Removes the entry under `name`, dropping the catalog's read handle on it.
+    /// Returns false if no such entry exists.
+    pub fn unpublish(&self, name: &str) -> bool {
+        self.inner.borrow_mut().entries.remove(name).is_some()
+    }
+
+    /// True iff an arrangement is published under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.borrow().entries.contains_key(name)
+    }
+
+    /// The published names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.borrow().entries.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The number of published arrangements.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().entries.len()
+    }
+
+    /// True iff nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().entries.is_empty()
+    }
+
+    /// The compaction frontier of the trace published under `name`.
+    pub fn since(&self, name: &str) -> Result<Antichain<Time>, CatalogError> {
+        self.with_entry(name, |entry| entry.trace.since())
+    }
+
+    /// The upper frontier of the trace published under `name`.
+    pub fn upper(&self, name: &str) -> Result<Antichain<Time>, CatalogError> {
+        self.with_entry(name, |entry| entry.trace.upper())
+    }
+
+    /// The number of updates held by the trace published under `name` (the paper's
+    /// memory-footprint proxy).
+    pub fn arrangement_size(&self, name: &str) -> Result<usize, CatalogError> {
+        self.with_entry(name, |entry| entry.trace.len())
+    }
+
+    /// The total number of updates held across all published traces.
+    pub fn total_size(&self) -> usize {
+        self.inner
+            .borrow()
+            .entries
+            .values()
+            .map(|entry| entry.trace.len())
+            .sum()
+    }
+
+    /// Advances the read frontier of every published entry to `frontier`, releasing the
+    /// history no future reader can distinguish — the catalog-wide analogue of advancing
+    /// a single handle's `since`, and the hygiene that keeps shared spines compact as
+    /// the computation moves forward.
+    pub fn advance_all(&self, frontier: AntichainRef<'_, Time>) {
+        let mut inner = self.inner.borrow_mut();
+        for entry in inner.entries.values_mut() {
+            entry.trace.advance_since(frontier);
+        }
+    }
+
+    fn with_entry<T>(
+        &self,
+        name: &str,
+        logic: impl FnOnce(&CatalogEntry) -> T,
+    ) -> Result<T, CatalogError> {
+        let inner = self.inner.borrow();
+        inner
+            .entries
+            .get(name)
+            .map(logic)
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))
+    }
+
+    /// Marks `query` as the publisher of everything published until `end_install`.
+    fn begin_install(&self, query: &str) {
+        self.inner.borrow_mut().installing = Some(query.to_string());
+    }
+
+    fn end_install(&self) {
+        self.inner.borrow_mut().installing = None;
+    }
+
+    /// Unpublishes every entry `query` published, returning how many were removed.
+    fn retract_query(&self, query: &str) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let before = inner.entries.len();
+        inner
+            .entries
+            .retain(|_, entry| entry.publisher.as_deref() != Some(query));
+        before - inner.entries.len()
+    }
+}
+
+/// A handle onto an installed query: its name, its dataflow's index, and whatever
+/// handles (probes, inputs, captures) the install closure returned.
+pub struct QueryHandle<R> {
+    name: String,
+    dataflow: usize,
+    /// The handles returned by the install closure.
+    pub result: R,
+}
+
+impl<R> QueryHandle<R> {
+    /// The name the query was installed under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The index of the query's dataflow within the worker.
+    pub fn dataflow_index(&self) -> usize {
+        self.dataflow
+    }
+}
+
+/// The query-session lifecycle: installing and retiring named queries against a
+/// [`Catalog`] of shared arrangements.
+///
+/// Implemented for [`Worker`]; see the module docs for the end-to-end shape.
+pub trait QueryLifecycle {
+    /// Installs a new named query dataflow. The closure receives the dataflow builder
+    /// and the catalog; arrangements it publishes are tagged as owned by this query and
+    /// are unpublished again when the query is uninstalled.
+    ///
+    /// Returns a [`QueryHandle`] wrapping whatever the closure returned, or
+    /// [`CatalogError::QueryExists`] if the name is already installed. As with
+    /// [`Worker::dataflow`], every worker must install the same queries in the same
+    /// order.
+    fn install_query<R>(
+        &mut self,
+        name: &str,
+        catalog: &Catalog,
+        logic: impl FnOnce(&mut DataflowBuilder, &Catalog) -> R,
+    ) -> Result<QueryHandle<R>, CatalogError>;
+
+    /// Retires the named query: removes its dataflow from the scheduler, drops every
+    /// trace handle its operators registered (so shared spines can compact past its
+    /// reads), and unpublishes the arrangements it published. Returns false if no such
+    /// query is installed.
+    fn uninstall_query(&mut self, name: &str, catalog: &Catalog) -> bool;
+}
+
+impl QueryLifecycle for Worker {
+    fn install_query<R>(
+        &mut self,
+        name: &str,
+        catalog: &Catalog,
+        logic: impl FnOnce(&mut DataflowBuilder, &Catalog) -> R,
+    ) -> Result<QueryHandle<R>, CatalogError> {
+        if self.installed_index(name).is_some() {
+            return Err(CatalogError::QueryExists(name.to_string()));
+        }
+        let dataflow = self.dataflow_count();
+        catalog.begin_install(name);
+        let result = self.install(name, |builder| logic(builder, catalog));
+        catalog.end_install();
+        Ok(QueryHandle {
+            name: name.to_string(),
+            dataflow,
+            result,
+        })
+    }
+
+    fn uninstall_query(&mut self, name: &str, catalog: &Catalog) -> bool {
+        catalog.retract_query(name);
+        self.uninstall(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrange::{KeyBatch, ValBatch};
+    use kpg_trace::MergeEffort;
+
+    #[test]
+    fn publish_lookup_roundtrip() {
+        let catalog = Catalog::new();
+        let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
+        catalog.publish_trace("edges", &trace).unwrap();
+        assert!(catalog.contains("edges"));
+        assert_eq!(catalog.names(), vec!["edges".to_string()]);
+        let looked = catalog.lookup::<ValBatch<u32, u32>>("edges").unwrap();
+        assert_eq!(looked.len(), 0);
+    }
+
+    #[test]
+    fn lookup_reports_missing_and_mismatched_types() {
+        let catalog = Catalog::new();
+        let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
+        catalog.publish_trace("edges", &trace).unwrap();
+        assert_eq!(
+            catalog.lookup::<ValBatch<u32, u32>>("nodes").unwrap_err(),
+            CatalogError::NotFound("nodes".to_string())
+        );
+        match catalog.lookup::<KeyBatch<u64>>("edges").unwrap_err() {
+            CatalogError::TypeMismatch {
+                name,
+                requested,
+                held,
+            } => {
+                assert_eq!(name, "edges");
+                assert!(requested.contains("OrdKeyBatch"));
+                assert!(held.contains("OrdValBatch"));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let catalog = Catalog::new();
+        let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
+        catalog.publish_trace("edges", &trace).unwrap();
+        assert_eq!(
+            catalog.publish_trace("edges", &trace).unwrap_err(),
+            CatalogError::NameTaken("edges".to_string())
+        );
+        assert!(catalog.unpublish("edges"));
+        catalog.publish_trace("edges", &trace).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_types_share_one_catalog() {
+        let catalog = Catalog::new();
+        let by_key = TraceAgent::<ValBatch<u32, String>>::new(MergeEffort::Default);
+        let by_self = TraceAgent::<KeyBatch<(u64, u64)>>::new(MergeEffort::Default);
+        catalog.publish_trace("profiles", &by_key).unwrap();
+        catalog.publish_trace("pairs", &by_self).unwrap();
+        assert_eq!(catalog.len(), 2);
+        catalog.lookup::<ValBatch<u32, String>>("profiles").unwrap();
+        catalog.lookup::<KeyBatch<(u64, u64)>>("pairs").unwrap();
+    }
+
+    #[test]
+    fn catalog_holds_its_own_reader() {
+        let catalog = Catalog::new();
+        let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
+        assert_eq!(trace.reader_count(), 1);
+        catalog.publish_trace("edges", &trace).unwrap();
+        assert_eq!(trace.reader_count(), 2);
+        drop(trace);
+        // The published entry keeps the trace alive and importable.
+        let looked = catalog.lookup::<ValBatch<u32, u32>>("edges").unwrap();
+        assert_eq!(looked.reader_count(), 2);
+    }
+}

@@ -78,8 +78,11 @@ impl<D: Data, R: Semigroup> Collection<D, R> {
         logic: impl FnMut(UpdateVec<D, R>) -> UpdateVec<D2, R2> + 'static,
     ) -> Collection<D2, R2> {
         let mut builder = self.builder.clone();
-        let node =
-            builder.add_operator_with_transform(Box::new(StatelessUnary::new(name, logic)), 1, transform);
+        let node = builder.add_operator_with_transform(
+            Box::new(StatelessUnary::new(name, logic)),
+            1,
+            transform,
+        );
         builder.connect(self.node, node, 0);
         Collection::from_node(builder, node, self.depth)
     }
@@ -113,7 +116,10 @@ impl<D: Data, R: Semigroup> Collection<D, R> {
     /// Retains only the records satisfying `predicate`.
     pub fn filter(&self, mut predicate: impl FnMut(&D) -> bool + 'static) -> Collection<D, R> {
         self.unary("Filter", move |buffer| {
-            buffer.into_iter().filter(|(d, _, _)| predicate(d)).collect()
+            buffer
+                .into_iter()
+                .filter(|(d, _, _)| predicate(d))
+                .collect()
         })
     }
 

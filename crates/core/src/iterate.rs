@@ -32,7 +32,7 @@ impl<D: Data, R: Abelian> Variable<D, R> {
     pub fn new_from(source: &Collection<D, R>) -> Self {
         let depth = source.depth();
         assert!(
-            depth >= 1 && depth < kpg_timestamp::time::MAX_DEPTH,
+            (1..kpg_timestamp::time::MAX_DEPTH).contains(&depth),
             "variables must live inside an iteration scope (depth 1 or 2)"
         );
         let mut builder = source.builder().clone();
@@ -113,9 +113,7 @@ impl<D: Data, R: Abelian> Collection<D, R> {
 ///
 /// This is a convenience for Datalog-style mutual recursion: each variable `i` starts as
 /// `sources[i]` and is later `set` to its rule body.
-pub fn mutual_variables<D: Data, R: Abelian>(
-    sources: &[Collection<D, R>],
-) -> Vec<Variable<D, R>> {
+pub fn mutual_variables<D: Data, R: Abelian>(sources: &[Collection<D, R>]) -> Vec<Variable<D, R>> {
     sources.iter().map(Variable::new_from).collect()
 }
 

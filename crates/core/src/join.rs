@@ -125,28 +125,40 @@ where
         // New batches from input 1 joined against the full shared trace of input 2.
         if let Some(trace2) = self.trace2.as_ref() {
             for batch in new1.iter() {
-                join_cursors(batch.cursor(), trace2.cursor(), |k, v1, v2, t1, r1, t2, r2| {
-                    results.push(((self.logic)(k, v1, v2), t1.join(t2), r1.multiply(r2)));
-                });
+                join_cursors(
+                    batch.cursor(),
+                    trace2.cursor(),
+                    |k, v1, v2, t1, r1, t2, r2| {
+                        results.push(((self.logic)(k, v1, v2), t1.join(t2), r1.multiply(r2)));
+                    },
+                );
             }
         }
         // New batches from input 2 joined against the full shared trace of input 1.
         if let Some(trace1) = self.trace1.as_ref() {
             for batch in new2.iter() {
-                join_cursors(trace1.cursor(), batch.cursor(), |k, v1, v2, t1, r1, t2, r2| {
-                    results.push(((self.logic)(k, v1, v2), t1.join(t2), r1.multiply(r2)));
-                });
+                join_cursors(
+                    trace1.cursor(),
+                    batch.cursor(),
+                    |k, v1, v2, t1, r1, t2, r2| {
+                        results.push(((self.logic)(k, v1, v2), t1.join(t2), r1.multiply(r2)));
+                    },
+                );
             }
         }
         // Both traces already contain the concurrently arrived batches, so the
         // new1 × new2 combinations were produced twice; subtract one copy.
         for batch1 in new1.iter() {
             for batch2 in new2.iter() {
-                join_cursors(batch1.cursor(), batch2.cursor(), |k, v1, v2, t1, r1, t2, r2| {
-                    let mut diff = r1.multiply(r2);
-                    diff.negate();
-                    results.push(((self.logic)(k, v1, v2), t1.join(t2), diff));
-                });
+                join_cursors(
+                    batch1.cursor(),
+                    batch2.cursor(),
+                    |k, v1, v2, t1, r1, t2, r2| {
+                        let mut diff = r1.multiply(r2);
+                        diff.negate();
+                        results.push(((self.logic)(k, v1, v2), t1.join(t2), diff));
+                    },
+                );
             }
         }
 

@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod arrange;
+pub mod catalog;
 pub mod collection;
 pub mod input;
 pub mod iterate;
@@ -31,6 +32,7 @@ pub mod operators;
 pub mod reduce;
 
 pub use arrange::{Arranged, TraceAgent};
+pub use catalog::{AnyTrace, Catalog, CatalogError, QueryHandle, QueryLifecycle};
 pub use collection::Collection;
 pub use input::new_collection;
 pub use iterate::Variable;
@@ -40,7 +42,8 @@ pub type Diff = isize;
 
 /// The prelude: everything a typical program needs.
 pub mod prelude {
-    pub use crate::arrange::{Arranged, TraceAgent};
+    pub use crate::arrange::{Arranged, KeyBatch, TraceAgent, ValBatch};
+    pub use crate::catalog::{Catalog, CatalogError, QueryHandle, QueryLifecycle};
     pub use crate::collection::Collection;
     pub use crate::input::new_collection;
     pub use crate::iterate::Variable;

@@ -53,6 +53,7 @@ where
     /// Accumulates the input collection for `key` at `time`: each value with its net
     /// multiplicity, plus the set of distinct times in the key's history (for future-work
     /// scheduling).
+    #[allow(clippy::type_complexity)]
     fn accumulate_input(
         &self,
         key: &B1::Key,
@@ -238,7 +239,11 @@ where
             builder.push(key, val, time, diff);
         }
         let since = self.output_trace.since();
-        let batch = builder.done(self.output_upper.clone(), self.input_frontier.clone(), since);
+        let batch = builder.done(
+            self.output_upper.clone(),
+            self.input_frontier.clone(),
+            since,
+        );
         self.output_upper = self.input_frontier.clone();
         self.output_trace.insert_batch(batch.clone());
         output.send(Box::new(batch));
@@ -354,13 +359,16 @@ impl<K: Data, R: Semigroup> Collection<K, R> {
     {
         let arranged: Arranged<KeyBatch<K, R>> = self.arrange_by_self();
         arranged
-            .reduce_core("Threshold", move |key, input, output: &mut Vec<((), Diff)>| {
-                let count = &input[0].1;
-                let multiplicity = logic(key, count);
-                if multiplicity != 0 {
-                    output.push(((), multiplicity));
-                }
-            })
+            .reduce_core(
+                "Threshold",
+                move |key, input, output: &mut Vec<((), Diff)>| {
+                    let count = &input[0].1;
+                    let multiplicity = logic(key, count);
+                    if multiplicity != 0 {
+                        output.push(((), multiplicity));
+                    }
+                },
+            )
             .as_collection(|key, _| key.clone())
     }
 

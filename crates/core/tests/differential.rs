@@ -54,8 +54,7 @@ fn map_filter_concat_negate() {
     let totals = accumulate(&captured, epoch(0));
     // Evens 0,2,4 double to 0,4,8 and are concatenated with the evens themselves, then one
     // occurrence of 4 is removed.
-    let expected: BTreeMap<u64, isize> =
-        [(0u64, 2), (2, 1), (4, 1), (8, 1)].into_iter().collect();
+    let expected: BTreeMap<u64, isize> = [(0u64, 2), (2, 1), (4, 1), (8, 1)].into_iter().collect();
     assert_eq!(totals, expected);
 }
 
@@ -102,7 +101,7 @@ fn count_and_distinct_maintain_updates() {
     assert_eq!(distinct_at_1.len(), 2);
     let distinct_at_2 = accumulate(&distinct, epoch(1));
     assert_eq!(distinct_at_2.len(), 1);
-    assert_eq!(distinct_at_2.get(&"apple".to_string()), Some(&1));
+    assert_eq!(distinct_at_2.get("apple"), Some(&1));
 }
 
 #[test]
@@ -257,7 +256,10 @@ fn figure_one_reachability_is_incrementally_maintained() {
                 let expanded = reach
                     .map(|(node, root)| (node, root))
                     .join_map(&edges, |_node, root, next| (*next, *root));
-                expanded.concat(&seeds).distinct().map(|(node, root)| (node, root))
+                expanded
+                    .concat(&seeds)
+                    .distinct()
+                    .map(|(node, root)| (node, root))
             });
 
             // Intersect with the query pairs: (dst, src) reached means query (src, dst) holds.
@@ -306,7 +308,10 @@ fn figure_one_reachability_is_incrementally_maintained() {
     assert_eq!(at_2.get(&(1u32, 5u32)), Some(&1));
 
     let at_3 = accumulate(&captured, epoch(2));
-    assert!(at_3.is_empty(), "removing 2->3 disconnects both queries: {at_3:?}");
+    assert!(
+        at_3.is_empty(),
+        "removing 2->3 disconnects both queries: {at_3:?}"
+    );
 }
 
 #[test]
@@ -328,13 +333,7 @@ fn arrangements_are_shared_between_operators() {
             let matches = arranged.join_core(&arranged, |k, a, b| (*k, *a, *b));
             let probe = degrees.probe();
             let trace = arranged.trace.clone();
-            (
-                edges_in,
-                probe,
-                degrees.capture(),
-                matches.capture(),
-                trace,
-            )
+            (edges_in, probe, degrees.capture(), matches.capture(), trace)
         });
         for (src, dst) in [(1u32, 2u32), (1, 3), (2, 3)] {
             edges_in.insert((src, dst));
@@ -407,7 +406,11 @@ fn arrangements_import_into_new_dataflows() {
     assert_eq!(at_1.get(&(1u32, 1isize)), Some(&1));
     assert_eq!(at_1.get(&(2u32, 1isize)), Some(&1));
     let at_2 = accumulate(&results, epoch(1));
-    assert_eq!(at_2.get(&(1u32, 2isize)), Some(&1), "imported dataflow tracks new updates");
+    assert_eq!(
+        at_2.get(&(1u32, 2isize)),
+        Some(&1),
+        "imported dataflow tracks new updates"
+    );
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! The sharing lifecycle end to end: publish an arrangement, install queries against it
+//! by name, retire one mid-stream, and verify that (a) the survivor's results are
+//! unaffected and (b) the departed query's read frontiers are released so the shared
+//! spine's compaction frontier advances past them.
+
+use std::collections::BTreeMap;
+
+use kpg_core::arrange::ValBatch;
+use kpg_core::prelude::*;
+use kpg_timestamp::{Antichain, PartialOrder};
+
+/// Accumulates captured `(data, time, diff)` updates up to and including `epoch`.
+fn accumulate<D: Ord + Clone>(updates: &[(D, Time, isize)], epoch: u64) -> BTreeMap<D, isize> {
+    let mut map = BTreeMap::new();
+    for (data, time, diff) in updates {
+        if time.less_equal(&Time::from_epoch(epoch)) {
+            *map.entry(data.clone()).or_insert(0) += diff;
+        }
+    }
+    map.retain(|_, v| *v != 0);
+    map
+}
+
+/// Builds the canonical session: a published edge arrangement plus two queries reading
+/// it (per-key counts, and a value filter), runs it to epoch 1, uninstalls the counts
+/// query, keeps the survivor running through epoch 3, and returns the observations.
+fn run_lifecycle(workers: usize) -> Vec<LifecycleObservations> {
+    execute(Config::new(workers), |worker| {
+        let catalog = Catalog::new();
+
+        // Publish the shared arrangement under a name.
+        let (mut edges, graph_probe) = worker.install("graph", {
+            let catalog = catalog.clone();
+            move |builder| {
+                let (input, edges) = new_collection::<(u32, u32), isize>(builder);
+                let arranged = edges.arrange_by_key();
+                catalog.publish("edges", &arranged).unwrap();
+                (input, arranged.probe())
+            }
+        });
+        for n in 0..50u32 {
+            if n as usize % worker.peers() == worker.index() {
+                edges.insert((n % 10, n));
+            }
+        }
+        edges.advance_to(1);
+        worker.step_while(|| graph_probe.less_than(&edges.time()));
+
+        // Install two queries against the published arrangement.
+        let counts = worker
+            .install_query("counts", &catalog, |builder, catalog| {
+                let imported = catalog
+                    .import::<ValBatch<u32, u32>>("edges", builder)
+                    .unwrap();
+                let counts = imported
+                    .reduce_core("Count", |_k, input, output: &mut Vec<(isize, isize)>| {
+                        output.push((input.iter().map(|(_, r)| *r).sum(), 1));
+                    })
+                    .as_collection(|k, c| (*k, *c));
+                (counts.probe(), counts.capture())
+            })
+            .unwrap();
+        let survivor = worker
+            .install_query("survivor", &catalog, |builder, catalog| {
+                let imported = catalog
+                    .import::<ValBatch<u32, u32>>("edges", builder)
+                    .unwrap();
+                let hits = imported
+                    .as_collection(|k, v| (*k, *v))
+                    .filter(|(_, v)| *v % 2 == 0);
+                (hits.probe(), hits.capture())
+            })
+            .unwrap();
+        assert_eq!(worker.installed(), vec!["graph", "counts", "survivor"]);
+
+        let (counts_probe, counts_results) = &counts.result;
+        let (survivor_probe, survivor_results) = &survivor.result;
+        worker.step_while(|| {
+            counts_probe.less_than(&edges.time()) || survivor_probe.less_than(&edges.time())
+        });
+        let counts_at_0 = accumulate(&counts_results.borrow(), 0);
+        let survivor_at_0 = accumulate(&survivor_results.borrow(), 0);
+        let since_before = catalog.since("edges").unwrap();
+
+        // Retire the counts query. Its dataflow leaves the scheduler and every reader it
+        // registered (import handle, join/reduce trace handles) is dropped.
+        assert!(worker.uninstall_query("counts", &catalog));
+        assert!(!worker.uninstall_query("counts", &catalog), "idempotent");
+        assert_eq!(worker.installed(), vec!["graph", "survivor"]);
+
+        // Keep the computation moving: more input, later epochs, catalog hygiene.
+        edges.insert((3, 100 + worker.index() as u32 * 2));
+        edges.advance_to(3);
+        catalog.advance_all(Antichain::from_elem(Time::from_epoch(2)).borrow());
+        worker.step_while(|| survivor_probe.less_than(&edges.time()));
+
+        let survivor_at_2 = accumulate(&survivor_results.borrow(), 2);
+        let since_after = catalog.since("edges").unwrap();
+        let counts_frozen = accumulate(&counts_results.borrow(), 2);
+
+        LifecycleObservations {
+            counts_at_0,
+            survivor_at_0,
+            survivor_at_2,
+            counts_frozen,
+            since_before,
+            since_after,
+        }
+    })
+}
+
+struct LifecycleObservations {
+    counts_at_0: BTreeMap<(u32, isize), isize>,
+    survivor_at_0: BTreeMap<(u32, u32), isize>,
+    survivor_at_2: BTreeMap<(u32, u32), isize>,
+    counts_frozen: BTreeMap<(u32, isize), isize>,
+    since_before: Antichain<Time>,
+    since_after: Antichain<Time>,
+}
+
+#[test]
+fn uninstall_releases_readers_and_preserves_survivors() {
+    for workers in [1usize, 2] {
+        let observations = run_lifecycle(workers);
+
+        // Single-worker observations carry the full picture; with two workers each
+        // holds a shard, so merge the captures.
+        let mut survivor_at_0 = BTreeMap::new();
+        let mut survivor_at_2 = BTreeMap::new();
+        for obs in &observations {
+            for (k, v) in &obs.survivor_at_0 {
+                *survivor_at_0.entry(*k).or_insert(0) += v;
+            }
+            for (k, v) in &obs.survivor_at_2 {
+                *survivor_at_2.entry(*k).or_insert(0) += v;
+            }
+        }
+        survivor_at_0.retain(|_, v| *v != 0);
+        survivor_at_2.retain(|_, v| *v != 0);
+
+        // (a) The survivor's epoch-0 answers are unchanged by the uninstall, and its
+        // view keeps evolving: the even values 100/102 arrive for key 3 at epoch 2.
+        let expected_at_0: BTreeMap<(u32, u32), isize> = (0..50u32)
+            .filter(|n| n % 2 == 0)
+            .map(|n| ((n % 10, n), 1))
+            .collect();
+        assert_eq!(survivor_at_0, expected_at_0, "workers = {workers}");
+        let mut expected_at_2 = expected_at_0.clone();
+        for w in 0..workers as u32 {
+            expected_at_2.insert((3, 100 + w * 2), 1);
+        }
+        assert_eq!(survivor_at_2, expected_at_2, "workers = {workers}");
+
+        for obs in &observations {
+            // The uninstalled query's results are frozen exactly as of the uninstall.
+            assert_eq!(obs.counts_frozen, obs.counts_at_0, "workers = {workers}");
+            assert!(!obs.counts_at_0.is_empty());
+
+            // (b) The shared spine's compaction frontier advances past the departed
+            // reader's since: before the uninstall it could not pass the epoch-0 reads
+            // the counts query was pinning; afterwards it reaches epoch 2.
+            assert!(
+                obs.since_before.less_equal(&Time::from_epoch(1)),
+                "workers = {workers}: pinned since {:?}",
+                obs.since_before
+            );
+            assert!(
+                obs.since_after
+                    .elements()
+                    .iter()
+                    .all(|t| *t >= Time::from_epoch(2)),
+                "workers = {workers}: compaction frontier {:?} did not pass the departed reader",
+                obs.since_after
+            );
+            assert!(
+                !obs.since_after.less_equal(&Time::from_epoch(1)),
+                "workers = {workers}: epoch-1 history still pinned after uninstall"
+            );
+        }
+    }
+}
+
+/// Reader-slot hygiene: churning many short-lived handles (clones and lookups) reuses
+/// slots instead of growing the reader table, and departed readers stop pinning
+/// compaction.
+#[test]
+fn reader_slots_are_reused_after_drop() {
+    let catalog = Catalog::new();
+    let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
+    catalog.publish_trace("edges", &trace).unwrap();
+    let baseline = trace.reader_slot_capacity();
+    for _ in 0..1000 {
+        let looked = catalog.lookup::<ValBatch<u32, u32>>("edges").unwrap();
+        drop(looked);
+    }
+    assert!(
+        trace.reader_slot_capacity() <= baseline + 1,
+        "reader table grew under churn: {} -> {}",
+        baseline,
+        trace.reader_slot_capacity()
+    );
+    assert_eq!(trace.reader_count(), 2, "trace handle + catalog entry");
+}

@@ -6,8 +6,8 @@
 //! worker and cloneable senders to every inbox, plus a global count of messages in flight
 //! used by the quiescence protocol.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 use crate::operator::BundleBox;
@@ -35,7 +35,7 @@ impl Fabric {
         let mut senders = Vec::with_capacity(workers);
         let mut receivers = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }

@@ -13,8 +13,10 @@
 //! one (substitution S1 in DESIGN.md); the frontiers operators observe have exactly the
 //! same meaning.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use kpg_timestamp::{Antichain, Time};
-use parking_lot::Mutex;
 
 use crate::graph::{DataflowGraph, NodeId};
 
@@ -24,6 +26,8 @@ pub struct DataflowShared {
     pub graph: Mutex<Option<DataflowGraph>>,
     /// Capabilities per worker, per node.
     pub capabilities: Mutex<Vec<Vec<Antichain<Time>>>>,
+    /// How many workers have retired their instance of this dataflow.
+    retired_workers: AtomicUsize,
 }
 
 impl DataflowShared {
@@ -32,6 +36,7 @@ impl DataflowShared {
         DataflowShared {
             graph: Mutex::new(None),
             capabilities: Mutex::new(Vec::new()),
+            retired_workers: AtomicUsize::new(0),
         }
     }
 
@@ -44,7 +49,7 @@ impl DataflowShared {
     pub fn install(&self, graph: DataflowGraph, workers: usize) {
         let nodes = graph.nodes;
         {
-            let mut guard = self.graph.lock();
+            let mut guard = self.graph.lock().expect("graph lock poisoned");
             match guard.as_ref() {
                 None => *guard = Some(graph),
                 Some(existing) => {
@@ -55,7 +60,7 @@ impl DataflowShared {
                 }
             }
         }
-        let mut caps = self.capabilities.lock();
+        let mut caps = self.capabilities.lock().expect("capability lock poisoned");
         if caps.is_empty() {
             *caps = vec![vec![Antichain::from_elem(Time::minimum()); nodes]; workers];
         }
@@ -63,16 +68,45 @@ impl DataflowShared {
 
     /// Publishes `capabilities` (one antichain per node) for `worker`.
     pub fn publish(&self, worker: usize, capabilities: Vec<Antichain<Time>>) {
-        let mut caps = self.capabilities.lock();
+        let mut caps = self.capabilities.lock().expect("capability lock poisoned");
         caps[worker] = capabilities;
+    }
+
+    /// Withdraws `worker`'s capabilities: the worker has retired its instance of this
+    /// dataflow and will never again produce output for it. Once every worker has
+    /// retired, the graph structure and capability table are freed entirely, so churning
+    /// through many install/uninstall cycles does not accumulate per-dataflow state.
+    ///
+    /// Each worker must call this at most once per dataflow (the worker's `retired` flag
+    /// guarantees it).
+    pub fn retire(&self, worker: usize) {
+        let workers = {
+            let mut caps = self.capabilities.lock().expect("capability lock poisoned");
+            if let Some(row) = caps.get_mut(worker) {
+                for cap in row.iter_mut() {
+                    *cap = Antichain::new();
+                }
+            }
+            caps.len()
+        };
+        let retired = self.retired_workers.fetch_add(1, Ordering::SeqCst) + 1;
+        if retired >= workers {
+            // No live instance remains anywhere, so nobody will consult this dataflow's
+            // progress state again; release the graph (names, edges) and the table.
+            *self.graph.lock().expect("graph lock poisoned") = None;
+            self.capabilities
+                .lock()
+                .expect("capability lock poisoned")
+                .clear();
+        }
     }
 
     /// Computes the frontier of every node input port from the currently published
     /// capabilities. The result is indexed as `result[node][port]`.
     pub fn input_frontiers(&self) -> Vec<Vec<Antichain<Time>>> {
-        let graph = self.graph.lock();
+        let graph = self.graph.lock().expect("graph lock poisoned");
         let graph = graph.as_ref().expect("graph installed before stepping");
-        let caps = self.capabilities.lock();
+        let caps = self.capabilities.lock().expect("capability lock poisoned");
         compute_input_frontiers(graph, &caps)
     }
 }
@@ -322,6 +356,20 @@ mod tests {
         assert_eq!(inputs[5][0].elements(), &[Time::from_epoch(1)]);
         // Inside the loop the head still admits epoch 1 round 0.
         assert_eq!(inputs[1][0].elements(), &[Time::from_epoch(1)]);
+    }
+
+    #[test]
+    fn retiring_all_workers_frees_shared_state() {
+        let shared = DataflowShared::new();
+        shared.install(linear_graph(), 2);
+        shared.retire(0);
+        // One worker still live: the graph must remain consultable.
+        assert!(shared.graph.lock().unwrap().is_some());
+        assert!(!shared.input_frontiers().is_empty());
+        shared.retire(1);
+        // Last worker retired: graph and capability table are released.
+        assert!(shared.graph.lock().unwrap().is_none());
+        assert!(shared.capabilities.lock().unwrap().is_empty());
     }
 
     #[test]

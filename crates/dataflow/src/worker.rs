@@ -1,14 +1,13 @@
 //! Workers: threads that each own a shard of every dataflow and schedule its operators.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Barrier, Mutex};
 
-use crossbeam::channel::Receiver;
 use kpg_timestamp::{Antichain, Time};
-use parking_lot::Mutex;
 
 use crate::fabric::{Fabric, RemoteMessage};
 use crate::graph::{DataflowGraph, EdgeDesc, EdgeId, EdgeTransform, NodeId};
@@ -48,7 +47,7 @@ pub(crate) struct Shared {
 
 impl Shared {
     fn dataflow_shared(&self, index: usize) -> Arc<DataflowShared> {
-        let mut dataflows = self.dataflows.lock();
+        let mut dataflows = self.dataflows.lock().expect("dataflow registry poisoned");
         while dataflows.len() <= index {
             dataflows.push(Arc::new(DataflowShared::new()));
         }
@@ -66,6 +65,10 @@ struct DataflowInstance {
     queues: Vec<VecDeque<(usize, BundleBox)>>,
     dirty: Vec<bool>,
     last_frontiers: Vec<Vec<Antichain<Time>>>,
+    /// True once the dataflow has been uninstalled: its operators are dropped, its graph
+    /// is cleared, and any message still addressed to it is discarded. The slot stays in
+    /// place so that dataflow indices (used by in-flight remote messages) remain stable.
+    retired: bool,
 }
 
 /// A single worker thread's handle onto the computation.
@@ -80,6 +83,7 @@ pub struct Worker {
     shared: Arc<Shared>,
     inbox: Receiver<RemoteMessage>,
     dataflows: Vec<DataflowInstance>,
+    installed: HashMap<String, usize>,
 }
 
 impl Worker {
@@ -95,6 +99,7 @@ impl Worker {
             shared,
             inbox,
             dataflows: Vec::new(),
+            installed: HashMap::new(),
         }
     }
 
@@ -154,8 +159,98 @@ impl Worker {
             queues,
             dirty,
             last_frontiers,
+            retired: false,
         });
         result
+    }
+
+    /// Constructs a new dataflow registered under `name`, so that it can later be
+    /// retired with [`Worker::uninstall`]. Panics if the name is already installed.
+    ///
+    /// Every worker must install the same dataflows in the same order, exactly as with
+    /// [`Worker::dataflow`].
+    pub fn install<R>(&mut self, name: &str, logic: impl FnOnce(&mut DataflowBuilder) -> R) -> R {
+        assert!(
+            !self.installed.contains_key(name),
+            "a dataflow named {name:?} is already installed"
+        );
+        let index = self.dataflows.len();
+        let result = self.dataflow(logic);
+        self.installed.insert(name.to_string(), index);
+        result
+    }
+
+    /// The number of dataflows this worker has constructed, including retired ones
+    /// (whose indices remain reserved).
+    pub fn dataflow_count(&self) -> usize {
+        self.dataflows.len()
+    }
+
+    /// True iff the dataflow at `index` has been retired.
+    pub fn is_retired(&self, index: usize) -> bool {
+        self.dataflows[index].retired
+    }
+
+    /// The dataflow index registered under `name`, if any.
+    pub fn installed_index(&self, name: &str) -> Option<usize> {
+        self.installed.get(name).copied()
+    }
+
+    /// The names of all currently installed (and not yet uninstalled) dataflows, in
+    /// installation order.
+    pub fn installed(&self) -> Vec<String> {
+        let mut names: Vec<(usize, &String)> = self
+            .installed
+            .iter()
+            .map(|(name, &index)| (index, name))
+            .collect();
+        names.sort_unstable();
+        names.into_iter().map(|(_, name)| name.clone()).collect()
+    }
+
+    /// Uninstalls the dataflow registered under `name`, retiring it from the scheduler.
+    /// Returns false if no such dataflow is installed.
+    ///
+    /// Every worker must uninstall the same dataflows at the same point in the program,
+    /// mirroring the construction discipline of [`Worker::dataflow`].
+    pub fn uninstall(&mut self, name: &str) -> bool {
+        match self.installed.remove(name) {
+            Some(index) => {
+                self.drop_dataflow(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Retires the dataflow at `index`: drops its operators (releasing any state they
+    /// hold, notably trace handles and their read frontiers), removes its nodes and
+    /// channels from the graph, discards queued and late-arriving messages, and
+    /// withdraws this worker's capabilities so the dataflow's frontiers empty out.
+    ///
+    /// The index remains valid (and permanently retired); new dataflows get fresh
+    /// indices. Handles obtained from the dataflow (inputs, probes, captures) remain
+    /// safe to hold but stop observing anything new.
+    pub fn drop_dataflow(&mut self, index: usize) {
+        let instance = &mut self.dataflows[index];
+        if instance.retired {
+            return;
+        }
+        // Keep the name registry consistent when called directly (not via `uninstall`):
+        // a retired dataflow must not stay listed, nor block its name from reuse.
+        self.installed.retain(|_, &mut i| i != index);
+        let instance = &mut self.dataflows[index];
+        instance.retired = true;
+        // Dropping the operators is what releases their resources: trace agents held by
+        // import and arrange operators unregister their read frontiers, letting shared
+        // spines compact past this dataflow's reads.
+        instance.operators.clear();
+        instance.queues.clear();
+        instance.node_outputs.clear();
+        instance.dirty.clear();
+        instance.last_frontiers.clear();
+        instance.graph.clear();
+        instance.shared.retire(self.index);
     }
 
     /// Runs operators locally until no more progress can be made without coordination.
@@ -165,19 +260,27 @@ impl Worker {
         loop {
             let mut progress = false;
 
-            // Drain the remote inbox into local queues.
+            // Drain the remote inbox into local queues. Messages addressed to a retired
+            // dataflow are acknowledged (so in-flight accounting stays exact) and
+            // discarded.
             while let Ok(message) = self.inbox.try_recv() {
                 self.shared.fabric.acknowledge();
                 let instance = &mut self.dataflows[message.dataflow];
+                progress = true;
+                if instance.retired {
+                    continue;
+                }
                 let edge = &instance.graph.edges[message.edge];
                 instance.queues[edge.to.0].push_back((edge.port, message.payload));
                 instance.dirty[edge.to.0] = true;
-                progress = true;
             }
 
             // Deliver queued payloads and run dirty operators.
             for dataflow_index in 0..self.dataflows.len() {
                 let instance = &mut self.dataflows[dataflow_index];
+                if instance.retired {
+                    continue;
+                }
                 let DataflowInstance {
                     graph,
                     operators,
@@ -250,8 +353,12 @@ impl Worker {
 
     /// Publishes capabilities, recomputes frontiers, and notifies operators of changes.
     fn advance_frontiers(&mut self) -> bool {
-        // Publish this worker's capabilities for every dataflow.
+        // Publish this worker's capabilities for every live dataflow. Retired dataflows
+        // withdrew their capabilities when they were dropped.
         for instance in self.dataflows.iter() {
+            if instance.retired {
+                continue;
+            }
             let capabilities = instance
                 .operators
                 .iter()
@@ -264,10 +371,12 @@ impl Worker {
         // Recompute frontiers (deterministically, from shared state) and deliver changes.
         let mut changed_any = false;
         for instance in self.dataflows.iter_mut() {
+            if instance.retired {
+                continue;
+            }
             let frontiers = instance.shared.input_frontiers();
-            for node in 0..instance.graph.nodes {
-                for port in 0..instance.graph.input_ports[node] {
-                    let new = &frontiers[node][port];
+            for (node, ports) in frontiers.iter().enumerate() {
+                for (port, new) in ports.iter().enumerate() {
                     if !instance.last_frontiers[node][port].same_as(new) {
                         instance.operators[node].set_frontier(port, new);
                         instance.last_frontiers[node][port] = new.clone();
@@ -291,6 +400,9 @@ impl Worker {
         // Give every operator a chance to run, even without fresh input: sources drain
         // their user-supplied buffers, arrangements make progress on amortized merges.
         for instance in self.dataflows.iter_mut() {
+            if instance.retired {
+                continue;
+            }
             for flag in instance.dirty.iter_mut() {
                 *flag = true;
             }
@@ -379,7 +491,10 @@ impl DataflowBuilder {
         transform: EdgeTransform,
     ) -> NodeId {
         let mut inner = self.inner.borrow_mut();
-        assert!(!inner.sealed, "dataflow extended after construction finished");
+        assert!(
+            !inner.sealed,
+            "dataflow extended after construction finished"
+        );
         let id = NodeId(inner.operators.len());
         inner.names.push(operator.name().to_string());
         inner.operators.push(operator);
@@ -395,9 +510,18 @@ impl DataflowBuilder {
     }
 
     /// Connects `from`'s output to input `port` of `to`, with an explicit transform.
-    pub fn connect_with(&mut self, from: NodeId, to: NodeId, port: usize, transform: EdgeTransform) {
+    pub fn connect_with(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        port: usize,
+        transform: EdgeTransform,
+    ) {
         let mut inner = self.inner.borrow_mut();
-        assert!(!inner.sealed, "dataflow extended after construction finished");
+        assert!(
+            !inner.sealed,
+            "dataflow extended after construction finished"
+        );
         inner.edges.push(EdgeDesc {
             from,
             to,

@@ -179,7 +179,10 @@ fn frontier_holds_until_all_workers_advance() {
     });
     for (stalled, advanced) in results {
         assert!(stalled, "frontier advanced past a lagging worker");
-        assert!(advanced, "frontier failed to advance once all workers caught up");
+        assert!(
+            advanced,
+            "frontier failed to advance once all workers caught up"
+        );
     }
 }
 
@@ -282,11 +285,7 @@ fn fan_out_to_multiple_consumers_clones_payloads() {
         worker.step_while(|| probe.less_than(&input.time()));
         assert_eq!(left.borrow().len(), 5);
         assert_eq!(right.borrow().len(), 5);
-        let keys: HashMap<u64, isize> = left
-            .borrow()
-            .iter()
-            .map(|(k, _, r)| (*k, *r))
-            .collect();
+        let keys: HashMap<u64, isize> = left.borrow().iter().map(|(k, _, r)| (*k, *r)).collect();
         assert_eq!(keys.len(), 5);
     });
 }

@@ -1,7 +1,6 @@
 //! Synthetic inputs for the Datalog and program-analysis workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kpg_timestamp::rng::SmallRng;
 
 use crate::Edge;
 
@@ -30,12 +29,12 @@ pub struct ProgramGraph {
 /// The three paper inputs (httpd, psql, linux) are modelled by calling this with
 /// increasing sizes; see the bench harness for the exact parameters.
 pub fn program_graph(variables: u32, seed: u64) -> ProgramGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let assignments = (0..variables as usize * 3)
         .map(|_| {
             let a = rng.gen_range(0..variables);
             // Bias toward nearby variables: local dataflow dominates real programs.
-            let offset = rng.gen_range(0..64).min(variables - 1);
+            let offset = rng.gen_range(0u32..64).min(variables - 1);
             let b = (a + offset) % variables;
             (a, b)
         })
@@ -47,7 +46,9 @@ pub fn program_graph(variables: u32, seed: u64) -> ProgramGraph {
     let allocations = (0..variables as usize / 4)
         .map(|i| (rng.gen_range(0..variables), i as u32))
         .collect();
-    let null_sources = (0..variables / 64).map(|_| rng.gen_range(0..variables)).collect();
+    let null_sources = (0..variables / 64)
+        .map(|_| rng.gen_range(0..variables))
+        .collect();
     ProgramGraph {
         assignments,
         dereferences,

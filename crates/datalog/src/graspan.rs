@@ -19,10 +19,7 @@ use crate::Edge;
 ///
 /// `null(x) :- null_source(x).`
 /// `null(y) :- null(x), assign(y, x).`   (an assignment `y := x` propagates nullness)
-pub fn nullness(
-    assignments: &Collection<Edge>,
-    null_sources: &Collection<u32>,
-) -> Collection<u32> {
+pub fn nullness(assignments: &Collection<Edge>, null_sources: &Collection<u32>) -> Collection<u32> {
     let uses = assignments.map(|(dst, src)| (src, dst));
     null_sources.iterate(|null| {
         let uses = uses.enter();
@@ -78,7 +75,9 @@ pub fn points_to(
             .semijoin(&dereferenced)
             .map(|(v, o)| (o, v));
         let by_object = pt.map(|(v, o)| (o, v));
-        by_object.join_map(&restricted, |_o, v, w| (*v, *w)).distinct()
+        by_object
+            .join_map(&restricted, |_o, v, w| (*v, *w))
+            .distinct()
     }
 }
 
@@ -121,7 +120,11 @@ mod tests {
                     *counts.entry(*v).or_insert(0) += d;
                 }
             }
-            counts.into_iter().filter(|(_, c)| *c > 0).map(|(v, _)| v).collect()
+            counts
+                .into_iter()
+                .filter(|(_, c)| *c > 0)
+                .map(|(v, _)| v)
+                .collect()
         };
         assert_eq!(at(0), [1, 2, 3].into_iter().collect());
         assert!(at(1).is_empty());
@@ -164,6 +167,10 @@ mod tests {
                 .map(|(pair, _, _)| *pair)
                 .collect()
         };
-        assert_eq!(run(true), run(false), "optimised and unoptimised analyses agree");
+        assert_eq!(
+            run(true),
+            run(false),
+            "optimised and unoptimised analyses agree"
+        );
     }
 }

@@ -129,9 +129,10 @@ mod tests {
 
     #[test]
     fn transitive_closure_of_a_chain() {
-        let tc = run_static(vec![(1, 2), (2, 3), (3, 4)], |e| transitive_closure(e));
-        let expected: BTreeSet<Edge> =
-            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)].into_iter().collect();
+        let tc = run_static(vec![(1, 2), (2, 3), (3, 4)], transitive_closure);
+        let expected: BTreeSet<Edge> = [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+            .into_iter()
+            .collect();
         assert_eq!(tc, expected);
     }
 
@@ -139,7 +140,7 @@ mod tests {
     fn same_generation_of_a_binary_tree() {
         // parent edges: 0 -> {1, 2}, 1 -> {3, 4}, 2 -> {5, 6}
         let parents = vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)];
-        let sg = run_static(parents, |e| same_generation(e));
+        let sg = run_static(parents, same_generation);
         // 1 and 2 are the same generation; 3,4,5,6 are all mutually same generation.
         assert!(sg.contains(&(1, 2)));
         assert!(sg.contains(&(3, 5)));
@@ -151,7 +152,7 @@ mod tests {
     #[test]
     fn seeded_tc_matches_full_tc_restricted_to_seed() {
         let edges = vec![(1, 2), (2, 3), (5, 6), (3, 1)];
-        let full = run_static(edges.clone(), |e| transitive_closure(e));
+        let full = run_static(edges.clone(), transitive_closure);
         let out = execute(Config::new(1), move |worker| {
             let edges = edges.clone();
             let (mut edges_in, mut seeds_in, probe, cap) = worker.dataflow(|builder| {

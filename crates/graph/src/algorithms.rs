@@ -12,10 +12,7 @@ use kpg_core::prelude::*;
 use crate::Edge;
 
 /// Nodes reachable from each root: produces `(node, root)` pairs.
-pub fn reachability(
-    edges: &Collection<Edge>,
-    roots: &Collection<u32>,
-) -> Collection<(u32, u32)> {
+pub fn reachability(edges: &Collection<Edge>, roots: &Collection<u32>) -> Collection<(u32, u32)> {
     let seeds = roots.map(|r| (r, r));
     seeds.iterate(|reach| {
         let edges = edges.enter();
@@ -40,7 +37,9 @@ pub fn bfs_distances(
         // dists are keyed by (node, root); re-key by node to follow edges.
         let proposals = dists
             .map(|((node, root), dist)| (node, (root, dist)))
-            .join_map(&edges, |_node, (root, dist), next| ((*next, *root), dist + 1));
+            .join_map(&edges, |_node, (root, dist), next| {
+                ((*next, *root), dist + 1)
+            });
         proposals.concat(&seeds).min_by_key()
     })
 }
@@ -55,9 +54,8 @@ pub fn sssp(
     seeds.iterate(|dists| {
         let edges = edges.enter();
         let seeds = seeds.enter();
-        let proposals = dists.join_map(&edges, |_node, dist, (next, weight)| {
-            (*next, dist + weight)
-        });
+        let proposals =
+            dists.join_map(&edges, |_node, dist, (next, weight)| (*next, dist + weight));
         proposals.concat(&seeds).min_by_key()
     })
 }

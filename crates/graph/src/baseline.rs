@@ -69,8 +69,8 @@ pub fn bfs_hashmap(edges: &[Edge], root: u32) -> Vec<u32> {
         reached.push(node);
         if let Some(nexts) = adjacency.get(&node) {
             for &next in nexts {
-                if !seen.contains_key(&next) {
-                    seen.insert(next, true);
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(next) {
+                    e.insert(true);
                     queue.push_back(next);
                 }
             }

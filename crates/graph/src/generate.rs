@@ -7,15 +7,14 @@
 //! graph for the Twitter stand-in, whose heavy-tailed degree distribution is the property
 //! that matters for the workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kpg_timestamp::rng::SmallRng;
 
 use crate::Edge;
 
 /// A uniform random directed graph with `nodes` nodes and `edges` edges.
 pub fn uniform(nodes: u32, edges: usize, seed: u64) -> Vec<Edge> {
     assert!(nodes > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     (0..edges)
         .map(|_| (rng.gen_range(0..nodes), rng.gen_range(0..nodes)))
         .collect()
@@ -26,12 +25,12 @@ pub fn uniform(nodes: u32, edges: usize, seed: u64) -> Vec<Edge> {
 /// Twitter follower graph's heavy tail).
 pub fn skewed(nodes: u32, edges: usize, seed: u64) -> Vec<Edge> {
     assert!(nodes > 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut result = Vec::with_capacity(edges);
     for _ in 0..edges {
         let src = rng.gen_range(0..nodes);
         // Square a uniform draw to bias toward low node identifiers.
-        let draw: f64 = rng.gen::<f64>();
+        let draw: f64 = rng.gen_f64();
         let dst = ((draw * draw) * nodes as f64) as u32;
         result.push((src, dst.min(nodes - 1)));
     }
@@ -95,7 +94,7 @@ pub fn evolving(
     changes_per_round: usize,
     seed: u64,
 ) -> EvolvingGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let initial = uniform(nodes, initial_edges, seed.wrapping_add(1));
     let mut live = initial.clone();
     let mut round_changes = Vec::with_capacity(rounds);

@@ -9,9 +9,20 @@
 //! * 2-hop: neighbours of neighbours,
 //! * 4-hop path: pairs `(src, dst)` connected by a directed path of length at most four.
 //!
-//! The dataflow can be built in two modes: **shared**, where all query classes read one
-//! arrangement of the graph, and **not shared**, where each query class arranges the
-//! graph privately — the comparison behind Figures 5b and 5c.
+//! Two entry points are provided:
+//!
+//! * [`InteractiveSession`] — the query-session API. The graph is ingested once and its
+//!   arrangement is *published by name* into a [`Catalog`]; query classes are then
+//!   installed (and uninstalled) one at a time as named dataflows that import the shared
+//!   arrangement. This is the register→install→drop loop of the paper's interactive
+//!   evaluation (§6.2), with reader-frontier hygiene on uninstall.
+//! * [`interactive_queries`] — the legacy one-dataflow builder, kept as the measurement
+//!   apparatus for the shared-vs-not-shared comparison behind Figures 5b and 5c: with
+//!   `shared = false` each query class arranges the graph privately, as systems without
+//!   inter-query sharing must.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use kpg_core::arrange::ValBatch;
 use kpg_core::prelude::*;
@@ -19,7 +30,171 @@ use kpg_dataflow::InputHandle;
 
 use crate::Edge;
 
-/// Handles for driving the interactive query dataflow.
+/// Handles onto one installed query class: its argument input, a probe on its output,
+/// and the captured output updates.
+pub struct QueryIo<Q, A> {
+    /// The query-argument input: insert arguments to pose queries, remove to retract.
+    pub input: InputHandle<Q, isize>,
+    /// A probe on the query's output; passing it means all answers are current.
+    pub probe: ProbeHandle,
+    /// Every output update the query has produced, as `(answer, time, diff)`.
+    pub results: Rc<RefCell<Vec<(A, Time, isize)>>>,
+}
+
+/// An interactive query session over a shared graph arrangement (paper §6.2).
+///
+/// The session owns the graph's edge input and the [`Catalog`] under which the edge
+/// arrangement is published; query classes are installed against the catalog by name
+/// and retired with [`Worker::uninstall`]-backed hygiene via
+/// [`QueryLifecycle::uninstall_query`].
+pub struct InteractiveSession {
+    /// The catalog holding the published graph arrangement.
+    pub catalog: Catalog,
+    /// The graph's edge input.
+    pub edges: InputHandle<Edge, isize>,
+    /// A probe on the graph arrangement itself.
+    pub graph_probe: ProbeHandle,
+    graph_name: String,
+}
+
+#[allow(clippy::type_complexity)]
+impl InteractiveSession {
+    /// Installs the base graph dataflow: ingests edges, arranges them by source, and
+    /// publishes the arrangement into `catalog` under `graph_name`.
+    ///
+    /// Every worker must call this (and subsequent installs) identically.
+    pub fn install(worker: &mut Worker, catalog: &Catalog, graph_name: &str) -> Self {
+        let catalog_for_closure = catalog.clone();
+        let name_owned = graph_name.to_string();
+        let (edges, graph_probe) = worker.install(graph_name, move |builder| {
+            let (edges_in, edges) = new_collection::<Edge, isize>(builder);
+            let arranged = edges.arrange_by_key_named("SharedEdges", MergeEffort::Default);
+            catalog_for_closure
+                .publish(&name_owned, &arranged)
+                .expect("graph arrangement name already taken");
+            (edges_in, arranged.probe())
+        });
+        InteractiveSession {
+            catalog: catalog.clone(),
+            edges,
+            graph_probe,
+            graph_name: graph_name.to_string(),
+        }
+    }
+
+    /// The name the graph arrangement is published under.
+    pub fn graph_name(&self) -> &str {
+        &self.graph_name
+    }
+
+    /// Installs a point look-up query: for every argument node, its out-neighbours.
+    pub fn install_lookup(
+        &self,
+        worker: &mut Worker,
+        name: &str,
+    ) -> Result<QueryHandle<QueryIo<u32, (u32, u32)>>, CatalogError> {
+        let graph = self.graph_name.clone();
+        worker.install_query(name, &self.catalog, move |builder, catalog| {
+            let edges = catalog
+                .import::<ValBatch<u32, u32>>(&graph, builder)
+                .expect("graph arrangement published before queries install");
+            let (input, queries) = new_collection::<u32, isize>(builder);
+            let answers = queries
+                .map(|q| (q, ()))
+                .arrange_by_key()
+                .join_core(&edges, |q, (), dst| (*q, *dst));
+            QueryIo {
+                input,
+                probe: answers.probe(),
+                results: answers.capture(),
+            }
+        })
+    }
+
+    /// Installs a 2-hop query: for every argument node, the nodes two hops away.
+    pub fn install_two_hop(
+        &self,
+        worker: &mut Worker,
+        name: &str,
+    ) -> Result<QueryHandle<QueryIo<u32, (u32, u32)>>, CatalogError> {
+        let graph = self.graph_name.clone();
+        worker.install_query(name, &self.catalog, move |builder, catalog| {
+            let edges = catalog
+                .import::<ValBatch<u32, u32>>(&graph, builder)
+                .expect("graph arrangement published before queries install");
+            let (input, queries) = new_collection::<u32, isize>(builder);
+            let first_hop = queries
+                .map(|q| (q, ()))
+                .arrange_by_key()
+                .join_core(&edges, |q, (), mid| (*mid, *q));
+            let answers = first_hop
+                .arrange_by_key()
+                .join_core(&edges, |_mid, q, dst| (*q, *dst))
+                .distinct();
+            QueryIo {
+                input,
+                probe: answers.probe(),
+                results: answers.capture(),
+            }
+        })
+    }
+
+    /// Installs a 4-hop path query: for every argument pair `(src, dst)`, the hop count
+    /// of the shortest directed path of length at most four, if one exists.
+    pub fn install_four_path(
+        &self,
+        worker: &mut Worker,
+        name: &str,
+    ) -> Result<QueryHandle<QueryIo<(u32, u32), ((u32, u32), u32)>>, CatalogError> {
+        let graph = self.graph_name.clone();
+        worker.install_query(name, &self.catalog, move |builder, catalog| {
+            let edges = catalog
+                .import::<ValBatch<u32, u32>>(&graph, builder)
+                .expect("graph arrangement published before queries install");
+            let (input, pairs) = new_collection::<(u32, u32), isize>(builder);
+            let frontier0 = pairs.map(|(src, dst)| (src, (src, dst)));
+            let mut reached_by_hops = Vec::new();
+            let mut frontier = frontier0;
+            for _hop in 1..=4u32 {
+                let next = frontier
+                    .arrange_by_key()
+                    .join_core(&edges, |_node, (src, dst), next| (*next, (*src, *dst)));
+                reached_by_hops.push(next.clone());
+                frontier = next.distinct();
+            }
+            let answers = reached_by_hops
+                .iter()
+                .enumerate()
+                .map(|(index, reached)| {
+                    let hops = index as u32 + 1;
+                    reached
+                        .filter(|(node, (_src, dst))| node == dst)
+                        .map(move |(_node, (src, dst))| ((src, dst), hops))
+                })
+                .reduce(|a, b| a.concat(&b))
+                .expect("at least one hop level")
+                .min_by_key();
+            QueryIo {
+                input,
+                probe: answers.probe(),
+                results: answers.capture(),
+            }
+        })
+    }
+
+    /// Retires an installed query, unpublishing anything it published and releasing its
+    /// read frontiers so the shared arrangement can compact.
+    pub fn uninstall(&self, worker: &mut Worker, name: &str) -> bool {
+        worker.uninstall_query(name, &self.catalog)
+    }
+
+    /// The number of updates held by the shared graph arrangement (memory proxy).
+    pub fn graph_size(&self) -> usize {
+        self.catalog.arrangement_size(&self.graph_name).unwrap_or(0)
+    }
+}
+
+/// Handles for driving the legacy one-dataflow interactive query dataflow.
 pub struct InteractiveQueries {
     /// The graph's edge input.
     pub edges: InputHandle<Edge, isize>,
@@ -54,11 +229,13 @@ impl InteractiveQueries {
     }
 }
 
-/// Builds the interactive query dataflow.
+/// Builds the legacy one-dataflow interactive query dataflow.
 ///
 /// With `shared = true` the four query classes read a single shared arrangement of the
 /// edges; with `shared = false` each class pays for its own copy, as systems without
-/// inter-query sharing must.
+/// inter-query sharing must. New code should prefer [`InteractiveSession`], which adds
+/// the install/uninstall lifecycle; this builder remains the apparatus for the
+/// shared-vs-not comparison (Figures 5b and 5c).
 pub fn interactive_queries(builder: &mut DataflowBuilder, shared: bool) -> InteractiveQueries {
     let (edges_in, edges) = new_collection::<Edge, isize>(builder);
     let (lookup_in, lookup) = new_collection::<u32, isize>(builder);
@@ -183,17 +360,16 @@ mod tests {
         assert_eq!(shared_traces, 1);
         assert_eq!(private_traces, 5);
         // Not sharing multiplies the edge state held across arrangements.
-        assert!(private_size >= 4 * shared_size, "{private_size} vs {shared_size}");
+        assert!(
+            private_size >= 4 * shared_size,
+            "{private_size} vs {shared_size}"
+        );
     }
 
     #[test]
     fn queries_return_expected_answers() {
         let answers = execute(Config::new(1), |worker| {
-            let (mut queries, captured) = worker.dataflow(|builder| {
-                let queries = interactive_queries(builder, true);
-                (queries, ())
-            });
-            let _ = captured;
+            let mut queries = worker.dataflow(|builder| interactive_queries(builder, true));
             for edge in [(1, 2), (2, 4), (1, 3), (3, 4), (4, 5)] {
                 queries.edges.insert(edge);
             }
@@ -207,5 +383,76 @@ mod tests {
             true
         });
         assert_eq!(answers, vec![true]);
+    }
+
+    /// Accumulates captured `(answer, time, diff)` updates up to and including `epoch`.
+    fn accumulate<A: Ord + Clone>(
+        updates: &[(A, Time, isize)],
+        epoch: u64,
+    ) -> std::collections::BTreeMap<A, isize> {
+        use kpg_timestamp::PartialOrder;
+        let mut map = std::collections::BTreeMap::new();
+        for (answer, time, diff) in updates {
+            if time.less_equal(&Time::from_epoch(epoch)) {
+                *map.entry(answer.clone()).or_insert(0) += diff;
+            }
+        }
+        map.retain(|_, v| *v != 0);
+        map
+    }
+
+    #[test]
+    fn session_installs_and_uninstalls_queries() {
+        let results = execute(Config::new(1), |worker| {
+            let catalog = Catalog::new();
+            let mut session = InteractiveSession::install(worker, &catalog, "edges");
+            for edge in [(1, 2), (2, 4), (1, 3), (3, 4), (4, 5)] {
+                session.edges.insert(edge);
+            }
+            session.edges.advance_to(1);
+            worker.step_while(|| session.graph_probe.less_than(&Time::from_epoch(1)));
+
+            // Install two query classes mid-stream, against the published arrangement.
+            let mut lookup = session.install_lookup(worker, "lookup").unwrap();
+            let mut two_hop = session.install_two_hop(worker, "two-hop").unwrap();
+            lookup.result.input.insert(1);
+            two_hop.result.input.insert(1);
+            lookup.result.input.advance_to(2);
+            two_hop.result.input.advance_to(2);
+            session.edges.advance_to(2);
+            let (lp, tp) = (lookup.result.probe.clone(), two_hop.result.probe.clone());
+            worker.step_while(|| {
+                lp.less_than(&Time::from_epoch(2)) || tp.less_than(&Time::from_epoch(2))
+            });
+            let lookup_now = accumulate(&lookup.result.results.borrow(), 1);
+            let two_hop_now = accumulate(&two_hop.result.results.borrow(), 1);
+
+            // Retire the look-up query; the two-hop query keeps answering.
+            assert!(session.uninstall(worker, "lookup"));
+            session.edges.insert((4, 6));
+            two_hop.result.input.insert(2);
+            session.edges.advance_to(3);
+            two_hop.result.input.advance_to(3);
+            worker.step_while(|| tp.less_than(&Time::from_epoch(3)));
+            let two_hop_after = accumulate(&two_hop.result.results.borrow(), 2);
+
+            (lookup_now, two_hop_now, two_hop_after)
+        });
+        let (lookup_now, two_hop_now, two_hop_after) = results[0].clone();
+        // Look-up of 1: direct neighbours 2 and 3.
+        assert_eq!(
+            lookup_now.keys().cloned().collect::<Vec<_>>(),
+            vec![(1, 2), (1, 3)]
+        );
+        // Two hops from 1: only 4 (via 2 and via 3, deduplicated).
+        assert_eq!(
+            two_hop_now.keys().cloned().collect::<Vec<_>>(),
+            vec![(1, 4)]
+        );
+        // After the update and a new argument, the survivor reflects both.
+        assert_eq!(
+            two_hop_after.keys().cloned().collect::<Vec<_>>(),
+            vec![(1, 4), (2, 5), (2, 6)]
+        );
     }
 }

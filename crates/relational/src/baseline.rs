@@ -16,8 +16,9 @@ pub fn evaluate(number: u32, db: &Database) -> Vec<ResultRow> {
     match number {
         1 => {
             for l in db.lineitems.iter().filter(|l| l.ship_date <= 2_400) {
-                *groups.entry(format!("{}|{}", l.return_flag, l.line_status)).or_insert(0) +=
-                    l.quantity + l.extended_price * (100 - l.discount) / 100;
+                *groups
+                    .entry(format!("{}|{}", l.return_flag, l.line_status))
+                    .or_insert(0) += l.quantity + l.extended_price * (100 - l.discount) / 100;
             }
         }
         3 => {
@@ -52,7 +53,9 @@ pub fn evaluate(number: u32, db: &Database) -> Vec<ResultRow> {
                 .iter()
                 .filter(|o| o.order_date >= 1_000 && o.order_date < 1_100 && late.contains(&o.key))
             {
-                *groups.entry(format!("priority-{}", o.priority)).or_insert(0) += 1;
+                *groups
+                    .entry(format!("priority-{}", o.priority))
+                    .or_insert(0) += 1;
             }
         }
         5 => {
@@ -70,8 +73,9 @@ pub fn evaluate(number: u32, db: &Database) -> Vec<ResultRow> {
                     (order_nation.get(&l.order), supplier_nation.get(&l.supplier))
                 {
                     if region_of(*cn) == region_of(*sn) {
-                        *groups.entry(format!("region-{}", region_of(*cn))).or_insert(0) +=
-                            l.extended_price * (100 - l.discount) / 100;
+                        *groups
+                            .entry(format!("region-{}", region_of(*cn)))
+                            .or_insert(0) += l.extended_price * (100 - l.discount) / 100;
                     }
                 }
             }
@@ -104,11 +108,9 @@ pub fn evaluate(number: u32, db: &Database) -> Vec<ResultRow> {
         12 => {
             let order_priority: BTreeMap<u32, u8> =
                 db.orders.iter().map(|o| (o.key, o.priority)).collect();
-            for l in db
-                .lineitems
-                .iter()
-                .filter(|l| (l.ship_mode == 3 || l.ship_mode == 5) && l.commit_date < l.receipt_date)
-            {
+            for l in db.lineitems.iter().filter(|l| {
+                (l.ship_mode == 3 || l.ship_mode == 5) && l.commit_date < l.receipt_date
+            }) {
                 if let Some(priority) = order_priority.get(&l.order) {
                     let urgent = u8::from(*priority <= 1);
                     *groups
@@ -118,11 +120,8 @@ pub fn evaluate(number: u32, db: &Database) -> Vec<ResultRow> {
             }
         }
         14 => {
-            let promo: BTreeMap<u32, bool> = db
-                .parts
-                .iter()
-                .map(|p| (p.key, p.part_type < 25))
-                .collect();
+            let promo: BTreeMap<u32, bool> =
+                db.parts.iter().map(|p| (p.key, p.part_type < 25)).collect();
             let mut promo_revenue = 0i64;
             let mut total_revenue = 0i64;
             for l in db
@@ -207,7 +206,10 @@ mod tests {
                 .into_iter()
                 .filter(|(_, value)| *value != 0)
                 .collect();
-            assert_eq!(measured, expected, "query {query} disagrees with re-evaluation");
+            assert_eq!(
+                measured, expected,
+                "query {query} disagrees with re-evaluation"
+            );
         }
     }
 }

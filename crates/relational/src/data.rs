@@ -5,8 +5,7 @@
 //! lineitem references an order, every order a customer, every customer a nation, and so
 //! on, so the join structure of the queries is exercised faithfully.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kpg_timestamp::rng::SmallRng;
 
 /// A lineitem row (the fact table).
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -115,7 +114,7 @@ pub struct Database {
 /// (1/1000 of TPC-H scale factor 1), keeping laptop runs fast while preserving the row
 /// count ratios between relations.
 pub fn generate(scale: f64, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let lineitem_count = (6_000.0 * scale) as usize;
     let order_count = (lineitem_count / 4).max(1);
     let customer_count = (order_count / 10).max(1);
@@ -167,8 +166,8 @@ pub fn generate(scale: f64, seed: u64) -> Database {
                 return_flag: rng.gen_range(0..3),
                 line_status: rng.gen_range(0..2),
                 ship_date,
-                commit_date: ship_date + rng.gen_range(0..60),
-                receipt_date: ship_date + rng.gen_range(0..90),
+                commit_date: ship_date + rng.gen_range(0u32..60),
+                receipt_date: ship_date + rng.gen_range(0u32..90),
                 ship_mode: rng.gen_range(0..7),
             }
         })

@@ -130,7 +130,9 @@ pub fn q3(relations: &Relations) -> Collection<ResultRow> {
         .orders
         .filter(|o| o.order_date < 1_500)
         .map(|o| (o.customer, o.key));
-    let relevant_orders = orders.semijoin(&customers.map(|(k, ())| k)).map(|(_, o)| (o, ()));
+    let relevant_orders = orders
+        .semijoin(&customers.map(|(k, ())| k))
+        .map(|(_, o)| (o, ()));
     let revenue = relations
         .lineitem
         .filter(|l| l.ship_date > 1_500)
@@ -168,15 +170,22 @@ pub fn q5(relations: &Relations) -> Collection<ResultRow> {
     let orders = relations.orders.map(|o| (o.customer, o.key));
     let order_nation = orders.join_map(&customers, |_cust, order, nation| (*order, *nation));
     let suppliers = relations.supplier.map(|s| (s.key, s.nation));
-    let revenue = relations
-        .lineitem
-        .map(|l| (l.order, (l.supplier, l.extended_price * (100 - l.discount) / 100)));
+    let revenue = relations.lineitem.map(|l| {
+        (
+            l.order,
+            (l.supplier, l.extended_price * (100 - l.discount) / 100),
+        )
+    });
     revenue
         .join_map(&order_nation, |_order, (supplier, rev), nation| {
             (*supplier, (*nation, *rev))
         })
         .join_map(&suppliers, |_supplier, (cust_nation, rev), supp_nation| {
-            (region_of(*cust_nation) == region_of(*supp_nation), region_of(*cust_nation), *rev)
+            (
+                region_of(*cust_nation) == region_of(*supp_nation),
+                region_of(*cust_nation),
+                *rev,
+            )
         })
         .filter(|(same, _, _)| *same)
         .map(|(_, region, rev)| (region, rev))
@@ -191,7 +200,13 @@ pub fn q5(relations: &Relations) -> Collection<ResultRow> {
 pub fn q6(relations: &Relations) -> Collection<ResultRow> {
     relations
         .lineitem
-        .filter(|l| l.ship_date >= 500 && l.ship_date < 865 && l.discount >= 5 && l.discount <= 7 && l.quantity < 24)
+        .filter(|l| {
+            l.ship_date >= 500
+                && l.ship_date < 865
+                && l.discount >= 5
+                && l.discount <= 7
+                && l.quantity < 24
+        })
         .map(|l| ((), l.extended_price * l.discount / 100))
         .reduce(|_unit, values, output| {
             let total: i64 = values.iter().map(|(v, r)| *v * (*r as i64)).sum();
@@ -224,7 +239,9 @@ pub fn q12(relations: &Relations) -> Collection<ResultRow> {
         .lineitem
         .filter(|l| (l.ship_mode == 3 || l.ship_mode == 5) && l.commit_date < l.receipt_date)
         .map(|l| (l.order, l.ship_mode))
-        .join_map(&orders, |_order, mode, priority| (*mode, u8::from(*priority <= 1)))
+        .join_map(&orders, |_order, mode, priority| {
+            (*mode, u8::from(*priority <= 1))
+        })
         .count()
         .map(|((mode, urgent), lines)| (format!("mode-{mode}-urgent-{urgent}"), lines as i64))
 }
@@ -245,7 +262,11 @@ pub fn q14(relations: &Relations) -> Collection<ResultRow> {
                 .map(|((_, v), r)| *v * (*r as i64))
                 .sum();
             let total: i64 = values.iter().map(|((_, v), r)| *v * (*r as i64)).sum();
-            let share = if total == 0 { 0 } else { promo * 10_000 / total };
+            let share = if total == 0 {
+                0
+            } else {
+                promo * 10_000 / total
+            };
             output.push((share, 1isize));
         })
         .map(|((), share)| ("promo_share_bp".to_string(), share))

@@ -31,6 +31,9 @@ impl<T: PartialOrder> Antichain<T> {
     }
 
     /// Builds an antichain from arbitrary elements, retaining only the minimal ones.
+    // Deliberately an inherent method (not `FromIterator`): inserting into an antichain
+    // filters dominated elements, which `collect()` would make easy to overlook.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = T>) -> Self {
         let mut result = Antichain::new();
         for element in iter {
@@ -247,10 +250,7 @@ impl<T: PartialOrder + Clone + Hash + Eq + Debug> MutableAntichain<T> {
 
     /// Applies a batch of `(time, count_delta)` updates and returns the frontier changes
     /// as `(time, delta)` pairs: `-1` for removed frontier elements, `+1` for added ones.
-    pub fn update_iter(
-        &mut self,
-        updates: impl IntoIterator<Item = (T, i64)>,
-    ) -> Vec<(T, i64)> {
+    pub fn update_iter(&mut self, updates: impl IntoIterator<Item = (T, i64)>) -> Vec<(T, i64)> {
         let old_frontier = self.frontier.clone();
         for (time, delta) in updates {
             let entry = self.counts.entry(time).or_insert(0);
@@ -277,10 +277,10 @@ impl<T: PartialOrder + Clone + Hash + Eq + Debug> MutableAntichain<T> {
     fn rebuild(&mut self) {
         self.frontier.clear();
         for time in self.counts.keys() {
-            if !self.counts.keys().any(|other| other.less_than(time)) {
-                if !self.frontier.contains(time) {
-                    self.frontier.push(time.clone());
-                }
+            if !self.counts.keys().any(|other| other.less_than(time))
+                && !self.frontier.contains(time)
+            {
+                self.frontier.push(time.clone());
             }
         }
     }

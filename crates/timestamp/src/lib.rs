@@ -15,6 +15,9 @@
 //!   property tests in this crate's test suite.
 //! * [`Time`] — the concrete timestamp used by the `kpg-dataflow` runtime: a streaming
 //!   epoch plus up to two nested iteration rounds, under the product partial order.
+//!
+//! As the workspace's one dependency-free foundation crate, it also hosts [`rng`], the
+//! small deterministic PRNG the workload crates use for reproducible synthetic inputs.
 
 #![deny(missing_docs)]
 
@@ -22,6 +25,7 @@ pub mod antichain;
 pub mod lattice;
 pub mod order;
 pub mod product;
+pub mod rng;
 pub mod time;
 
 pub use antichain::{Antichain, AntichainRef, MutableAntichain};

@@ -166,10 +166,8 @@ mod tests {
     #[test]
     fn advance_by_respects_incomparable_frontier() {
         // Frontier: either epoch 0 at round >= 2, or epoch >= 1 at any round.
-        let frontier = Antichain::from_iter([
-            Time::from_coords([0, 2, 0]),
-            Time::from_coords([1, 0, 0]),
-        ]);
+        let frontier =
+            Antichain::from_iter([Time::from_coords([0, 2, 0]), Time::from_coords([1, 0, 0])]);
         let mut t = Time::from_coords([0, 1, 0]);
         let original = t;
         t.advance_by(frontier.borrow());

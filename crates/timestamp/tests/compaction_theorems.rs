@@ -1,4 +1,4 @@
-//! Property tests re-proving the compaction theorems of Appendix A.
+//! Randomized tests re-proving the compaction theorems of Appendix A.
 //!
 //! Theorem 1 (Correctness): for any lattice element `t` and frontier `F`,
 //! `t ≡_F rep_F(t)` — the representative compares identically to `t` against every time
@@ -6,22 +6,37 @@
 //!
 //! Theorem 2 (Optimality): if `t1 ≡_F t2` then `rep_F(t1) = rep_F(t2)` — indistinguishable
 //! times share a representative, so compaction coalesces as much as is safe.
+//!
+//! Cases are drawn from a seeded deterministic PRNG (`kpg_timestamp::rng`) so every run
+//! explores the same corpus and failures are reproducible by seed.
 
+use kpg_timestamp::rng::SmallRng;
 use kpg_timestamp::{Antichain, Lattice, PartialOrder, Product, Time};
-use proptest::prelude::*;
 
 type P2 = Product<u64, u64>;
 
-fn small_product() -> impl Strategy<Value = P2> {
-    (0u64..6, 0u64..6).prop_map(|(a, b)| Product::new(a, b))
+const CASES: u64 = 256;
+
+fn small_product(rng: &mut SmallRng) -> P2 {
+    Product::new(rng.gen_range(0u64..6), rng.gen_range(0u64..6))
 }
 
-fn small_time() -> impl Strategy<Value = Time> {
-    ([0u64..5, 0u64..5, 0u64..5]).prop_map(Time::from_coords)
+fn small_time(rng: &mut SmallRng) -> Time {
+    Time::from_coords([
+        rng.gen_range(0u64..5),
+        rng.gen_range(0u64..5),
+        rng.gen_range(0u64..5),
+    ])
 }
 
-fn frontier_of<T: PartialOrder + Clone>(elements: Vec<T>) -> Antichain<T> {
-    Antichain::from_iter(elements)
+fn small_product_frontier(rng: &mut SmallRng) -> Antichain<P2> {
+    let len = rng.gen_range(1usize..4);
+    Antichain::from_iter((0..len).map(|_| small_product(rng)))
+}
+
+fn small_time_frontier(rng: &mut SmallRng) -> Antichain<Time> {
+    let len = rng.gen_range(1usize..4);
+    Antichain::from_iter((0..len).map(|_| small_time(rng)))
 }
 
 /// `t1 ≡_F t2`: the two times compare identically to every probe in advance of `F`.
@@ -60,78 +75,96 @@ fn time_probes() -> Vec<Time> {
     probes
 }
 
-proptest! {
-    /// Theorem 1 for the two-coordinate product lattice.
-    #[test]
-    fn correctness_product(t in small_product(), f in prop::collection::vec(small_product(), 1..4)) {
-        let frontier = frontier_of(f);
+/// Theorem 1 for the two-coordinate product lattice.
+#[test]
+fn correctness_product() {
+    let probes = product_probes();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1000 + case);
+        let t = small_product(&mut rng);
+        let frontier = small_product_frontier(&mut rng);
         let mut rep = t;
         rep.advance_by(frontier.borrow());
-        let probes = product_probes();
-        prop_assert!(equivalent_under(&t, &rep, &frontier, &probes),
-            "t={:?} rep={:?} frontier={:?}", t, rep, frontier);
+        assert!(
+            equivalent_under(&t, &rep, &frontier, &probes),
+            "case {case}: t={t:?} rep={rep:?} frontier={frontier:?}"
+        );
     }
+}
 
-    /// Theorem 2 for the two-coordinate product lattice.
-    #[test]
-    fn optimality_product(
-        t1 in small_product(),
-        t2 in small_product(),
-        f in prop::collection::vec(small_product(), 1..4),
-    ) {
-        let frontier = frontier_of(f);
-        let probes = product_probes();
+/// Theorem 2 for the two-coordinate product lattice.
+#[test]
+fn optimality_product() {
+    let probes = product_probes();
+    for case in 0..4 * CASES {
+        let mut rng = SmallRng::seed_from_u64(0x2000 + case);
+        let t1 = small_product(&mut rng);
+        let t2 = small_product(&mut rng);
+        let frontier = small_product_frontier(&mut rng);
         if equivalent_under(&t1, &t2, &frontier, &probes) {
             let mut r1 = t1;
             let mut r2 = t2;
             r1.advance_by(frontier.borrow());
             r2.advance_by(frontier.borrow());
-            prop_assert_eq!(r1, r2, "t1={:?} t2={:?} frontier={:?}", t1, t2, frontier);
+            assert_eq!(
+                r1, r2,
+                "case {case}: t1={t1:?} t2={t2:?} frontier={frontier:?}"
+            );
         }
     }
+}
 
-    /// Theorem 1 for the runtime's three-coordinate `Time`.
-    #[test]
-    fn correctness_time(t in small_time(), f in prop::collection::vec(small_time(), 1..4)) {
-        let frontier = frontier_of(f);
+/// Theorem 1 for the runtime's three-coordinate `Time`.
+#[test]
+fn correctness_time() {
+    let probes = time_probes();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3000 + case);
+        let t = small_time(&mut rng);
+        let frontier = small_time_frontier(&mut rng);
         let mut rep = t;
         rep.advance_by(frontier.borrow());
-        let probes = time_probes();
-        prop_assert!(equivalent_under(&t, &rep, &frontier, &probes));
+        assert!(
+            equivalent_under(&t, &rep, &frontier, &probes),
+            "case {case}: t={t:?} rep={rep:?} frontier={frontier:?}"
+        );
     }
+}
 
-    /// Theorem 2 for the runtime's three-coordinate `Time`.
-    #[test]
-    fn optimality_time(
-        t1 in small_time(),
-        t2 in small_time(),
-        f in prop::collection::vec(small_time(), 1..4),
-    ) {
-        let frontier = frontier_of(f);
-        let probes = time_probes();
+/// Theorem 2 for the runtime's three-coordinate `Time`.
+#[test]
+fn optimality_time() {
+    let probes = time_probes();
+    for case in 0..4 * CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4000 + case);
+        let t1 = small_time(&mut rng);
+        let t2 = small_time(&mut rng);
+        let frontier = small_time_frontier(&mut rng);
         if equivalent_under(&t1, &t2, &frontier, &probes) {
             let mut r1 = t1;
             let mut r2 = t2;
             r1.advance_by(frontier.borrow());
             r2.advance_by(frontier.borrow());
-            prop_assert_eq!(r1, r2);
+            assert_eq!(r1, r2, "case {case}");
         }
     }
+}
 
-    /// The representative never moves backwards: `t <= rep_F(t)` whenever t is in advance
-    /// of F... in general rep_F(t) >= t does not hold for arbitrary lattices unless t is
-    /// dominated; for the product of totally ordered chains `rep_F(t)` is always `>= t ∧ f`
-    /// for some f; we check the weaker monotonicity property used by the trace layer:
-    /// advancing by a *later* frontier never produces an *earlier* representative.
-    #[test]
-    fn advancing_is_monotone_in_frontier(
-        t in small_product(),
-        f1 in prop::collection::vec(small_product(), 1..4),
-    ) {
-        let frontier1 = frontier_of(f1);
+/// Advancing by a *later* frontier never produces an *earlier* representative: compacting
+/// in two steps or one must agree wherever the later frontier can see.
+#[test]
+fn advancing_is_monotone_in_frontier() {
+    let probes = product_probes();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5000 + case);
+        let t = small_product(&mut rng);
+        let frontier1 = small_product_frontier(&mut rng);
         // A strictly later frontier: every element advanced by (1,1).
         let frontier2 = Antichain::from_iter(
-            frontier1.elements().iter().map(|p| Product::new(p.outer + 1, p.inner + 1)),
+            frontier1
+                .elements()
+                .iter()
+                .map(|p| Product::new(p.outer + 1, p.inner + 1)),
         );
         let mut r1 = t;
         r1.advance_by(frontier1.borrow());
@@ -139,44 +172,57 @@ proptest! {
         r12.advance_by(frontier2.borrow());
         let mut r2 = t;
         r2.advance_by(frontier2.borrow());
-        // Compacting in two steps or one must agree wherever the later frontier can see.
-        let probes = product_probes();
-        prop_assert!(equivalent_under(&r12, &r2, &frontier2, &probes));
+        assert!(
+            equivalent_under(&r12, &r2, &frontier2, &probes),
+            "case {case}: t={t:?} frontier1={frontier1:?}"
+        );
     }
+}
 
-    /// Lattice laws for Product: join/meet are commutative, associative, idempotent, and
-    /// consistent with the partial order.
-    #[test]
-    fn product_lattice_laws(a in small_product(), b in small_product(), c in small_product()) {
-        prop_assert_eq!(a.join(&b), b.join(&a));
-        prop_assert_eq!(a.meet(&b), b.meet(&a));
-        prop_assert_eq!(a.join(&a), a);
-        prop_assert_eq!(a.meet(&a), a);
-        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
-        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+/// Lattice laws for Product: join/meet are commutative, associative, idempotent, and
+/// consistent with the partial order.
+#[test]
+fn product_lattice_laws() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x6000 + case);
+        let a = small_product(&mut rng);
+        let b = small_product(&mut rng);
+        let c = small_product(&mut rng);
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.meet(&b), b.meet(&a));
+        assert_eq!(a.join(&a), a);
+        assert_eq!(a.meet(&a), a);
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
         // Bounds.
-        prop_assert!(a.less_equal(&a.join(&b)));
-        prop_assert!(b.less_equal(&a.join(&b)));
-        prop_assert!(a.meet(&b).less_equal(&a));
-        prop_assert!(a.meet(&b).less_equal(&b));
+        assert!(a.less_equal(&a.join(&b)));
+        assert!(b.less_equal(&a.join(&b)));
+        assert!(a.meet(&b).less_equal(&a));
+        assert!(a.meet(&b).less_equal(&b));
         // Absorption.
-        prop_assert_eq!(a.join(&a.meet(&b)), a);
-        prop_assert_eq!(a.meet(&a.join(&b)), a);
+        assert_eq!(a.join(&a.meet(&b)), a);
+        assert_eq!(a.meet(&a.join(&b)), a);
     }
+}
 
-    /// Antichain membership: after inserting arbitrary elements, the retained elements are
-    /// mutually incomparable and `less_equal` agrees with a direct scan of the inputs.
-    #[test]
-    fn antichain_is_minimal_and_faithful(elems in prop::collection::vec(small_product(), 1..10), probe in small_product()) {
+/// Antichain membership: after inserting arbitrary elements, the retained elements are
+/// mutually incomparable and `less_equal` agrees with a direct scan of the inputs.
+#[test]
+fn antichain_is_minimal_and_faithful() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7000 + case);
+        let len = rng.gen_range(1usize..10);
+        let elems: Vec<P2> = (0..len).map(|_| small_product(&mut rng)).collect();
+        let probe = small_product(&mut rng);
         let frontier = Antichain::from_iter(elems.clone());
         for x in frontier.elements() {
             for y in frontier.elements() {
                 if x != y {
-                    prop_assert!(!x.less_equal(y));
+                    assert!(!x.less_equal(y), "case {case}");
                 }
             }
         }
         let direct = elems.iter().any(|e| e.less_equal(&probe));
-        prop_assert_eq!(frontier.less_equal(&probe), direct);
+        assert_eq!(frontier.less_equal(&probe), direct, "case {case}");
     }
 }

@@ -41,7 +41,11 @@ pub fn consolidate<D: Ord, R: Semigroup>(updates: &mut Vec<(D, R)>) {
 /// zeros.
 pub fn consolidate_updates<D: Ord, T: Ord, R: Semigroup>(updates: &mut Vec<(D, T, R)>) {
     if updates.len() <= 1 {
-        if updates.first().map(|(_, _, r)| r.is_zero()).unwrap_or(false) {
+        if updates
+            .first()
+            .map(|(_, _, r)| r.is_zero())
+            .unwrap_or(false)
+        {
             updates.clear();
         }
         return;
@@ -51,7 +55,9 @@ pub fn consolidate_updates<D: Ord, T: Ord, R: Semigroup>(updates: &mut Vec<(D, T
     let mut read = 0;
     while read < updates.len() {
         let mut end = read + 1;
-        while end < updates.len() && updates[end].0 == updates[read].0 && updates[end].1 == updates[read].1
+        while end < updates.len()
+            && updates[end].0 == updates[read].0
+            && updates[end].1 == updates[read].1
         {
             end += 1;
         }

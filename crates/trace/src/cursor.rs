@@ -200,9 +200,8 @@ impl<C: Cursor> Cursor for CursorList<C> {
 ///
 /// Intended for tests and small collections; production operators should navigate the
 /// cursor directly.
-pub fn cursor_to_updates<C: Cursor>(
-    cursor: &mut C,
-) -> Vec<(C::Key, C::Val, C::Time, C::Diff)> {
+#[allow(clippy::type_complexity)]
+pub fn cursor_to_updates<C: Cursor>(cursor: &mut C) -> Vec<(C::Key, C::Val, C::Time, C::Diff)> {
     let mut output = Vec::new();
     cursor.rewind_keys();
     while cursor.key_valid() {

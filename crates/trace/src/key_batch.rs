@@ -216,7 +216,11 @@ impl<K: Data, T: Timestamp + Lattice, R: Semigroup> OrdKeyMerger<K, T, R> {
         work
     }
 
-    fn merge_key(&mut self, source1: &OrdKeyStorage<K, T, R>, source2: &OrdKeyStorage<K, T, R>) -> usize {
+    fn merge_key(
+        &mut self,
+        source1: &OrdKeyStorage<K, T, R>,
+        source2: &OrdKeyStorage<K, T, R>,
+    ) -> usize {
         let key = source1.keys[self.key1].clone();
         let mut history: Vec<(T, R)> = Vec::new();
         history.extend_from_slice(
@@ -237,7 +241,12 @@ impl<K: Data, T: Timestamp + Lattice, R: Semigroup> OrdKeyMerger<K, T, R> {
 impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Merger<OrdKeyBatch<K, T, R>>
     for OrdKeyMerger<K, T, R>
 {
-    fn work(&mut self, source1: &OrdKeyBatch<K, T, R>, source2: &OrdKeyBatch<K, T, R>, fuel: &mut isize) {
+    fn work(
+        &mut self,
+        source1: &OrdKeyBatch<K, T, R>,
+        source2: &OrdKeyBatch<K, T, R>,
+        fuel: &mut isize,
+    ) {
         let storage1 = source1.storage();
         let storage2 = source2.storage();
         while *fuel > 0 && !self.complete {
@@ -285,7 +294,11 @@ impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Merger<OrdKeyBatch<K, T, R>>
         self.complete
     }
 
-    fn done(mut self, _s1: &OrdKeyBatch<K, T, R>, _s2: &OrdKeyBatch<K, T, R>) -> OrdKeyBatch<K, T, R> {
+    fn done(
+        mut self,
+        _s1: &OrdKeyBatch<K, T, R>,
+        _s2: &OrdKeyBatch<K, T, R>,
+    ) -> OrdKeyBatch<K, T, R> {
         assert!(self.complete, "merge extracted before completion");
         seal(&mut self.result);
         OrdKeyBatch {

@@ -71,7 +71,9 @@ impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> OrdValBatch<K, V, T
     }
 }
 
-impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> BatchReader for OrdValBatch<K, V, T, R> {
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> BatchReader
+    for OrdValBatch<K, V, T, R>
+{
     type Key = K;
     type Val = V;
     type Time = T;
@@ -227,7 +229,11 @@ pub struct OrdValMerger<K, V, T, R> {
 }
 
 impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> OrdValMerger<K, V, T, R> {
-    fn new(batch1: &OrdValBatch<K, V, T, R>, batch2: &OrdValBatch<K, V, T, R>, since: Antichain<T>) -> Self {
+    fn new(
+        batch1: &OrdValBatch<K, V, T, R>,
+        batch2: &OrdValBatch<K, V, T, R>,
+        since: Antichain<T>,
+    ) -> Self {
         let description = batch1
             .description()
             .merged_with(batch2.description(), since.clone());
@@ -270,14 +276,8 @@ impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> OrdValMerger<K, V, 
     ) -> usize {
         let mut work = 0;
         let key = source1.keys[self.key1].clone();
-        let (mut v1, v1_hi) = (
-            source1.key_offs[self.key1],
-            source1.key_offs[self.key1 + 1],
-        );
-        let (mut v2, v2_hi) = (
-            source2.key_offs[self.key2],
-            source2.key_offs[self.key2 + 1],
-        );
+        let (mut v1, v1_hi) = (source1.key_offs[self.key1], source1.key_offs[self.key1 + 1]);
+        let (mut v2, v2_hi) = (source2.key_offs[self.key2], source2.key_offs[self.key2 + 1]);
         while v1 < v1_hi || v2 < v2_hi {
             let take_from = if v1 >= v1_hi {
                 2
@@ -561,11 +561,7 @@ mod tests {
         let updates = cursor_to_updates(&mut cursor);
         assert_eq!(
             updates,
-            vec![
-                (1, "a", 0, 3),
-                (1, "z", 1, 1),
-                (2, "b", 0, 1),
-            ]
+            vec![(1, "a", 0, 3), (1, "z", 1, 1), (2, "b", 0, 1),]
         );
         assert_eq!(batch.len(), 3);
         assert_eq!(batch.key_count(), 2);

@@ -78,7 +78,7 @@ impl<B: Batch> Spine<B> {
             since: Antichain::from_elem(B::Time::minimum()),
             upper: Antichain::from_elem(B::Time::minimum()),
             effort,
-        inserted: 0,
+            inserted: 0,
         }
     }
 
@@ -195,11 +195,8 @@ impl<B: Batch> Spine<B> {
                 merger.work(a, b, &mut fuel);
                 if merger.is_complete() {
                     // Replace the merging layer with the merged result.
-                    let placeholder = B::empty(
-                        Antichain::new(),
-                        Antichain::new(),
-                        Antichain::new(),
-                    );
+                    let placeholder =
+                        B::empty(Antichain::new(), Antichain::new(), Antichain::new());
                     let previous = std::mem::replace(layer, Layer::Single(placeholder));
                     if let Layer::Merging(a, b, merger) = previous {
                         let merged = merger.done(&a, &b);
@@ -231,7 +228,11 @@ impl<B: Batch> Spine<B> {
                     let newer_layer = self.layers.remove(index);
                     let older_layer = std::mem::replace(
                         &mut self.layers[older],
-                        Layer::Single(B::empty(Antichain::new(), Antichain::new(), Antichain::new())),
+                        Layer::Single(B::empty(
+                            Antichain::new(),
+                            Antichain::new(),
+                            Antichain::new(),
+                        )),
                     );
                     if let (Layer::Single(a), Layer::Single(b)) = (older_layer, newer_layer) {
                         let mut merger = a.begin_merge(&b, self.since.borrow());
@@ -284,12 +285,7 @@ mod tests {
         updates.sort();
         assert_eq!(
             updates,
-            vec![
-                (1, 10, 0, 1),
-                (1, 10, 1, -1),
-                (2, 20, 0, 1),
-                (3, 30, 1, 1),
-            ]
+            vec![(1, 10, 0, 1), (1, 10, 1, -1), (2, 20, 0, 1), (3, 30, 1, 1),]
         );
         assert_eq!(spine.len(), 4);
         assert_eq!(spine.upper().elements(), &[2]);

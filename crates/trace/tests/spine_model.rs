@@ -1,16 +1,21 @@
-//! Model-based property tests: a `Spine` must accumulate exactly like a naive list of
+//! Model-based randomized tests: a `Spine` must accumulate exactly like a naive list of
 //! updates, before and after compaction, for arbitrary update sequences.
+//!
+//! Cases are generated from a seeded deterministic PRNG (`kpg_timestamp::rng`), so every
+//! run explores the same corpus and failures are reproducible by seed.
 
+use kpg_timestamp::rng::SmallRng;
 use kpg_timestamp::{Antichain, AntichainRef, PartialOrder};
 use kpg_trace::cursor::Cursor;
 use kpg_trace::ord_batch::{OrdValBatch, OrdValBuilder};
 use kpg_trace::{Builder, MergeEffort, Spine};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 type Key = u8;
 type Val = u8;
 type TimeT = u64;
+
+const CASES: u64 = 64;
 
 /// Accumulate a naive update list at `time` for every (key, val).
 fn naive_accumulate(
@@ -54,11 +59,40 @@ fn spine_accumulate(
     result
 }
 
+/// Draws a random epoch script: per epoch, a small batch of (key, val, diff) changes.
+fn random_epochs(
+    rng: &mut SmallRng,
+    epoch_bounds: (usize, usize),
+    changes_per_epoch: usize,
+    key_bound: u8,
+    val_bound: u8,
+) -> Vec<Vec<(Key, Val, isize)>> {
+    let epochs = rng.gen_range(epoch_bounds.0..epoch_bounds.1);
+    (0..epochs)
+        .map(|_| {
+            let changes = rng.gen_range(0..changes_per_epoch);
+            (0..changes)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..key_bound),
+                        rng.gen_range(0..val_bound),
+                        rng.gen_range(-2isize..3),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[allow(clippy::type_complexity)]
 fn build_spine(
     epochs: &[Vec<(Key, Val, isize)>],
     effort: MergeEffort,
     compaction: Option<TimeT>,
-) -> (Spine<OrdValBatch<Key, Val, TimeT, isize>>, Vec<(Key, Val, TimeT, isize)>) {
+) -> (
+    Spine<OrdValBatch<Key, Val, TimeT, isize>>,
+    Vec<(Key, Val, TimeT, isize)>,
+) {
     let mut spine = Spine::new(effort);
     let mut all_updates = Vec::new();
     for (epoch, changes) in epochs.iter().enumerate() {
@@ -83,56 +117,62 @@ fn build_spine(
     (spine, all_updates)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Without compaction, the spine accumulates identically to the naive model at every
-    /// probe time, regardless of merge effort.
-    #[test]
-    fn spine_matches_naive_model(
-        epochs in prop::collection::vec(
-            prop::collection::vec((0u8..8, 0u8..4, -2isize..3), 0..8),
-            1..12,
-        ),
-        effort_idx in 0usize..3,
-        probe in 0u64..12,
-    ) {
-        let effort = [MergeEffort::Eager, MergeEffort::Default, MergeEffort::Lazy][effort_idx];
+/// Without compaction, the spine accumulates identically to the naive model at every
+/// probe time, regardless of merge effort.
+#[test]
+fn spine_matches_naive_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA001 + case);
+        let epochs = random_epochs(&mut rng, (1, 12), 8, 8, 4);
+        let effort =
+            [MergeEffort::Eager, MergeEffort::Default, MergeEffort::Lazy][(case % 3) as usize];
+        let probe = rng.gen_range(0u64..12);
         let (spine, updates) = build_spine(&epochs, effort, None);
-        prop_assert_eq!(spine_accumulate(&spine, probe), naive_accumulate(&updates, probe));
+        assert_eq!(
+            spine_accumulate(&spine, probe),
+            naive_accumulate(&updates, probe),
+            "case {case} (effort {effort:?}, probe {probe})"
+        );
     }
+}
 
-    /// With the logical compaction frontier advanced to `since`, accumulations at times at
-    /// or beyond `since` are still exact.
-    #[test]
-    fn spine_compaction_preserves_accumulations_beyond_since(
-        epochs in prop::collection::vec(
-            prop::collection::vec((0u8..8, 0u8..4, -2isize..3), 0..8),
-            2..12,
-        ),
-        since in 0u64..6,
-        probe_offset in 0u64..8,
-    ) {
+/// With the logical compaction frontier advanced to `since`, accumulations at times at
+/// or beyond `since` are still exact.
+#[test]
+fn spine_compaction_preserves_accumulations_beyond_since() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB001 + case);
+        let epochs = random_epochs(&mut rng, (2, 12), 8, 8, 4);
+        let since = rng.gen_range(0u64..6);
+        let probe = since + rng.gen_range(0u64..8);
         let (spine, updates) = build_spine(&epochs, MergeEffort::Eager, Some(since));
-        let probe = since + probe_offset;
-        prop_assert_eq!(spine_accumulate(&spine, probe), naive_accumulate(&updates, probe));
+        assert_eq!(
+            spine_accumulate(&spine, probe),
+            naive_accumulate(&updates, probe),
+            "case {case} (since {since}, probe {probe})"
+        );
     }
+}
 
-    /// The spine never holds more updates than were inserted (consolidation only shrinks),
-    /// and its layer count stays logarithmic.
-    #[test]
-    fn spine_is_compact(
-        epochs in prop::collection::vec(
-            prop::collection::vec((0u8..4, 0u8..2, -1isize..2), 0..6),
-            1..40,
-        ),
-    ) {
+/// The spine never holds more updates than were inserted (consolidation only shrinks),
+/// and its layer count stays logarithmic.
+#[test]
+fn spine_is_compact() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC001 + case);
+        let epochs = random_epochs(&mut rng, (1, 40), 6, 4, 2);
         let (mut spine, updates) = build_spine(&epochs, MergeEffort::Default, None);
-        prop_assert!(spine.len() <= updates.len());
-        for _ in 0..32 { spine.exert(1 << 12); }
+        assert!(spine.len() <= updates.len(), "case {case}");
+        for _ in 0..32 {
+            spine.exert(1 << 12);
+        }
         let non_empty = updates.len().max(2);
         let bound = 4 * (non_empty as f64).log2().ceil() as usize + 4;
-        prop_assert!(spine.layer_count() <= bound,
-            "{} layers for {} updates", spine.layer_count(), updates.len());
+        assert!(
+            spine.layer_count() <= bound,
+            "case {case}: {} layers for {} updates",
+            spine.layer_count(),
+            updates.len()
+        );
     }
 }

@@ -15,7 +15,9 @@ fn main() {
 
     execute(Config::new(1), move |worker| {
         let db = generate(0.5, 7);
-        let (mut inputs, probe, results) = worker.dataflow(|builder| {
+        // Install the standing query under a name, so a longer-lived session could
+        // retire it with `worker.uninstall(...)` once it stops being useful.
+        let (mut inputs, probe, results) = worker.install("tpch-view", |builder| {
             let (inputs, rels) = relations(builder);
             let result = build_query(query, &rels);
             (inputs, result.probe(), result.capture())

@@ -1,17 +1,27 @@
-//! Inter-query sharing: one arrangement of a graph serves several query dataflows, and a
-//! later dataflow attaches to the live arrangement via `import` (paper §4.3).
+//! The query-session lifecycle: one arrangement of a graph is published into the
+//! `Catalog` by name, several queries are installed against it mid-stream, and one is
+//! uninstalled at runtime — after which the shared trace's compaction frontier advances
+//! past the departed reader (paper §4.3).
 //!
 //! Run with `cargo run --release --example shared_queries`.
 
 use shared_arrangements::prelude::*;
+use shared_arrangements::timestamp::Antichain;
 
 fn main() {
     execute(Config::new(1), |worker| {
-        // Dataflow 1: ingest the graph once and arrange it by source node.
-        let (mut edges, probe, trace) = worker.dataflow(|builder| {
-            let (edges_in, edges) = new_collection::<(u32, u32), isize>(builder);
-            let arranged = edges.arrange_by_key();
-            (edges_in, arranged.probe(), arranged.trace.clone())
+        let catalog = Catalog::new();
+
+        // Dataflow 1: ingest the graph once, arrange it by source node, and publish the
+        // arrangement under a name any later query can import.
+        let (mut edges, probe) = worker.install("graph", {
+            let catalog = catalog.clone();
+            move |builder| {
+                let (edges_in, edges) = new_collection::<(u32, u32), isize>(builder);
+                let arranged = edges.arrange_by_key();
+                catalog.publish("edges", &arranged).unwrap();
+                (edges_in, arranged.probe())
+            }
         });
         for src in 0..1_000u32 {
             for offset in 1..=3u32 {
@@ -20,45 +30,92 @@ fn main() {
         }
         edges.advance_to(1);
         worker.step_while(|| probe.less_than(&edges.time()));
-        println!("arranged {} edge updates once", trace.len());
+        println!(
+            "arranged {} edge updates once, published as {:?}",
+            catalog.arrangement_size("edges").unwrap(),
+            catalog.names()
+        );
 
-        // Dataflow 2: out-degree distribution, reading the shared arrangement.
-        let (degree_probe, degrees) = worker.dataflow(|builder| {
-            let imported = trace.import(builder);
-            let degrees = imported
-                .reduce_core("Degrees", |_k, input, output: &mut Vec<(isize, isize)>| {
-                    let total: isize = input.iter().map(|(_, r)| *r).sum();
-                    output.push((total, 1));
-                })
-                .as_collection(|node, degree| (*node, *degree));
-            (degrees.probe(), degrees.capture())
-        });
+        // Query 1: out-degree distribution, installed against the published name.
+        let degrees = worker
+            .install_query("degrees", &catalog, |builder, catalog| {
+                let imported = catalog
+                    .import::<ValBatch<u32, u32>>("edges", builder)
+                    .unwrap();
+                let degrees = imported
+                    .reduce_core("Degrees", |_k, input, output: &mut Vec<(isize, isize)>| {
+                        let total: isize = input.iter().map(|(_, r)| *r).sum();
+                        output.push((total, 1));
+                    })
+                    .as_collection(|node, degree| (*node, *degree));
+                (degrees.probe(), degrees.capture())
+            })
+            .unwrap();
 
-        // Dataflow 3: two-hop neighbourhood of a few roots, reading the same arrangement.
-        let (mut roots, twohop_probe, twohop) = worker.dataflow(|builder| {
-            let imported = trace.import(builder);
-            let (roots_in, roots) = new_collection::<u32, isize>(builder);
-            let one_hop = roots
-                .map(|r| (r, ()))
-                .arrange_by_key()
-                .join_core(&imported, |root, (), mid| (*mid, *root));
-            let two_hop = one_hop
-                .arrange_by_key()
-                .join_core(&imported, |_mid, root, dst| (*root, *dst));
-            (roots_in, two_hop.probe(), two_hop.capture())
-        });
+        // Query 2: two-hop neighbourhood of a few roots, importing the same arrangement.
+        let twohop = worker
+            .install_query("two-hop", &catalog, |builder, catalog| {
+                let imported = catalog
+                    .import::<ValBatch<u32, u32>>("edges", builder)
+                    .unwrap();
+                let (roots_in, roots) = new_collection::<u32, isize>(builder);
+                let one_hop = roots
+                    .map(|r| (r, ()))
+                    .arrange_by_key()
+                    .join_core(&imported, |root, (), mid| (*mid, *root));
+                let two_hop = one_hop
+                    .arrange_by_key()
+                    .join_core(&imported, |_mid, root, dst| (*root, *dst));
+                (roots_in, two_hop.probe(), two_hop.capture())
+            })
+            .unwrap();
+        let (degree_probe, degree_rows) = &degrees.result;
+        let (mut roots, twohop_probe, twohop_rows) = twohop.result;
         roots.insert(7);
         roots.advance_to(1);
 
-        // Keep everything current; all three dataflows share the single arrangement.
+        // Keep everything current; both queries share the single arrangement.
         edges.advance_to(2);
         roots.advance_to(2);
         worker.step_while(|| {
             degree_probe.less_than(&edges.time()) || twohop_probe.less_than(&roots.time())
         });
+        println!(
+            "installed queries: {:?}; degree rows: {}, two-hop rows for root 7: {}",
+            worker.installed(),
+            degree_rows.borrow().len(),
+            twohop_rows.borrow().len()
+        );
+        println!(
+            "shared trace before uninstall: {} updates, since = {:?}",
+            catalog.arrangement_size("edges").unwrap(),
+            catalog.since("edges").unwrap()
+        );
 
-        println!("degree rows maintained: {}", degrees.borrow().len());
-        println!("two-hop results for root 7: {}", twohop.borrow().len());
-        println!("graph is still held once: {} updates in the shared trace", trace.len());
+        // Retire the degree query at runtime. Its dataflow leaves the scheduler and the
+        // read frontiers it pinned are released; with the surviving readers advanced,
+        // the shared trace is free to compact history only the departed query needed.
+        assert!(worker.uninstall_query("degrees", &catalog));
+        edges.advance_to(3);
+        roots.advance_to(3);
+        catalog.advance_all(Antichain::from_elem(Time::from_epoch(2)).borrow());
+        worker.step_while(|| twohop_probe.less_than(&roots.time()));
+
+        println!(
+            "after uninstalling \"degrees\": installed queries = {:?}",
+            worker.installed()
+        );
+        println!(
+            "shared trace after uninstall: {} updates, since = {:?} (compaction advanced)",
+            catalog.arrangement_size("edges").unwrap(),
+            catalog.since("edges").unwrap()
+        );
+        assert!(
+            !catalog
+                .since("edges")
+                .unwrap()
+                .less_equal(&Time::from_epoch(1)),
+            "the departed reader's history is released"
+        );
     });
 }

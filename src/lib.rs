@@ -8,14 +8,61 @@
 //! * [`trace`] — immutable indexed batches, cursors, and the amortized-merging spine
 //!   that backs every arrangement.
 //! * [`dataflow`] — the multi-worker dataflow runtime (workers, exchange channels,
-//!   epoch/round-synchronous progress tracking).
-//! * [`core`](mod@core) — differential collections, the `arrange` operator, and the
-//!   batch-oriented operator shells (`join`, `reduce`, `distinct`, `count`, `iterate`).
+//!   epoch/round-synchronous progress tracking), including the install/uninstall
+//!   dataflow lifecycle.
+//! * [`core`](mod@core) — differential collections, the `arrange` operator, the
+//!   batch-oriented operator shells (`join`, `reduce`, `distinct`, `count`, `iterate`),
+//!   and the [`Catalog`](kpg_core::Catalog) of named shared arrangements with the
+//!   [`QueryLifecycle`](kpg_core::QueryLifecycle) install/uninstall API.
 //! * [`relational`], [`graph`], [`datalog`] — the workloads used by the paper's
 //!   evaluation (TPC-H-like analytics, graph processing, Datalog / program analysis).
 //!
-//! The fastest way to get started is the `examples/quickstart.rs` binary, which builds
-//! the paper's reachability dataflow (Figure 1) and interactively updates it.
+//! ## The query-session API
+//!
+//! The paper's central claim is *interactive* sharing: new queries attach to
+//! already-maintained indexes mid-stream, and retired queries release the index history
+//! they alone were pinning. That loop is a first-class operation here:
+//!
+//! ```no_run
+//! use shared_arrangements::prelude::*;
+//!
+//! execute(Config::new(1), |worker| {
+//!     let catalog = Catalog::new();
+//!
+//!     // Ingest and arrange the data once; publish the arrangement by name.
+//!     let (mut edges, probe) = worker.install("graph", {
+//!         let catalog = catalog.clone();
+//!         move |builder| {
+//!             let (input, edges) = new_collection::<(u32, u32), isize>(builder);
+//!             let arranged = edges.arrange_by_key();
+//!             catalog.publish("edges", &arranged).unwrap();
+//!             (input, arranged.probe())
+//!         }
+//!     });
+//!
+//!     // Install a query against the published arrangement, by name.
+//!     let degrees = worker
+//!         .install_query("degrees", &catalog, |builder, catalog| {
+//!             let edges = catalog
+//!                 .import::<ValBatch<u32, u32>>("edges", builder)
+//!                 .unwrap();
+//!             edges.as_collection(|src, _dst| *src).probe()
+//!         })
+//!         .unwrap();
+//!
+//!     // ...run interactively (insert, advance_to, step_while)...
+//!     let _ = (&mut edges, probe, degrees);
+//!
+//!     // Retire the query: its dataflow leaves the scheduler and its read frontiers
+//!     // are released, so the shared arrangement can compact past them.
+//!     worker.uninstall_query("degrees", &catalog);
+//! });
+//! ```
+//!
+//! The fastest way in is `examples/quickstart.rs` (the paper's Figure 1 reachability
+//! dataflow, interactively updated) and `examples/shared_queries.rs` (the full
+//! publish → install → uninstall lifecycle, with the compaction frontier visibly
+//! advancing when a reader departs).
 
 pub use kpg_core as core;
 pub use kpg_dataflow as dataflow;

@@ -102,7 +102,11 @@ fn imported_arrangement_tracks_updates_across_dataflows() {
     let before = accumulate(0);
     let after = accumulate(1);
     assert_eq!(before.get(&(3, 5)), Some(&1), "5 values per key initially");
-    assert_eq!(after.get(&(3, 6)), Some(&1), "key 3 gains a value at epoch 1");
+    assert_eq!(
+        after.get(&(3, 6)),
+        Some(&1),
+        "key 3 gains a value at epoch 1"
+    );
     assert_eq!(after.get(&(3, 5)), None);
 }
 
