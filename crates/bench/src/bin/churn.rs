@@ -1,0 +1,237 @@
+//! Query-churn harness (paper §6.2): the interactive workload that installs and retires
+//! queries against a shared arrangement in a loop — install → pose arguments → probe →
+//! uninstall — at a configurable scale.
+//!
+//! The point of the measurement is *boundedness*: with dataflow-slot reclamation,
+//! install latency, steady-state per-step time, and the slot / reader-table high-water
+//! marks must be functions of the number of *concurrently live* queries (`--batch`),
+//! not of the total ever installed (`--queries`). The report compares per-step cost in
+//! the first and second halves of the run and prints the high-water marks alongside the
+//! final live counts.
+//!
+//! Run with `cargo run --release -p kpg_bench --bin churn -- [--queries 1000]
+//! [--batch 4] [--workers 1] [--nodes 500] [--edges 4000]`. Emits a one-line
+//! `BENCH {...}` JSON record for scripts, plus human-readable summaries.
+
+use std::time::Instant;
+
+use kpg_bench::{arg_usize, BenchReport, LatencyRecorder};
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+use kpg_graph::generate;
+use kpg_graph::interactive::{InteractiveSession, QueryIo};
+use kpg_timestamp::rng::SmallRng;
+
+/// Everything one worker measures during the churn loop.
+struct ChurnStats {
+    install: LatencyRecorder,
+    settle: LatencyRecorder,
+    uninstall: LatencyRecorder,
+    steps_first_half: LatencyRecorder,
+    steps_second_half: LatencyRecorder,
+    steady: LatencyRecorder,
+    slot_high_water: usize,
+    shared_entries_high_water: usize,
+    reader_slots_high_water: usize,
+    live_final: usize,
+    slots_final: usize,
+    reader_count_final: usize,
+    graph_size_final: usize,
+}
+
+fn run(queries: usize, batch: usize, workers: usize, nodes: u32, edges: usize) -> ChurnStats {
+    let results = execute(Config::new(workers), move |worker| {
+        let peers = worker.peers();
+        let index = worker.index();
+
+        // The shared arrangement: ingested once, published by name, imported by every
+        // query the loop installs.
+        let catalog = Catalog::new();
+        let mut session = InteractiveSession::install(worker, &catalog, "edges");
+        for (i, edge) in generate::uniform(nodes, edges, 42).into_iter().enumerate() {
+            if i % peers == index {
+                session.edges.insert(edge);
+            }
+        }
+        let mut epoch = 1u64;
+        session.edges.advance_to(epoch);
+        let graph_probe = session.graph_probe.clone();
+        worker.step_while(|| graph_probe.less_than(&Time::from_epoch(epoch)));
+
+        // All workers draw the same pseudo-random argument stream so their control flow
+        // stays in lockstep; sharding decides who actually inserts each update.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut stats = ChurnStats {
+            install: LatencyRecorder::new(),
+            settle: LatencyRecorder::new(),
+            uninstall: LatencyRecorder::new(),
+            steps_first_half: LatencyRecorder::new(),
+            steps_second_half: LatencyRecorder::new(),
+            steady: LatencyRecorder::new(),
+            slot_high_water: 0,
+            shared_entries_high_water: 0,
+            reader_slots_high_water: 0,
+            live_final: 0,
+            slots_final: 0,
+            reader_count_final: 0,
+            graph_size_final: 0,
+        };
+
+        let mut installed_total = 0usize;
+        let mut round = 0usize;
+        while installed_total < queries {
+            let burst = batch.min(queries - installed_total);
+
+            // Install a burst of query classes against the published arrangement,
+            // alternating between point look-ups and 2-hop queries.
+            let mut handles: Vec<QueryHandle<QueryIo<u32, (u32, u32)>>> = Vec::with_capacity(burst);
+            for b in 0..burst {
+                let id = installed_total + b;
+                let name = format!("q-{id}");
+                let handle = stats.install.time(|| {
+                    if id.is_multiple_of(2) {
+                        session.install_lookup(worker, &name).expect("fresh name")
+                    } else {
+                        session.install_two_hop(worker, &name).expect("fresh name")
+                    }
+                });
+                handles.push(handle);
+            }
+
+            // Pose one argument per query and mutate the graph, the paper's open-loop
+            // half-queries / half-updates mix; everything lands in the next epoch.
+            for (j, handle) in handles.iter_mut().enumerate() {
+                let argument = rng.gen_range(0..nodes);
+                if j % peers == index {
+                    handle.result.input.insert(argument);
+                }
+            }
+            let addition = (rng.gen_range(0..nodes), rng.gen_range(0..nodes));
+            if round % peers == index {
+                session.edges.insert(addition);
+            }
+            epoch += 1;
+            session.edges.advance_to(epoch);
+            for handle in handles.iter_mut() {
+                handle.result.input.advance_to(epoch);
+            }
+
+            // Step until every query's answers are current, timing each step: per-step
+            // cost in the second half of the run must match the first half if retired
+            // slots really leave the scheduler.
+            let probes: Vec<ProbeHandle> = handles
+                .iter()
+                .map(|handle| handle.result.probe.clone())
+                .collect();
+            let target = Time::from_epoch(epoch);
+            let steps = if installed_total * 2 < queries {
+                &mut stats.steps_first_half
+            } else {
+                &mut stats.steps_second_half
+            };
+            let settle_start = Instant::now();
+            while probes.iter().any(|probe| probe.less_than(&target)) {
+                let step_start = Instant::now();
+                worker.step();
+                steps.record(step_start.elapsed());
+            }
+            stats.settle.record(settle_start.elapsed());
+
+            stats.slot_high_water = stats.slot_high_water.max(worker.dataflow_count());
+            stats.shared_entries_high_water = stats
+                .shared_entries_high_water
+                .max(worker.shared_dataflow_entries());
+            stats.reader_slots_high_water = stats
+                .reader_slots_high_water
+                .max(session.graph_reader_slots());
+
+            // Retire the whole burst; slots and readers must be reclaimed.
+            for handle in handles {
+                let name = handle.name().to_string();
+                stats
+                    .uninstall
+                    .time(|| assert!(session.uninstall(worker, &name)));
+            }
+            installed_total += burst;
+            round += 1;
+        }
+
+        // Steady state after the churn: an idle step sweeps live dataflows only, so its
+        // cost is independent of how many queries ever existed.
+        for _ in 0..100 {
+            let step_start = Instant::now();
+            worker.step();
+            stats.steady.record(step_start.elapsed());
+        }
+
+        stats.live_final = worker.live_dataflow_count();
+        stats.slots_final = worker.dataflow_count();
+        stats.reader_count_final = session.graph_reader_count();
+        stats.graph_size_final = session.graph_size();
+        stats
+    });
+    results.into_iter().next().expect("at least one worker")
+}
+
+fn main() {
+    let queries = arg_usize("--queries", 1000);
+    let batch = arg_usize("--batch", 4).max(1);
+    let workers = arg_usize("--workers", 1);
+    let nodes = arg_usize("--nodes", 500) as u32;
+    let edges = arg_usize("--edges", 4000);
+
+    println!(
+        "# Query churn: {queries} queries in bursts of {batch}, {workers} workers, \
+         {nodes} nodes / {edges} edges"
+    );
+    let stats = run(queries, batch, workers, nodes, edges);
+
+    println!("\n## Install / settle / uninstall latency");
+    stats.install.print_summary("install");
+    stats.install.print_ccdf("install");
+    stats.settle.print_summary("settle");
+    stats.uninstall.print_summary("uninstall");
+
+    println!("\n## Per-step scheduling cost, first vs second half of the churn");
+    stats.steps_first_half.print_summary("steps-1st-half");
+    stats.steps_second_half.print_summary("steps-2nd-half");
+    stats.steady.print_summary("steady-idle");
+
+    println!("\n## State high-water marks vs final (bounded ⇒ churn reclaims)");
+    println!(
+        "slots\thigh {}\tfinal {}\tlive {}",
+        stats.slot_high_water, stats.slots_final, stats.live_final
+    );
+    println!(
+        "readers\tslot high {}\tcount final {}",
+        stats.reader_slots_high_water, stats.reader_count_final
+    );
+
+    BenchReport::new("churn")
+        .field("queries", queries)
+        .field("batch", batch)
+        .field("workers", workers)
+        .field("nodes", nodes)
+        .field("edges", edges)
+        .field("install_median_ns", stats.install.median().as_nanos())
+        .field("install_p99_ns", stats.install.quantile(0.99).as_nanos())
+        .field("settle_median_ns", stats.settle.median().as_nanos())
+        .field("uninstall_median_ns", stats.uninstall.median().as_nanos())
+        .field(
+            "step_median_ns_first_half",
+            stats.steps_first_half.median().as_nanos(),
+        )
+        .field(
+            "step_median_ns_second_half",
+            stats.steps_second_half.median().as_nanos(),
+        )
+        .field("steady_step_median_ns", stats.steady.median().as_nanos())
+        .field("slot_high_water", stats.slot_high_water)
+        .field("slots_final", stats.slots_final)
+        .field("live_final", stats.live_final)
+        .field("shared_entries_high_water", stats.shared_entries_high_water)
+        .field("reader_slots_high_water", stats.reader_slots_high_water)
+        .field("reader_count_final", stats.reader_count_final)
+        .field("graph_size_final", stats.graph_size_final)
+        .emit();
+}

@@ -87,6 +87,69 @@ impl LatencyRecorder {
     }
 }
 
+/// Accumulates key/value pairs and prints them as the repo's one-line machine-readable
+/// bench shape: `BENCH {"name":...,...}` — a single JSON object per line, grep-able by
+/// CI and analysis scripts without a JSON dependency in-tree.
+pub struct BenchReport {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Starts a report for the bench called `name`.
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            fields: vec![("name".to_string(), json_string(name))],
+        }
+    }
+
+    /// Adds a numeric field (rendered bare, so the value must be a number).
+    pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a string field (rendered quoted).
+    pub fn text(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), json_string(value)));
+        self
+    }
+
+    /// Renders the JSON object (everything after the `BENCH ` prefix).
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(key, value)| format!("{}:{value}", json_string(key)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Prints the `BENCH {...}` line.
+    pub fn emit(self) {
+        println!("BENCH {}", self.render());
+    }
+}
+
+/// Escapes a string as a JSON string literal (RFC 8259: quote, backslash, and control
+/// characters; everything else passes through verbatim).
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Times a closure, returning its result and the elapsed wall-clock time.
 pub fn timed<T>(action: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
@@ -146,5 +209,25 @@ mod tests {
         let (value, elapsed) = timed(|| 21 * 2);
         assert_eq!(value, 42);
         assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn bench_report_shape_is_one_json_object() {
+        let report = BenchReport::new("churn")
+            .field("queries", 10)
+            .text("mode", "mixed");
+        assert_eq!(
+            report.render(),
+            "{\"name\":\"churn\",\"queries\":10,\"mode\":\"mixed\"}"
+        );
+    }
+
+    #[test]
+    fn bench_report_escapes_strings_as_json() {
+        let report = BenchReport::new("churn").text("note", "a\"b\\c\nd\u{1}e");
+        assert_eq!(
+            report.render(),
+            "{\"name\":\"churn\",\"note\":\"a\\\"b\\\\c\\nd\\u0001e\"}"
+        );
     }
 }

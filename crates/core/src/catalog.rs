@@ -82,6 +82,9 @@ pub trait AnyTrace {
     }
     /// The number of live read handles on the trace.
     fn reader_count(&self) -> usize;
+    /// The reader table's slot high-water mark (free-listed slots included): the churn
+    /// metric that must stay bounded as short-lived readers come and go.
+    fn reader_slots(&self) -> usize;
     /// Advances this handle's read frontier, permitting compaction.
     fn advance_since(&mut self, frontier: AntichainRef<'_, Time>);
 }
@@ -104,6 +107,9 @@ impl<B: Batch<Time = Time> + 'static> AnyTrace for TraceAgent<B> {
     }
     fn reader_count(&self) -> usize {
         TraceAgent::reader_count(self)
+    }
+    fn reader_slots(&self) -> usize {
+        TraceAgent::reader_slot_capacity(self)
     }
     fn advance_since(&mut self, frontier: AntichainRef<'_, Time>) {
         self.set_logical_compaction(frontier);
@@ -317,6 +323,18 @@ impl Catalog {
         self.with_entry(name, |entry| entry.trace.len())
     }
 
+    /// The number of live read handles on the trace published under `name`. Every
+    /// importing query holds readers; uninstall must return this to its baseline.
+    pub fn reader_count(&self, name: &str) -> Result<usize, CatalogError> {
+        self.with_entry(name, |entry| entry.trace.reader_count())
+    }
+
+    /// The reader-table slot high-water mark of the trace published under `name` — the
+    /// churn metric: bounded reader-slot reuse keeps this flat as queries come and go.
+    pub fn reader_slots(&self, name: &str) -> Result<usize, CatalogError> {
+        self.with_entry(name, |entry| entry.trace.reader_slots())
+    }
+
     /// The total number of updates held across all published traces.
     pub fn total_size(&self) -> usize {
         self.inner
@@ -429,10 +447,14 @@ impl QueryLifecycle for Worker {
         if self.installed_index(name).is_some() {
             return Err(CatalogError::QueryExists(name.to_string()));
         }
-        let dataflow = self.dataflow_count();
         catalog.begin_install(name);
         let result = self.install(name, |builder| logic(builder, catalog));
         catalog.end_install();
+        // Resolve the slot after the install: retired slots are reused, so the index is
+        // not simply the pre-install dataflow count.
+        let dataflow = self
+            .installed_index(name)
+            .expect("the query was just installed");
         Ok(QueryHandle {
             name: name.to_string(),
             dataflow,

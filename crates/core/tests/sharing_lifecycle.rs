@@ -180,6 +180,97 @@ fn uninstall_releases_readers_and_preserves_survivors() {
     }
 }
 
+/// Query churn end to end: many install/uninstall cycles against a published
+/// arrangement reuse dataflow slots (the slot table stays at its peak-live size),
+/// leave the catalog's reader table at its pre-churn size, and return the reader
+/// count to its baseline — on one worker and on two.
+#[test]
+fn query_churn_keeps_slots_and_reader_tables_bounded() {
+    for workers in [1usize, 2] {
+        let cycles = 50usize;
+        let observations = execute(Config::new(workers), move |worker| {
+            let catalog = Catalog::new();
+            let (mut edges, graph_probe) = worker.install("graph", {
+                let catalog = catalog.clone();
+                move |builder| {
+                    let (input, edges) = new_collection::<(u32, u32), isize>(builder);
+                    let arranged = edges.arrange_by_key();
+                    catalog.publish("edges", &arranged).unwrap();
+                    (input, arranged.probe())
+                }
+            });
+            for n in 0..20u32 {
+                if n as usize % worker.peers() == worker.index() {
+                    edges.insert((n % 5, n));
+                }
+            }
+            edges.advance_to(1);
+            worker.step_while(|| graph_probe.less_than(&edges.time()));
+
+            let baseline_readers = catalog.reader_count("edges").unwrap();
+            let mut slot_high = 0usize;
+            let mut reader_slots_after_first = 0usize;
+            let mut epoch = 1u64;
+            for cycle in 0..cycles {
+                let name = format!("q{cycle}");
+                let query = worker
+                    .install_query(&name, &catalog, |builder, catalog| {
+                        let imported = catalog
+                            .import::<ValBatch<u32, u32>>("edges", builder)
+                            .unwrap();
+                        imported.as_collection(|k, v| (*k, *v)).probe()
+                    })
+                    .unwrap();
+                epoch += 1;
+                edges.advance_to(epoch);
+                let probe = query.result.clone();
+                worker.step_while(|| probe.less_than(&edges.time()));
+                slot_high = slot_high.max(worker.dataflow_count());
+                if cycle == 0 {
+                    reader_slots_after_first = catalog.reader_slots("edges").unwrap();
+                }
+                assert!(worker.uninstall_query(&name, &catalog));
+            }
+
+            let final_slots = worker.dataflow_count();
+            let final_live = worker.live_dataflow_count();
+            let final_readers = catalog.reader_count("edges").unwrap();
+            let final_reader_slots = catalog.reader_slots("edges").unwrap();
+            (
+                baseline_readers,
+                slot_high,
+                reader_slots_after_first,
+                final_slots,
+                final_live,
+                final_readers,
+                final_reader_slots,
+            )
+        });
+        for (
+            baseline_readers,
+            slot_high,
+            reader_slots_after_first,
+            final_slots,
+            final_live,
+            final_readers,
+            final_reader_slots,
+        ) in observations
+        {
+            // The graph dataflow plus exactly one reused query slot.
+            assert_eq!(slot_high, 2, "workers = {workers}");
+            assert_eq!(final_slots, 2, "workers = {workers}");
+            assert_eq!(final_live, 1, "workers = {workers}");
+            // Departed queries release their readers: the count returns to baseline and
+            // the reader table never grows past its first-cycle high-water mark.
+            assert_eq!(final_readers, baseline_readers, "workers = {workers}");
+            assert!(
+                final_reader_slots <= reader_slots_after_first,
+                "workers = {workers}: reader table grew under churn: {reader_slots_after_first} -> {final_reader_slots}"
+            );
+        }
+    }
+}
+
 /// Reader-slot hygiene: churning many short-lived handles (clones and lookups) reuses
 /// slots instead of growing the reader table, and departed readers stop pinning
 /// compaction.

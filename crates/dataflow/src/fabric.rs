@@ -13,9 +13,17 @@ use std::sync::Arc;
 use crate::operator::BundleBox;
 
 /// A message sent between workers: a payload destined for an edge of a dataflow.
+///
+/// Dataflow slots are reused after uninstall, so the address is the pair
+/// `(dataflow, generation)`: a message whose generation is older than the slot's current
+/// occupant is acknowledged and discarded by the receiver instead of being delivered to
+/// the wrong dataflow, and a message for a generation (or slot) the receiver has not yet
+/// constructed is buffered until it has.
 pub struct RemoteMessage {
-    /// The index of the dataflow within the worker.
+    /// The index of the dataflow slot within the worker.
     pub dataflow: usize,
+    /// The generation of the slot's occupant the message is addressed to.
+    pub generation: u64,
     /// The edge (channel) within the dataflow the payload travels along.
     pub edge: usize,
     /// The type-erased payload.
@@ -79,6 +87,7 @@ mod tests {
             1,
             RemoteMessage {
                 dataflow: 0,
+                generation: 0,
                 edge: 3,
                 payload: Box::new(vec![1u64]),
             },

@@ -88,8 +88,12 @@ enum Destination {
     Worker(usize),
 }
 
-/// A single emission: an edge, a destination, and a payload.
+/// A single emission: an edge, a destination, and a payload, stamped with the
+/// `(slot, generation)` of the dataflow that produced it so stale deliveries can be
+/// recognized and discarded.
 pub(crate) struct Emission {
+    pub dataflow: usize,
+    pub generation: u64,
     pub edge: EdgeId,
     pub worker: Option<usize>,
     pub payload: BundleBox,
@@ -103,6 +107,7 @@ pub struct OutputContext<'a> {
     pub(crate) worker_index: usize,
     pub(crate) peers: usize,
     pub(crate) dataflow: usize,
+    pub(crate) generation: u64,
     pub(crate) node_outputs: &'a [EdgeId],
     pub(crate) emissions: &'a mut Vec<Emission>,
     pub(crate) fabric: &'a Fabric,
@@ -184,6 +189,8 @@ impl<'a> OutputContext<'a> {
     fn push(&mut self, edge: EdgeId, destination: Destination, payload: BundleBox) {
         match destination {
             Destination::Local => self.emissions.push(Emission {
+                dataflow: self.dataflow,
+                generation: self.generation,
                 edge,
                 worker: None,
                 payload,
@@ -195,6 +202,7 @@ impl<'a> OutputContext<'a> {
                     worker,
                     RemoteMessage {
                         dataflow: self.dataflow,
+                        generation: self.generation,
                         edge: edge.0,
                         payload,
                     },

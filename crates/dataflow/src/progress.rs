@@ -26,6 +26,10 @@ pub struct DataflowShared {
     pub graph: Mutex<Option<DataflowGraph>>,
     /// Capabilities per worker, per node.
     pub capabilities: Mutex<Vec<Vec<Antichain<Time>>>>,
+    /// The worker count recorded at install time. Retirement accounting compares against
+    /// this, not against the capability table's current length, so that a retire racing
+    /// ahead of a peer's install can never conclude that no workers remain.
+    installed_workers: AtomicUsize,
     /// How many workers have retired their instance of this dataflow.
     retired_workers: AtomicUsize,
 }
@@ -36,6 +40,7 @@ impl DataflowShared {
         DataflowShared {
             graph: Mutex::new(None),
             capabilities: Mutex::new(Vec::new()),
+            installed_workers: AtomicUsize::new(0),
             retired_workers: AtomicUsize::new(0),
         }
     }
@@ -64,6 +69,7 @@ impl DataflowShared {
         if caps.is_empty() {
             *caps = vec![vec![Antichain::from_elem(Time::minimum()); nodes]; workers];
         }
+        self.installed_workers.store(workers, Ordering::SeqCst);
     }
 
     /// Publishes `capabilities` (one antichain per node) for `worker`.
@@ -73,24 +79,30 @@ impl DataflowShared {
     }
 
     /// Withdraws `worker`'s capabilities: the worker has retired its instance of this
-    /// dataflow and will never again produce output for it. Once every worker has
-    /// retired, the graph structure and capability table are freed entirely, so churning
-    /// through many install/uninstall cycles does not accumulate per-dataflow state.
+    /// dataflow and will never again produce output for it. Once every worker recorded
+    /// at install time has retired, the graph structure and capability table are freed
+    /// entirely, so churning through many install/uninstall cycles does not accumulate
+    /// per-dataflow state.
+    ///
+    /// Returns true exactly once: for the retire that freed the shared state, so the
+    /// caller can release whatever registry entry points at this descriptor. A retire
+    /// observed before any install (possible only through direct use of this type)
+    /// leaves the state in place rather than freeing it under live peers.
     ///
     /// Each worker must call this at most once per dataflow (the worker's `retired` flag
     /// guarantees it).
-    pub fn retire(&self, worker: usize) {
-        let workers = {
+    pub fn retire(&self, worker: usize) -> bool {
+        {
             let mut caps = self.capabilities.lock().expect("capability lock poisoned");
             if let Some(row) = caps.get_mut(worker) {
                 for cap in row.iter_mut() {
                     *cap = Antichain::new();
                 }
             }
-            caps.len()
-        };
+        }
         let retired = self.retired_workers.fetch_add(1, Ordering::SeqCst) + 1;
-        if retired >= workers {
+        let installed = self.installed_workers.load(Ordering::SeqCst);
+        if installed > 0 && retired == installed {
             // No live instance remains anywhere, so nobody will consult this dataflow's
             // progress state again; release the graph (names, edges) and the table.
             *self.graph.lock().expect("graph lock poisoned") = None;
@@ -98,6 +110,9 @@ impl DataflowShared {
                 .lock()
                 .expect("capability lock poisoned")
                 .clear();
+            true
+        } else {
+            false
         }
     }
 
@@ -362,14 +377,29 @@ mod tests {
     fn retiring_all_workers_frees_shared_state() {
         let shared = DataflowShared::new();
         shared.install(linear_graph(), 2);
-        shared.retire(0);
+        assert!(!shared.retire(0));
         // One worker still live: the graph must remain consultable.
         assert!(shared.graph.lock().unwrap().is_some());
         assert!(!shared.input_frontiers().is_empty());
-        shared.retire(1);
+        assert!(shared.retire(1));
         // Last worker retired: graph and capability table are released.
         assert!(shared.graph.lock().unwrap().is_none());
         assert!(shared.capabilities.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn retire_before_install_does_not_free() {
+        let shared = DataflowShared::new();
+        // A retire racing ahead of any install must not free state under live peers: the
+        // worker count is recorded at install, and zero installs means nothing to free.
+        assert!(!shared.retire(0));
+        shared.install(linear_graph(), 2);
+        assert!(shared.graph.lock().unwrap().is_some());
+        assert!(!shared.input_frontiers().is_empty());
+        // The premature retire was still counted; the second worker's retire completes
+        // the install-time quota of two and frees the state.
+        assert!(shared.retire(1));
+        assert!(shared.graph.lock().unwrap().is_none());
     }
 
     #[test]

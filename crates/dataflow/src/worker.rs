@@ -36,22 +36,57 @@ impl Default for Config {
     }
 }
 
+/// The live generations of one dataflow slot: `(generation, progress state)` pairs.
+type SlotGenerations = Vec<(u64, Arc<DataflowShared>)>;
+
 /// State shared by all workers of one computation.
 pub(crate) struct Shared {
     pub workers: usize,
     pub barrier: Barrier,
     pub work_flags: Vec<AtomicBool>,
-    pub dataflows: Mutex<Vec<Arc<DataflowShared>>>,
+    /// Per slot, the progress state of every generation with at least one live worker
+    /// instance. Entries are created by the first worker to install a generation and
+    /// removed by the last worker to retire it, so the registry holds O(live dataflows)
+    /// state regardless of how many generations have churned through a slot. Several
+    /// generations of one slot can coexist briefly when workers run ahead of each other
+    /// between synchronization points.
+    pub dataflows: Mutex<Vec<SlotGenerations>>,
     pub fabric: Arc<Fabric>,
 }
 
 impl Shared {
-    fn dataflow_shared(&self, index: usize) -> Arc<DataflowShared> {
+    /// The shared progress state for `(slot, generation)`, created on first request.
+    fn dataflow_shared(&self, slot: usize, generation: u64) -> Arc<DataflowShared> {
         let mut dataflows = self.dataflows.lock().expect("dataflow registry poisoned");
-        while dataflows.len() <= index {
-            dataflows.push(Arc::new(DataflowShared::new()));
+        while dataflows.len() <= slot {
+            dataflows.push(Vec::new());
         }
-        Arc::clone(&dataflows[index])
+        let entries = &mut dataflows[slot];
+        if let Some((_, shared)) = entries.iter().find(|(gen, _)| *gen == generation) {
+            return Arc::clone(shared);
+        }
+        let shared = Arc::new(DataflowShared::new());
+        entries.push((generation, Arc::clone(&shared)));
+        shared
+    }
+
+    /// Removes the registry entry for `(slot, generation)` once its `DataflowShared`
+    /// reports that every installed worker has retired.
+    fn release_dataflow(&self, slot: usize, generation: u64) {
+        let mut dataflows = self.dataflows.lock().expect("dataflow registry poisoned");
+        if let Some(entries) = dataflows.get_mut(slot) {
+            entries.retain(|(gen, _)| *gen != generation);
+        }
+    }
+
+    /// The total number of live `(slot, generation)` progress entries.
+    fn dataflow_entries(&self) -> usize {
+        self.dataflows
+            .lock()
+            .expect("dataflow registry poisoned")
+            .iter()
+            .map(|entries| entries.len())
+            .sum()
     }
 }
 
@@ -59,6 +94,9 @@ impl Shared {
 /// bookkeeping.
 struct DataflowInstance {
     shared: Arc<DataflowShared>,
+    /// Which occupancy of the slot this instance is. Bumped each time the slot is
+    /// reused; messages stamped with an earlier generation are discarded.
+    generation: u64,
     graph: DataflowGraph,
     operators: Vec<Box<dyn Operator>>,
     node_outputs: Vec<Vec<EdgeId>>,
@@ -66,8 +104,9 @@ struct DataflowInstance {
     dirty: Vec<bool>,
     last_frontiers: Vec<Vec<Antichain<Time>>>,
     /// True once the dataflow has been uninstalled: its operators are dropped, its graph
-    /// is cleared, and any message still addressed to it is discarded. The slot stays in
-    /// place so that dataflow indices (used by in-flight remote messages) remain stable.
+    /// is cleared, and any message still addressed to it is discarded. The slot itself
+    /// goes onto the worker's free list and is reused (under a bumped generation) by the
+    /// next install, so churn leaves the slot table at O(peak live dataflows).
     retired: bool,
 }
 
@@ -83,6 +122,17 @@ pub struct Worker {
     shared: Arc<Shared>,
     inbox: Receiver<RemoteMessage>,
     dataflows: Vec<DataflowInstance>,
+    /// Slots whose occupant has been retired, available for reuse. All workers run the
+    /// same program, so their free lists evolve identically and every worker assigns the
+    /// same `(slot, generation)` to the same install.
+    free_slots: Vec<usize>,
+    /// The live (constructed, not retired) slots in installation order. Scheduling,
+    /// dirty-flag sweeps, and frontier advancement iterate this list, so per-step cost
+    /// is O(live dataflows) rather than O(ever-installed).
+    live_slots: Vec<usize>,
+    /// Remote messages addressed to a slot or generation this worker has not yet
+    /// constructed; re-examined once per scheduling round.
+    pending: Vec<RemoteMessage>,
     installed: HashMap<String, usize>,
 }
 
@@ -99,6 +149,9 @@ impl Worker {
             shared,
             inbox,
             dataflows: Vec::new(),
+            free_slots: Vec::new(),
+            live_slots: Vec::new(),
+            pending: Vec::new(),
             installed: HashMap::new(),
         }
     }
@@ -118,11 +171,20 @@ impl Worker {
     ///
     /// Every worker must construct the same dataflows in the same order.
     pub fn dataflow<R>(&mut self, logic: impl FnOnce(&mut DataflowBuilder) -> R) -> R {
-        let dataflow_index = self.dataflows.len();
+        self.build_dataflow(logic).1
+    }
+
+    /// Constructs a dataflow in the next available slot (reusing a retired slot under a
+    /// bumped generation when one is free) and returns `(slot, result)`.
+    fn build_dataflow<R>(&mut self, logic: impl FnOnce(&mut DataflowBuilder) -> R) -> (usize, R) {
+        let (slot, generation) = match self.free_slots.pop() {
+            Some(slot) => (slot, self.dataflows[slot].generation + 1),
+            None => (self.dataflows.len(), 0),
+        };
         let mut builder = DataflowBuilder {
             worker_index: self.index,
             peers: self.peers,
-            dataflow_index,
+            dataflow_index: slot,
             inner: Rc::new(RefCell::new(BuilderInner::default())),
         };
         let result = logic(&mut builder);
@@ -137,7 +199,7 @@ impl Worker {
         };
         let operators = std::mem::take(&mut inner.operators);
         drop(inner);
-        let shared = self.shared.dataflow_shared(dataflow_index);
+        let shared = self.shared.dataflow_shared(slot, generation);
         shared.install(graph.clone(), self.peers);
 
         let node_outputs = (0..graph.nodes)
@@ -151,8 +213,9 @@ impl Worker {
             .map(|&ports| vec![Antichain::from_elem(Time::minimum()); ports])
             .collect();
 
-        self.dataflows.push(DataflowInstance {
+        let instance = DataflowInstance {
             shared,
+            generation,
             graph,
             operators,
             node_outputs,
@@ -160,8 +223,15 @@ impl Worker {
             dirty,
             last_frontiers,
             retired: false,
-        });
-        result
+        };
+        if slot == self.dataflows.len() {
+            self.dataflows.push(instance);
+        } else {
+            // Reuse: the retired occupant's residual state is replaced wholesale.
+            self.dataflows[slot] = instance;
+        }
+        self.live_slots.push(slot);
+        (slot, result)
     }
 
     /// Constructs a new dataflow registered under `name`, so that it can later be
@@ -174,19 +244,43 @@ impl Worker {
             !self.installed.contains_key(name),
             "a dataflow named {name:?} is already installed"
         );
-        let index = self.dataflows.len();
-        let result = self.dataflow(logic);
-        self.installed.insert(name.to_string(), index);
+        let (slot, result) = self.build_dataflow(logic);
+        self.installed.insert(name.to_string(), slot);
         result
     }
 
-    /// The number of dataflows this worker has constructed, including retired ones
-    /// (whose indices remain reserved).
+    /// The number of dataflow slots this worker has ever allocated (the slot-table
+    /// high-water mark). Retired slots are reused by later installs, so under
+    /// install/uninstall churn this is bounded by the peak number of *concurrently*
+    /// live dataflows, not by the total ever installed.
     pub fn dataflow_count(&self) -> usize {
         self.dataflows.len()
     }
 
-    /// True iff the dataflow at `index` has been retired.
+    /// The number of currently live (constructed and not retired) dataflows.
+    pub fn live_dataflow_count(&self) -> usize {
+        self.live_slots.len()
+    }
+
+    /// The generation of the current (or most recent) occupant of slot `index`: how many
+    /// times the slot has been reused.
+    pub fn dataflow_generation(&self, index: usize) -> u64 {
+        self.dataflows[index].generation
+    }
+
+    /// The number of remote messages buffered because they address a slot or generation
+    /// this worker has not yet constructed.
+    pub fn pending_remote_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The number of live `(slot, generation)` entries in the computation-wide progress
+    /// registry. Like the slot table, this is O(live dataflows) under churn.
+    pub fn shared_dataflow_entries(&self) -> usize {
+        self.shared.dataflow_entries()
+    }
+
+    /// True iff the dataflow at `index` has been retired (and its slot not yet reused).
     pub fn is_retired(&self, index: usize) -> bool {
         self.dataflows[index].retired
     }
@@ -228,8 +322,10 @@ impl Worker {
     /// channels from the graph, discards queued and late-arriving messages, and
     /// withdraws this worker's capabilities so the dataflow's frontiers empty out.
     ///
-    /// The index remains valid (and permanently retired); new dataflows get fresh
-    /// indices. Handles obtained from the dataflow (inputs, probes, captures) remain
+    /// The slot goes onto the free list and is reused — under a bumped generation — by
+    /// the next dataflow constructed, so churn does not grow the slot table. In-flight
+    /// messages stamped with the retired generation are acknowledged and discarded when
+    /// they arrive. Handles obtained from the dataflow (inputs, probes, captures) remain
     /// safe to hold but stop observing anything new.
     pub fn drop_dataflow(&mut self, index: usize) {
         let instance = &mut self.dataflows[index];
@@ -250,37 +346,85 @@ impl Worker {
         instance.dirty.clear();
         instance.last_frontiers.clear();
         instance.graph.clear();
-        instance.shared.retire(self.index);
+        let generation = instance.generation;
+        if instance.shared.retire(self.index) {
+            // Every installed worker has retired this generation: remove its entry from
+            // the computation-wide registry so shared progress state stays O(live).
+            self.shared.release_dataflow(index, generation);
+        }
+        self.live_slots.retain(|&slot| slot != index);
+        self.free_slots.push(index);
+        // Messages buffered for this generation (possible only if it was never fully
+        // constructed here before retiring) are now stale; drop them.
+        self.pending
+            .retain(|message| message.dataflow != index || message.generation > generation);
+    }
+
+    /// Routes a received (already acknowledged) remote message: enqueues it for the
+    /// current occupant of its slot, discards it if it is addressed to an earlier
+    /// generation, or buffers it if this worker has not yet constructed the addressed
+    /// slot or generation. Returns true unless the message was buffered.
+    fn route_remote(&mut self, message: RemoteMessage) -> bool {
+        match self.dataflows.get_mut(message.dataflow) {
+            None => {
+                // A slot this worker has not allocated yet: hold the message until the
+                // worker's own construction catches up.
+                self.pending.push(message);
+                false
+            }
+            Some(instance) => {
+                if message.generation < instance.generation
+                    || (message.generation == instance.generation && instance.retired)
+                {
+                    // Addressed to a prior (or already retired) occupant of the slot:
+                    // acknowledged by the caller, discarded here.
+                    true
+                } else if message.generation > instance.generation {
+                    // Addressed to a future occupant this worker has not installed yet.
+                    self.pending.push(message);
+                    false
+                } else {
+                    let edge = &instance.graph.edges[message.edge];
+                    instance.queues[edge.to.0].push_back((edge.port, message.payload));
+                    instance.dirty[edge.to.0] = true;
+                    true
+                }
+            }
+        }
     }
 
     /// Runs operators locally until no more progress can be made without coordination.
     fn do_local_work(&mut self) -> bool {
         let mut did_anything = false;
         let mut emissions: Vec<Emission> = Vec::new();
+        // Retry messages buffered for a slot or generation that had not been constructed
+        // when they arrived; construction only happens between steps, so once per call
+        // suffices.
+        if !self.pending.is_empty() {
+            let pending = std::mem::take(&mut self.pending);
+            for message in pending {
+                if self.route_remote(message) {
+                    did_anything = true;
+                }
+            }
+        }
         loop {
             let mut progress = false;
 
             // Drain the remote inbox into local queues. Messages addressed to a retired
-            // dataflow are acknowledged (so in-flight accounting stays exact) and
-            // discarded.
+            // generation are acknowledged (so in-flight accounting stays exact) and
+            // discarded; messages ahead of this worker's construction are buffered.
             while let Ok(message) = self.inbox.try_recv() {
                 self.shared.fabric.acknowledge();
-                let instance = &mut self.dataflows[message.dataflow];
+                self.route_remote(message);
                 progress = true;
-                if instance.retired {
-                    continue;
-                }
-                let edge = &instance.graph.edges[message.edge];
-                instance.queues[edge.to.0].push_back((edge.port, message.payload));
-                instance.dirty[edge.to.0] = true;
             }
 
-            // Deliver queued payloads and run dirty operators.
-            for dataflow_index in 0..self.dataflows.len() {
-                let instance = &mut self.dataflows[dataflow_index];
-                if instance.retired {
-                    continue;
-                }
+            // Deliver queued payloads and run dirty operators, visiting live slots only.
+            for position in 0..self.live_slots.len() {
+                let slot = self.live_slots[position];
+                let instance = &mut self.dataflows[slot];
+                let generation = instance.generation;
                 let DataflowInstance {
                     graph,
                     operators,
@@ -300,7 +444,8 @@ impl Worker {
                         let mut context = OutputContext {
                             worker_index: self.index,
                             peers: self.peers,
-                            dataflow: dataflow_index,
+                            dataflow: slot,
+                            generation,
                             node_outputs: &node_outputs[node],
                             emissions: &mut emissions,
                             fabric: &self.shared.fabric,
@@ -309,9 +454,15 @@ impl Worker {
                             progress = true;
                         }
                     }
-                    // Deliver local emissions produced by this operator.
+                    // Deliver local emissions produced by this operator. Operators cannot
+                    // retire dataflows mid-work, so the stamps always match; the check
+                    // mirrors the remote path and keeps stale deliveries impossible if
+                    // local delivery is ever deferred.
                     for emission in emissions.drain(..) {
                         debug_assert!(emission.worker.is_none());
+                        if emission.dataflow != slot || emission.generation != generation {
+                            continue;
+                        }
                         let edge: &EdgeDesc = &graph.edges[emission.edge.0];
                         queues[edge.to.0].push_back((edge.port, emission.payload));
                         dirty[edge.to.0] = true;
@@ -355,10 +506,8 @@ impl Worker {
     fn advance_frontiers(&mut self) -> bool {
         // Publish this worker's capabilities for every live dataflow. Retired dataflows
         // withdrew their capabilities when they were dropped.
-        for instance in self.dataflows.iter() {
-            if instance.retired {
-                continue;
-            }
+        for &slot in self.live_slots.iter() {
+            let instance = &self.dataflows[slot];
             let capabilities = instance
                 .operators
                 .iter()
@@ -370,10 +519,9 @@ impl Worker {
 
         // Recompute frontiers (deterministically, from shared state) and deliver changes.
         let mut changed_any = false;
-        for instance in self.dataflows.iter_mut() {
-            if instance.retired {
-                continue;
-            }
+        for position in 0..self.live_slots.len() {
+            let slot = self.live_slots[position];
+            let instance = &mut self.dataflows[slot];
             let frontiers = instance.shared.input_frontiers();
             for (node, ports) in frontiers.iter().enumerate() {
                 for (port, new) in ports.iter().enumerate() {
@@ -399,11 +547,10 @@ impl Worker {
     pub fn step(&mut self) -> bool {
         // Give every operator a chance to run, even without fresh input: sources drain
         // their user-supplied buffers, arrangements make progress on amortized merges.
-        for instance in self.dataflows.iter_mut() {
-            if instance.retired {
-                continue;
-            }
-            for flag in instance.dirty.iter_mut() {
+        // Only live dataflows are swept, so step cost tracks the live count, not the
+        // total ever installed.
+        for &slot in self.live_slots.iter() {
+            for flag in self.dataflows[slot].dirty.iter_mut() {
                 *flag = true;
             }
         }
@@ -420,6 +567,30 @@ impl Worker {
         while condition() {
             self.step();
         }
+    }
+
+    /// Test support: sends a raw, explicitly stamped message to `target`'s inbox through
+    /// the fabric, exactly as an exchange operator would. Lets tests exercise the
+    /// stale-generation and out-of-range delivery paths, which cannot arise through the
+    /// lockstep stepping discipline.
+    #[doc(hidden)]
+    pub fn inject_remote(
+        &self,
+        target: usize,
+        dataflow: usize,
+        generation: u64,
+        edge: usize,
+        payload: BundleBox,
+    ) {
+        self.shared.fabric.send(
+            target,
+            RemoteMessage {
+                dataflow,
+                generation,
+                edge,
+                payload,
+            },
+        );
     }
 }
 
@@ -542,7 +713,7 @@ where
     T: Send + 'static,
 {
     let workers = config.workers.max(1);
-    let (fabric, mut receivers) = Fabric::new(workers);
+    let (fabric, receivers) = Fabric::new(workers);
     let shared = Arc::new(Shared {
         workers,
         barrier: Barrier::new(workers),
@@ -553,8 +724,7 @@ where
     let logic = Arc::new(logic);
 
     let mut joins = Vec::with_capacity(workers);
-    for index in 0..workers {
-        let inbox = receivers.remove(0);
+    for (index, inbox) in receivers.into_iter().enumerate() {
         let shared = Arc::clone(&shared);
         let logic = Arc::clone(&logic);
         joins.push(

@@ -192,6 +192,18 @@ impl InteractiveSession {
     pub fn graph_size(&self) -> usize {
         self.catalog.arrangement_size(&self.graph_name).unwrap_or(0)
     }
+
+    /// The number of live read handles on the shared graph arrangement. Installed
+    /// queries hold readers; this must return to its baseline as queries are retired.
+    pub fn graph_reader_count(&self) -> usize {
+        self.catalog.reader_count(&self.graph_name).unwrap_or(0)
+    }
+
+    /// The reader-table slot high-water mark of the shared graph arrangement: under
+    /// install/uninstall churn this stays bounded by the peak concurrent reader count.
+    pub fn graph_reader_slots(&self) -> usize {
+        self.catalog.reader_slots(&self.graph_name).unwrap_or(0)
+    }
 }
 
 /// Handles for driving the legacy one-dataflow interactive query dataflow.
