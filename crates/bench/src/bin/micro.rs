@@ -5,9 +5,14 @@
 //! of workers, and the merge amortization coefficient, and measures the latency to
 //! install-and-complete new dataflows that join against the pre-arranged collection.
 //!
-//! Run with `cargo run --release -p kpg-bench --bin micro [--keys 100000]`.
+//! Run with `cargo run --release -p kpg_bench --bin micro [--keys 100000]
+//! [--rounds 50] [--max-workers 2] [--updates 200000]`.
+//!
+//! Besides the human-readable figure tables, every experiment emits one machine-readable
+//! `BENCH {...}` JSON line (`micro_latency`, `micro_throughput`, `micro_join_install`),
+//! so CI and future PRs can track the perf trajectory of the hot path.
 
-use kpg_bench::{arg_usize, timed, LatencyRecorder};
+use kpg_bench::{arg_usize, timed, BenchReport, LatencyRecorder};
 use kpg_core::prelude::*;
 use kpg_dataflow::Time;
 use kpg_timestamp::rng::SmallRng;
@@ -122,15 +127,29 @@ fn join_proportionality(keys: u64, probe_sizes: &[usize]) -> Vec<(usize, f64)> {
     results.into_iter().next().expect("one worker")
 }
 
+/// Emits the `micro_latency` BENCH line for one step-latency experiment.
+fn emit_latency(label: &str, workers: usize, load: usize, recorder: &LatencyRecorder) {
+    BenchReport::new("micro_latency")
+        .text("experiment", label)
+        .field("workers", workers)
+        .field("load", load)
+        .field("p50_ns", recorder.median().as_nanos())
+        .field("p99_ns", recorder.quantile(0.99).as_nanos())
+        .field("max_ns", recorder.max().as_nanos())
+        .emit();
+}
+
 fn main() {
     let keys = arg_usize("--keys", 50_000) as u64;
     let rounds = arg_usize("--rounds", 50);
     let max_workers = arg_usize("--max-workers", 2);
+    let updates = arg_usize("--updates", 200_000);
 
     println!("# Figure 6a: latency CCDF vs offered load (1 worker)");
     for load in [250usize, 1_000, 4_000] {
         let recorder = drive_arrangement(1, keys, load, rounds, MergeEffort::Default);
         recorder.print_ccdf(&format!("load-{load}"));
+        emit_latency("load", 1, load, &recorder);
     }
 
     println!("\n# Figure 6b: latency CCDF vs workers (fixed load)");
@@ -138,6 +157,7 @@ fn main() {
     while workers <= max_workers {
         let recorder = drive_arrangement(workers, keys, 4_000, rounds, MergeEffort::Default);
         recorder.print_ccdf(&format!("workers-{workers}"));
+        emit_latency("workers", workers, 4_000, &recorder);
         workers *= 2;
     }
 
@@ -152,14 +172,21 @@ fn main() {
             MergeEffort::Default,
         );
         recorder.print_ccdf(&format!("weak-{workers}"));
+        emit_latency("weak", workers, 4_000 * workers, &recorder);
         workers *= 2;
     }
 
     println!("\n# Figure 6d: throughput of arrangement + count (records/s)");
     let mut workers = 1;
     while workers <= max_workers {
-        let rate = throughput(workers, keys, 200_000);
+        let rate = throughput(workers, keys, updates);
         println!("workers-{workers}\t{rate:.0} records/s");
+        BenchReport::new("micro_throughput")
+            .field("workers", workers)
+            .field("keys", keys)
+            .field("updates", updates)
+            .field("records_per_s", format!("{rate:.0}"))
+            .emit();
         workers *= 2;
     }
 
@@ -171,11 +198,17 @@ fn main() {
     ] {
         let recorder = drive_arrangement(1, keys, 4_000, rounds, effort);
         recorder.print_ccdf(label);
+        emit_latency(label, 1, 4_000, &recorder);
     }
 
     println!("\n# Figure 6f: install + complete a join against a pre-arranged collection");
     println!("probe size\tlatency (ms)");
     for (size, ms) in join_proportionality(keys, &[1, 256, 4_096, 16_384]) {
         println!("{size}\t{ms:.3}");
+        BenchReport::new("micro_join_install")
+            .field("keys", keys)
+            .field("size", size)
+            .field("latency_us", format!("{:.0}", ms * 1e3))
+            .emit();
     }
 }

@@ -412,8 +412,10 @@ where
         self.input_frontier = frontier.clone();
     }
 
-    fn capabilities(&self) -> Antichain<Time> {
-        self.capability.clone()
+    fn capabilities(&self, into: &mut Antichain<Time>) {
+        for time in self.capability.elements() {
+            into.insert(*time);
+        }
     }
 }
 
@@ -463,8 +465,10 @@ impl<B: Batch<Time = Time> + 'static> Operator for ImportOperator<B> {
         did
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
-    fn capabilities(&self) -> Antichain<Time> {
-        self.emitted_upper.clone()
+    fn capabilities(&self, into: &mut Antichain<Time>) {
+        for time in self.emitted_upper.elements() {
+            into.insert(*time);
+        }
     }
 }
 
@@ -514,12 +518,12 @@ where
         true
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
-    fn capabilities(&self) -> Antichain<Time> {
-        Antichain::from_iter(
-            self.pending
-                .iter()
-                .flat_map(|batch| batch.description().lower().elements().iter().copied()),
-        )
+    fn capabilities(&self, into: &mut Antichain<Time>) {
+        for batch in self.pending.iter() {
+            for time in batch.description().lower().elements() {
+                into.insert(*time);
+            }
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use std::marker::PhantomData;
 use kpg_dataflow::operator::{downcast_payload, BundleBox, Operator, OutputContext};
 use kpg_dataflow::Time;
 use kpg_timestamp::{Antichain, Lattice};
-use kpg_trace::{Abelian, Batch, BatchReader, Cursor, Data, Multiply, Semigroup};
+use kpg_trace::{Abelian, Batch, Cursor, Data, Multiply, Semigroup};
 
 use crate::arrange::{Arranged, KeyBatch, TraceAgent, ValBatch};
 use crate::collection::Collection;
@@ -24,9 +24,16 @@ use crate::Diff;
 /// Work is at most linear in the smaller of the two cursors thanks to alternating seeks:
 /// whichever cursor holds the smaller key seeks forward to the other's key rather than
 /// scanning (paper §5.3.1, "Alternating seeks").
-fn join_cursors<C1, C2>(
+///
+/// `history1` and `history2` are caller-owned scratch for the per-value `(time, diff)`
+/// histories: the inner loops clear and refill them rather than allocating, so a caller
+/// that threads the same vectors through repeated invocations (as [`JoinOperator`] does)
+/// performs no history allocations in steady state.
+pub(crate) fn join_cursors<C1, C2>(
     mut cursor1: C1,
     mut cursor2: C2,
+    history1: &mut Vec<(Time, C1::Diff)>,
+    history2: &mut Vec<(Time, C2::Diff)>,
     mut emit: impl FnMut(&C1::Key, &C1::Val, &C2::Val, &Time, &C1::Diff, &Time, &C2::Diff),
 ) where
     C1: Cursor<Time = Time>,
@@ -47,12 +54,12 @@ fn join_cursors<C1, C2>(
                 cursor1.rewind_vals();
                 while cursor1.val_valid() {
                     let val1 = cursor1.val().clone();
-                    let mut history1: Vec<(Time, C1::Diff)> = Vec::new();
+                    history1.clear();
                     cursor1.map_times(|t, r| history1.push((*t, r.clone())));
                     cursor2.rewind_vals();
                     while cursor2.val_valid() {
                         let val2 = cursor2.val().clone();
-                        let mut history2: Vec<(Time, C2::Diff)> = Vec::new();
+                        history2.clear();
                         cursor2.map_times(|t, r| history2.push((*t, r.clone())));
                         for (t1, r1) in history1.iter() {
                             for (t2, r2) in history2.iter() {
@@ -87,6 +94,12 @@ where
     queue2: Vec<B2>,
     frontier1: Antichain<Time>,
     frontier2: Antichain<Time>,
+    /// Reusable scratch for the per-value histories walked by [`join_cursors`] and for
+    /// the staged output updates; capacities persist across `work` calls so the join
+    /// inner loops allocate nothing in steady state.
+    history1: Vec<(Time, B1::Diff)>,
+    history2: Vec<(Time, B2::Diff)>,
+    results: UpdateVec<D, <B1::Diff as Multiply<B2::Diff>>::Output>,
     _marker: PhantomData<D>,
 }
 
@@ -118,30 +131,43 @@ where
         let new1 = std::mem::take(&mut self.queue1);
         let new2 = std::mem::take(&mut self.queue2);
 
-        type OutDiff<B1, B2> =
-            <<B1 as BatchReader>::Diff as Multiply<<B2 as BatchReader>::Diff>>::Output;
-        let mut results: UpdateVec<D, OutDiff<B1, B2>> = Vec::new();
+        // Borrow the scratch buffers and the logic closure as disjoint fields so the
+        // emit closures below can capture them while the traces stay borrowed.
+        let Self {
+            logic,
+            trace1,
+            trace2,
+            history1,
+            history2,
+            results,
+            ..
+        } = self;
+        debug_assert!(results.is_empty());
 
         // New batches from input 1 joined against the full shared trace of input 2.
-        if let Some(trace2) = self.trace2.as_ref() {
+        if let Some(trace2) = trace2.as_ref() {
             for batch in new1.iter() {
                 join_cursors(
                     batch.cursor(),
                     trace2.cursor(),
+                    history1,
+                    history2,
                     |k, v1, v2, t1, r1, t2, r2| {
-                        results.push(((self.logic)(k, v1, v2), t1.join(t2), r1.multiply(r2)));
+                        results.push((logic(k, v1, v2), t1.join(t2), r1.multiply(r2)));
                     },
                 );
             }
         }
         // New batches from input 2 joined against the full shared trace of input 1.
-        if let Some(trace1) = self.trace1.as_ref() {
+        if let Some(trace1) = trace1.as_ref() {
             for batch in new2.iter() {
                 join_cursors(
                     trace1.cursor(),
                     batch.cursor(),
+                    history1,
+                    history2,
                     |k, v1, v2, t1, r1, t2, r2| {
-                        results.push(((self.logic)(k, v1, v2), t1.join(t2), r1.multiply(r2)));
+                        results.push((logic(k, v1, v2), t1.join(t2), r1.multiply(r2)));
                     },
                 );
             }
@@ -153,19 +179,25 @@ where
                 join_cursors(
                     batch1.cursor(),
                     batch2.cursor(),
+                    history1,
+                    history2,
                     |k, v1, v2, t1, r1, t2, r2| {
                         let mut diff = r1.multiply(r2);
                         diff.negate();
-                        results.push(((self.logic)(k, v1, v2), t1.join(t2), diff));
+                        results.push((logic(k, v1, v2), t1.join(t2), diff));
                     },
                 );
             }
         }
 
-        kpg_trace::consolidate_updates(&mut results);
+        kpg_trace::consolidate_updates(results);
         let produced = !results.is_empty();
         if produced {
-            output.send(Box::new(results));
+            // Drain into an exactly-sized payload; the scratch keeps its capacity
+            // (`mem::take`, clippy's preference, would surrender it every call).
+            #[allow(clippy::drain_collect)]
+            let payload: UpdateVec<D, _> = results.drain(..).collect();
+            output.send(Box::new(payload));
         }
 
         // Let the traces compact up to the opposing input's frontier, and release a trace
@@ -195,21 +227,19 @@ where
         }
     }
 
-    fn capabilities(&self) -> Antichain<Time> {
+    fn capabilities(&self, into: &mut Antichain<Time>) {
         // Queued batches are processed (and their outputs emitted) before the next
         // frontier advancement, but their times must remain claimable until then.
-        let mut result = Antichain::new();
         for batch in self.queue1.iter() {
             for time in batch.description().lower().elements() {
-                result.insert(*time);
+                into.insert(*time);
             }
         }
         for batch in self.queue2.iter() {
             for time in batch.description().lower().elements() {
-                result.insert(*time);
+                into.insert(*time);
             }
         }
-        result
     }
 }
 
@@ -240,6 +270,9 @@ impl<B1: Batch<Time = Time> + 'static> Arranged<B1> {
             queue2: Vec::new(),
             frontier1: Antichain::from_elem(Time::minimum()),
             frontier2: Antichain::from_elem(Time::minimum()),
+            history1: Vec::new(),
+            history2: Vec::new(),
+            results: Vec::new(),
             _marker: PhantomData,
         };
         let node = builder.add_operator(Box::new(operator), 2);
@@ -298,5 +331,67 @@ impl<K: Data, V: Data> Collection<(K, V), Diff> {
     /// `other` must contain each key at most once (e.g. the output of `distinct`).
     pub fn antijoin(&self, other: &Collection<K, Diff>) -> Collection<(K, V), Diff> {
         self.concat(&self.semijoin(other).negate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrange::ValBatch;
+    use kpg_trace::{BatchReader, Builder};
+
+    fn batch(keys: u64, vals: u64) -> ValBatch<u64, u64, Diff> {
+        let mut builder = <ValBatch<u64, u64, Diff> as Batch>::Builder::with_capacity(0);
+        for key in 0..keys {
+            for val in 0..vals {
+                builder.push(key, val, Time::minimum(), 1);
+                builder.push(key, val, Time::from_epoch(1), 1);
+            }
+        }
+        builder.done(
+            Antichain::from_elem(Time::minimum()),
+            Antichain::from_elem(Time::from_epoch(2)),
+            Antichain::from_elem(Time::minimum()),
+        )
+    }
+
+    /// The join inner loops must reuse caller-owned history scratch: repeated
+    /// invocations with the same vectors perform identical work and never regrow them.
+    #[test]
+    fn join_cursors_scratch_capacity_is_stable() {
+        let batch1 = batch(64, 3);
+        let batch2 = batch(48, 4);
+        let mut history1: Vec<(Time, Diff)> = Vec::new();
+        let mut history2: Vec<(Time, Diff)> = Vec::new();
+
+        let mut baseline = 0usize;
+        join_cursors(
+            batch1.cursor(),
+            batch2.cursor(),
+            &mut history1,
+            &mut history2,
+            |_, _, _, _, _, _, _| baseline += 1,
+        );
+        // 48 shared keys × (3 × 4) value pairs × (2 × 2) time pairs.
+        assert_eq!(baseline, 48 * 12 * 4);
+        let capacities = (history1.capacity(), history2.capacity());
+        assert!(capacities.0 > 0 && capacities.1 > 0);
+
+        for round in 0..10 {
+            let mut matches = 0usize;
+            join_cursors(
+                batch1.cursor(),
+                batch2.cursor(),
+                &mut history1,
+                &mut history2,
+                |_, _, _, _, _, _, _| matches += 1,
+            );
+            assert_eq!(matches, baseline);
+            assert_eq!(
+                (history1.capacity(), history2.capacity()),
+                capacities,
+                "round {round}: history scratch regrew"
+            );
+        }
     }
 }

@@ -68,12 +68,12 @@ where
         true
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
-    fn capabilities(&self) -> Antichain<Time> {
-        Antichain::from_iter(
-            self.pending
-                .iter()
-                .flat_map(|buffer| buffer.iter().map(|(_, t, _)| *t)),
-        )
+    fn capabilities(&self, into: &mut Antichain<Time>) {
+        for buffer in self.pending.iter() {
+            for (_, time, _) in buffer.iter() {
+                into.insert(*time);
+            }
+        }
     }
 }
 
@@ -117,12 +117,12 @@ impl<D: Data, R: Semigroup> Operator for Concat<D, R> {
         true
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
-    fn capabilities(&self) -> Antichain<Time> {
-        Antichain::from_iter(
-            self.pending
-                .iter()
-                .flat_map(|buffer| buffer.iter().map(|(_, t, _)| *t)),
-        )
+    fn capabilities(&self, into: &mut Antichain<Time>) {
+        for buffer in self.pending.iter() {
+            for (_, time, _) in buffer.iter() {
+                into.insert(*time);
+            }
+        }
     }
 }
 
@@ -131,12 +131,22 @@ impl<D: Data, R: Semigroup> Operator for Concat<D, R> {
 /// This is the data-exchange half of the paper's decomposition of stateful operators
 /// (Figure 2): `exchange` moves records to the worker responsible for their key, and the
 /// downstream `arrange` indexes them there. Everything after the exchange is worker-local.
+///
+/// The hot path is allocation-amortized: received payloads are kept whole (not copied
+/// into a staging buffer), and the routing pass scatters them into *persistent*
+/// per-worker buckets whose capacity is retained across flushes. Each flush allocates
+/// only the exactly-sized payloads actually sent; in steady state the buckets themselves
+/// never reallocate. With one worker no routing happens at all: payloads are forwarded
+/// verbatim, however many of them arrived.
 pub struct Exchange<D, R, H>
 where
     H: FnMut(&D) -> u64,
 {
     route: H,
-    pending: Vec<(D, Time, R)>,
+    /// Received payloads, awaiting routing (or verbatim forwarding when `peers == 1`).
+    pending: Vec<UpdateVec<D, R>>,
+    /// Per-destination scratch buffers, drained (capacity retained) at each flush.
+    buckets: Vec<UpdateVec<D, R>>,
 }
 
 impl<D, R, H: FnMut(&D) -> u64> Exchange<D, R, H> {
@@ -145,7 +155,17 @@ impl<D, R, H: FnMut(&D) -> u64> Exchange<D, R, H> {
         Exchange {
             route,
             pending: Vec::new(),
+            buckets: Vec::new(),
         }
+    }
+
+    /// The capacity of each per-destination bucket, for capacity-stability tests.
+    #[doc(hidden)]
+    pub fn bucket_capacities(&self) -> Vec<usize> {
+        self.buckets
+            .iter()
+            .map(|bucket| bucket.capacity())
+            .collect()
     }
 }
 
@@ -155,7 +175,7 @@ impl<D: Data, R: Semigroup, H: FnMut(&D) -> u64 + 'static> Operator for Exchange
     }
     fn recv(&mut self, _port: usize, payload: BundleBox) {
         self.pending
-            .extend(downcast_payload::<UpdateVec<D, R>>(payload, "Exchange"));
+            .push(downcast_payload::<UpdateVec<D, R>>(payload, "Exchange"));
     }
     fn work(&mut self, output: &mut OutputContext<'_>) -> bool {
         if self.pending.is_empty() {
@@ -163,25 +183,43 @@ impl<D: Data, R: Semigroup, H: FnMut(&D) -> u64 + 'static> Operator for Exchange
         }
         let peers = output.peers();
         if peers == 1 {
-            let buffer: UpdateVec<D, R> = self.pending.drain(..).collect();
-            output.send_to_worker(0, Box::new(buffer));
+            // Single-worker fast path: every record is already home, so skip the routing
+            // closure and forward each received payload as-is — whether the flush holds
+            // one payload or many.
+            for buffer in self.pending.drain(..) {
+                if !buffer.is_empty() {
+                    output.send_to_worker(0, Box::new(buffer));
+                }
+            }
             return true;
         }
-        let mut buckets: Vec<UpdateVec<D, R>> = (0..peers).map(|_| Vec::new()).collect();
-        for (data, time, diff) in self.pending.drain(..) {
-            let target = ((self.route)(&data) as usize) % peers;
-            buckets[target].push((data, time, diff));
+        if self.buckets.len() < peers {
+            self.buckets.resize_with(peers, Vec::new);
         }
-        for (worker, bucket) in buckets.into_iter().enumerate() {
+        for buffer in self.pending.drain(..) {
+            for (data, time, diff) in buffer {
+                let target = ((self.route)(&data) as usize) % peers;
+                self.buckets[target].push((data, time, diff));
+            }
+        }
+        for (worker, bucket) in self.buckets.iter_mut().enumerate() {
             if !bucket.is_empty() {
-                output.send_to_worker(worker, Box::new(bucket));
+                // Drain into an exactly-sized payload; the bucket keeps its capacity
+                // (`mem::take`, clippy's preference, would surrender it every flush).
+                #[allow(clippy::drain_collect)]
+                let payload: UpdateVec<D, R> = bucket.drain(..).collect();
+                output.send_to_worker(worker, Box::new(payload));
             }
         }
         true
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
-    fn capabilities(&self) -> Antichain<Time> {
-        Antichain::from_iter(self.pending.iter().map(|(_, t, _)| *t))
+    fn capabilities(&self, into: &mut Antichain<Time>) {
+        for buffer in self.pending.iter() {
+            for (_, time, _) in buffer.iter() {
+                into.insert(*time);
+            }
+        }
     }
 }
 
@@ -230,8 +268,10 @@ mod tests {
                 .collect::<Vec<_>>()
         });
         op.recv(0, Box::new(vec![(3u64, Time::minimum(), 1isize)]));
+        let mut capabilities = Antichain::new();
+        op.capabilities(&mut capabilities);
         assert_eq!(
-            op.capabilities().elements(),
+            capabilities.elements(),
             &[Time::minimum()],
             "buffered updates are covered by capabilities"
         );

@@ -23,6 +23,35 @@ use crate::arrange::{Arranged, KeyBatch, TraceAgent, ValBatch};
 use crate::collection::Collection;
 use crate::Diff;
 
+/// Reusable scratch for one [`ReduceOperator`], threaded through
+/// `accumulate_input` / `accumulate_output` so the per-`(key, time)` evaluation loop
+/// allocates nothing in steady state: every vector is cleared and refilled in place,
+/// and `staged` is drained (capacity retained) into the output batch builder.
+struct ReduceScratch<K, V1, R1, V2, R2> {
+    /// The accumulated input values for the key under evaluation.
+    values: Vec<(V1, R1)>,
+    /// The distinct times in the key's input history (future-work scheduling).
+    history_times: Vec<Time>,
+    /// The previously produced output accumulated at the time under evaluation.
+    totals: Vec<(V2, R2)>,
+    /// The output corrections staged during the current `work` invocation.
+    staged: Vec<(K, V2, Time, R2)>,
+    /// The user logic's desired output for the key under evaluation.
+    desired: Vec<(V2, R2)>,
+}
+
+impl<K, V1, R1, V2, R2> Default for ReduceScratch<K, V1, R1, V2, R2> {
+    fn default() -> Self {
+        ReduceScratch {
+            values: Vec::new(),
+            history_times: Vec::new(),
+            totals: Vec::new(),
+            staged: Vec::new(),
+            desired: Vec::new(),
+        }
+    }
+}
+
 /// The reduce operator shell. `B1` is the input batch type, the output is maintained as
 /// `ValBatch<K, V2, R2>`.
 struct ReduceOperator<B1, V2, R2, L>
@@ -40,6 +69,7 @@ where
     pending: BTreeSet<(Time, B1::Key)>,
     input_frontier: Antichain<Time>,
     output_upper: Antichain<Time>,
+    scratch: ReduceScratch<B1::Key, B1::Val, B1::Diff, V2, R2>,
     _marker: PhantomData<(V2, R2)>,
 }
 
@@ -50,17 +80,18 @@ where
     R2: Abelian,
     L: FnMut(&B1::Key, &[(B1::Val, B1::Diff)], &mut Vec<(V2, R2)>),
 {
-    /// Accumulates the input collection for `key` at `time`: each value with its net
-    /// multiplicity, plus the set of distinct times in the key's history (for future-work
-    /// scheduling).
-    #[allow(clippy::type_complexity)]
+    /// Accumulates the input collection for `key` at `time` into `values` (each value
+    /// with its net multiplicity) and `history_times` (the distinct times in the key's
+    /// history, for future-work scheduling). Both vectors are cleared first.
     fn accumulate_input(
         &self,
         key: &B1::Key,
         time: &Time,
-    ) -> (Vec<(B1::Val, B1::Diff)>, Vec<Time>) {
-        let mut values = Vec::new();
-        let mut history_times = Vec::new();
+        values: &mut Vec<(B1::Val, B1::Diff)>,
+        history_times: &mut Vec<Time>,
+    ) {
+        values.clear();
+        history_times.clear();
         let mut cursor = self.input_trace.cursor();
         cursor.seek_key(key);
         if cursor.key_valid() && cursor.key() == key {
@@ -85,19 +116,20 @@ where
                 cursor.step_val();
             }
         }
-        (values, history_times)
     }
 
-    /// Accumulates the previously produced output for `key` at `time`, including the
-    /// corrections produced earlier in the current invocation (`staged`).
+    /// Accumulates the previously produced output for `key` at `time` into `totals`
+    /// (cleared first), including the corrections produced earlier in the current
+    /// invocation (`staged`).
     fn accumulate_output(
         &self,
         key: &B1::Key,
         time: &Time,
         staged: &[(B1::Key, V2, Time, R2)],
-    ) -> Vec<(V2, R2)> {
-        let mut totals: Vec<(V2, R2)> = Vec::new();
-        let mut add = |val: &V2, diff: &R2| {
+        totals: &mut Vec<(V2, R2)>,
+    ) {
+        totals.clear();
+        let add = |totals: &mut Vec<(V2, R2)>, val: &V2, diff: &R2| {
             if let Some(entry) = totals.iter_mut().find(|(v, _)| v == val) {
                 entry.1.plus_equals(diff);
             } else {
@@ -111,7 +143,7 @@ where
                 let val = cursor.val().clone();
                 cursor.map_times(|t, r| {
                     if t.less_equal(time) {
-                        add(&val, r);
+                        add(totals, &val, r);
                     }
                 });
                 cursor.step_val();
@@ -119,12 +151,11 @@ where
         }
         for (k, v, t, r) in staged.iter() {
             if k == key && t.less_equal(time) {
-                add(v, r);
+                add(totals, v, r);
             }
         }
         totals.retain(|(_, r)| !r.is_zero());
         totals.sort_by(|a, b| a.0.cmp(&b.0));
-        totals
     }
 }
 
@@ -165,9 +196,10 @@ where
         }
 
         // Process, in an order compatible with the partial order on times, every pending
-        // pair whose time is now complete.
-        let mut staged: Vec<(B1::Key, V2, Time, R2)> = Vec::new();
-        let mut desired = Vec::new();
+        // pair whose time is now complete. The scratch is moved out for the duration so
+        // `self` stays borrowable by the accumulate helpers.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.staged.is_empty());
         loop {
             let next = self
                 .pending
@@ -177,16 +209,23 @@ where
             let Some((time, key)) = next else { break };
             self.pending.remove(&(time, key.clone()));
 
-            let (input_values, history_times) = self.accumulate_input(&key, &time);
-            let current = self.accumulate_output(&key, &time, &staged);
+            self.accumulate_input(&key, &time, &mut scratch.values, &mut scratch.history_times);
+            self.accumulate_output(&key, &time, &scratch.staged, &mut scratch.totals);
 
-            desired.clear();
-            if !input_values.is_empty() {
-                (self.logic)(&key, &input_values, &mut desired);
+            scratch.desired.clear();
+            if !scratch.values.is_empty() {
+                (self.logic)(&key, &scratch.values, &mut scratch.desired);
             }
-            desired.sort_by(|a, b| a.0.cmp(&b.0));
+            scratch.desired.sort_by(|a, b| a.0.cmp(&b.0));
 
             // Emit the difference between the desired and current outputs at this time.
+            // (Disjoint field borrows: `staged` grows while `desired`/`totals` are read.)
+            let ReduceScratch {
+                desired,
+                totals: current,
+                staged,
+                ..
+            } = &mut scratch;
             let mut d = 0;
             let mut c = 0;
             while d < desired.len() || c < current.len() {
@@ -223,7 +262,7 @@ where
 
             // Future work: the output may also change at joins of this time with other
             // times in the key's history, even if no input arrives then (paper §5.3.2).
-            for other in history_times {
+            for other in scratch.history_times.iter() {
                 let joined = other.join(&time);
                 if joined != time {
                     self.pending.insert((joined, key.clone()));
@@ -232,12 +271,13 @@ where
         }
 
         // Mint the output batch (possibly empty) so the output arrangement's upper tracks
-        // the input frontier.
+        // the input frontier. Draining `staged` retains its capacity for the next call.
         let mut builder =
-            <ValBatch<B1::Key, V2, R2> as Batch>::Builder::with_capacity(staged.len());
-        for (key, val, time, diff) in staged {
+            <ValBatch<B1::Key, V2, R2> as Batch>::Builder::with_capacity(scratch.staged.len());
+        for (key, val, time, diff) in scratch.staged.drain(..) {
             builder.push(key, val, time, diff);
         }
+        self.scratch = scratch;
         let since = self.output_trace.since();
         let batch = builder.done(
             self.output_upper.clone(),
@@ -260,14 +300,15 @@ where
         self.input_frontier = frontier.clone();
     }
 
-    fn capabilities(&self) -> Antichain<Time> {
-        let mut result = Antichain::from_iter(self.pending.iter().map(|(t, _)| *t));
+    fn capabilities(&self, into: &mut Antichain<Time>) {
+        for (time, _) in self.pending.iter() {
+            into.insert(*time);
+        }
         for batch in self.queue.iter() {
             for time in batch.description().lower().elements() {
-                result.insert(*time);
+                into.insert(*time);
             }
         }
-        result
     }
 }
 
@@ -295,6 +336,7 @@ impl<B1: Batch<Time = Time> + 'static> Arranged<B1> {
             pending: BTreeSet::new(),
             input_frontier: Antichain::from_elem(Time::minimum()),
             output_upper: Antichain::from_elem(Time::minimum()),
+            scratch: ReduceScratch::default(),
             _marker: PhantomData,
         };
         let node = builder.add_operator(Box::new(operator), 1);

@@ -57,8 +57,15 @@ impl Fabric {
     }
 
     /// Sends a message to `worker`'s inbox, incrementing the in-flight count.
+    ///
+    /// The increment is `Relaxed`: the counter is only compared against zero by the
+    /// quiescence protocol, which reads it *after* a barrier that already orders every
+    /// worker's sends and acknowledgements, and the increment is ordered before the
+    /// matching decrement by the channel transfer itself (a receiver can only
+    /// acknowledge a message that was observably sent). `SeqCst` here serialized every
+    /// cross-worker message through one globally ordered RMW for no protocol benefit.
     pub fn send(&self, worker: usize, message: RemoteMessage) {
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
         self.senders[worker]
             .send(message)
             .expect("worker inbox disconnected");
@@ -66,12 +73,24 @@ impl Fabric {
 
     /// Records that a previously sent message has been received and enqueued locally.
     pub fn acknowledge(&self) {
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.acknowledge_n(1);
+    }
+
+    /// Records `count` received messages with a single decrement, so an inbox drain
+    /// sweep costs one atomic operation instead of one per message.
+    ///
+    /// `AcqRel`: the release half publishes the local enqueueing that preceded the
+    /// acknowledgement, and the acquire half pairs with other workers' decrements, so a
+    /// worker that reads zero in-flight also observes every delivery that got it there.
+    pub fn acknowledge_n(&self, count: usize) {
+        if count > 0 {
+            self.in_flight.fetch_sub(count as i64, Ordering::AcqRel);
+        }
     }
 
     /// The number of messages sent but not yet received.
     pub fn in_flight(&self) -> i64 {
-        self.in_flight.load(Ordering::SeqCst)
+        self.in_flight.load(Ordering::Acquire)
     }
 }
 

@@ -152,12 +152,10 @@ impl<D: Clone + Send + 'static, R: Clone + Send + 'static> Operator for InputOpe
 
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
 
-    fn capabilities(&self) -> Antichain<Time> {
+    fn capabilities(&self, into: &mut Antichain<Time>) {
         let shared = self.shared.borrow();
-        if shared.closed && shared.buffer.is_empty() {
-            Antichain::new()
-        } else {
-            Antichain::from_elem(Time::from_epoch(shared.epoch))
+        if !(shared.closed && shared.buffer.is_empty()) {
+            into.insert(Time::from_epoch(shared.epoch));
         }
     }
 }

@@ -70,22 +70,17 @@ pub trait Operator: 'static {
     /// retiring pending work during their next [`Operator::work`] call.
     fn set_frontier(&mut self, port: usize, frontier: &Antichain<Time>);
 
-    /// The times at which this operator may still produce output regardless of what its
-    /// inputs do: buffered updates, scheduled future work, or (for sources) the times of
-    /// data yet to be introduced.
+    /// Inserts into `into` the times at which this operator may still produce output
+    /// regardless of what its inputs do: buffered updates, scheduled future work, or
+    /// (for sources) the times of data yet to be introduced.
     ///
-    /// An empty antichain means the operator produces output only in direct response to
-    /// input. The runtime combines capabilities across workers and propagates them along
-    /// edges to compute every input frontier.
-    fn capabilities(&self) -> Antichain<Time>;
-}
-
-/// Where an emitted payload should go.
-enum Destination {
-    /// Deliver to the local instance of the edge's target.
-    Local,
-    /// Deliver to the instance of the edge's target on the given worker.
-    Worker(usize),
+    /// Leaving `into` empty means the operator produces output only in direct response
+    /// to input. The runtime combines capabilities across workers and propagates them
+    /// along edges to compute every input frontier. The caller clears and reuses the
+    /// antichain, so the once-per-step capability sweep allocates nothing in steady
+    /// state — which is why this writes into a caller-owned antichain instead of
+    /// returning a fresh one.
+    fn capabilities(&self, into: &mut Antichain<Time>);
 }
 
 /// A single emission: an edge, a destination, and a payload, stamped with the
@@ -130,28 +125,7 @@ impl<'a> OutputContext<'a> {
     /// consumers; only explicit exchange operators send across workers. When the node has
     /// several consumers the payload is cloned per edge.
     pub fn send(&mut self, payload: BundleBox) {
-        match self.node_outputs.len() {
-            0 => {}
-            1 => self.push(self.node_outputs[0], Destination::Local, payload),
-            _ => {
-                for index in 0..self.node_outputs.len() {
-                    let copy = if index + 1 == self.node_outputs.len() {
-                        // Move the original along the last edge.
-                        None
-                    } else {
-                        Some(payload.clone_bundle())
-                    };
-                    let edge = self.node_outputs[index];
-                    match copy {
-                        Some(copy) => self.push(edge, Destination::Local, copy),
-                        None => {
-                            self.push(edge, Destination::Local, payload);
-                            return;
-                        }
-                    }
-                }
-            }
-        }
+        self.fan_out(None, payload);
     }
 
     /// Emits `payload` along every outgoing edge, destined for worker `worker`.
@@ -159,43 +133,34 @@ impl<'a> OutputContext<'a> {
     /// Used by exchange operators, which partition their input by key and route each
     /// partition to the worker that owns it.
     pub fn send_to_worker(&mut self, worker: usize, payload: BundleBox) {
-        let destination = if worker == self.worker_index {
-            Destination::Local
-        } else {
-            Destination::Worker(worker)
-        };
-        match self.node_outputs.len() {
-            0 => {}
-            1 => self.push(self.node_outputs[0], destination, payload),
-            _ => {
-                let edges: Vec<EdgeId> = self.node_outputs.to_vec();
-                for (index, edge) in edges.iter().enumerate() {
-                    let dest = if worker == self.worker_index {
-                        Destination::Local
-                    } else {
-                        Destination::Worker(worker)
-                    };
-                    if index + 1 == edges.len() {
-                        self.push(*edge, dest, payload);
-                        return;
-                    } else {
-                        self.push(*edge, dest, payload.clone_bundle());
-                    }
-                }
-            }
-        }
+        let destination = (worker != self.worker_index).then_some(worker);
+        self.fan_out(destination, payload);
     }
 
-    fn push(&mut self, edge: EdgeId, destination: Destination, payload: BundleBox) {
+    /// The shared fan-out path: emits `payload` along every outgoing edge towards
+    /// `destination` (`None` = this worker), cloning only for all but the last edge and
+    /// allocating nothing beyond those clones.
+    fn fan_out(&mut self, destination: Option<usize>, payload: BundleBox) {
+        let outputs = self.node_outputs;
+        let Some((&last, rest)) = outputs.split_last() else {
+            return;
+        };
+        for &edge in rest {
+            self.push(edge, destination, payload.clone_bundle());
+        }
+        self.push(last, destination, payload);
+    }
+
+    fn push(&mut self, edge: EdgeId, destination: Option<usize>, payload: BundleBox) {
         match destination {
-            Destination::Local => self.emissions.push(Emission {
+            None => self.emissions.push(Emission {
                 dataflow: self.dataflow,
                 generation: self.generation,
                 edge,
                 worker: None,
                 payload,
             }),
-            Destination::Worker(worker) => {
+            Some(worker) => {
                 // Remote messages go straight to the fabric; local ones are queued for
                 // in-order delivery by the worker loop.
                 self.fabric.send(
@@ -210,6 +175,43 @@ impl<'a> OutputContext<'a> {
             }
         }
     }
+}
+
+/// Test support: drives one [`Operator::work`] call with a fresh single-edge
+/// [`OutputContext`] over a throwaway fabric of `peers` workers, returning the
+/// operator's work report and every emitted payload with its destination
+/// (`None` = local to `worker_index`). Lets other crates unit-test operator hot paths
+/// (e.g. exchange bucket reuse) without standing up a full worker runtime.
+#[doc(hidden)]
+pub fn drive_operator_work(
+    operator: &mut dyn Operator,
+    worker_index: usize,
+    peers: usize,
+) -> (bool, Vec<(Option<usize>, BundleBox)>) {
+    let (fabric, receivers) = Fabric::new(peers);
+    let mut emissions = Vec::new();
+    let outputs = [EdgeId(0)];
+    let mut context = OutputContext {
+        worker_index,
+        peers,
+        dataflow: 0,
+        generation: 0,
+        node_outputs: &outputs,
+        emissions: &mut emissions,
+        fabric: &fabric,
+    };
+    let did_work = operator.work(&mut context);
+    let mut sent: Vec<(Option<usize>, BundleBox)> = emissions
+        .into_iter()
+        .map(|emission| (None, emission.payload))
+        .collect();
+    for (worker, receiver) in receivers.iter().enumerate() {
+        while let Ok(message) = receiver.try_recv() {
+            fabric.acknowledge();
+            sent.push((Some(worker), message.payload));
+        }
+    }
+    (did_work, sent)
 }
 
 #[cfg(test)]

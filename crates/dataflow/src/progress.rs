@@ -13,7 +13,7 @@
 //! one (substitution S1 in DESIGN.md); the frontiers operators observe have exactly the
 //! same meaning.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use kpg_timestamp::{Antichain, Time};
@@ -26,6 +26,11 @@ pub struct DataflowShared {
     pub graph: Mutex<Option<DataflowGraph>>,
     /// Capabilities per worker, per node.
     pub capabilities: Mutex<Vec<Vec<Antichain<Time>>>>,
+    /// Bumped whenever the capability table actually changes (publish with different
+    /// contents, install, retire). Workers remember the version whose frontiers they
+    /// last delivered and skip the propagation fixed point — the dominant per-step cost
+    /// of an otherwise idle dataflow — while the version stands still.
+    version: AtomicU64,
     /// The worker count recorded at install time. Retirement accounting compares against
     /// this, not against the capability table's current length, so that a retire racing
     /// ahead of a peer's install can never conclude that no workers remain.
@@ -40,6 +45,7 @@ impl DataflowShared {
         DataflowShared {
             graph: Mutex::new(None),
             capabilities: Mutex::new(Vec::new()),
+            version: AtomicU64::new(0),
             installed_workers: AtomicUsize::new(0),
             retired_workers: AtomicUsize::new(0),
         }
@@ -68,14 +74,45 @@ impl DataflowShared {
         let mut caps = self.capabilities.lock().expect("capability lock poisoned");
         if caps.is_empty() {
             *caps = vec![vec![Antichain::from_elem(Time::minimum()); nodes]; workers];
+            self.version.fetch_add(1, Ordering::Release);
         }
         self.installed_workers.store(workers, Ordering::SeqCst);
     }
 
     /// Publishes `capabilities` (one antichain per node) for `worker`.
-    pub fn publish(&self, worker: usize, capabilities: Vec<Antichain<Time>>) {
+    ///
+    /// A publication identical to the worker's previous one leaves the version counter
+    /// untouched, so every worker can recognize the steady state and skip frontier
+    /// recomputation entirely.
+    pub fn publish(&self, worker: usize, mut capabilities: Vec<Antichain<Time>>) {
+        self.publish_swap(worker, &mut capabilities);
+    }
+
+    /// As [`DataflowShared::publish`], but *swaps* the capabilities in on change, handing
+    /// the previous row (and its allocations) back to the caller for reuse. The worker's
+    /// once-per-step capability sweep threads one scratch vector through this, so steady
+    /// state publishes nothing and allocates nothing.
+    pub fn publish_swap(&self, worker: usize, capabilities: &mut Vec<Antichain<Time>>) {
         let mut caps = self.capabilities.lock().expect("capability lock poisoned");
-        caps[worker] = capabilities;
+        // Set-semantics comparison (`same_as`, not derived `==`): an antichain rebuilt
+        // with its elements in a different order is the same frontier, and flagging it
+        // as a change would re-run every worker's frontier fixed point for nothing.
+        let row = &caps[worker];
+        let unchanged = row.len() == capabilities.len()
+            && row
+                .iter()
+                .zip(capabilities.iter())
+                .all(|(old, new)| old.same_as(new));
+        if !unchanged {
+            std::mem::swap(&mut caps[worker], capabilities);
+            self.version.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// The capability-table version: workers compare it against the version whose
+    /// frontiers they last delivered to decide whether recomputation is needed.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 
     /// Withdraws `worker`'s capabilities: the worker has retired its instance of this
@@ -99,6 +136,7 @@ impl DataflowShared {
                     *cap = Antichain::new();
                 }
             }
+            self.version.fetch_add(1, Ordering::Release);
         }
         let retired = self.retired_workers.fetch_add(1, Ordering::SeqCst) + 1;
         let installed = self.installed_workers.load(Ordering::SeqCst);
@@ -119,10 +157,23 @@ impl DataflowShared {
     /// Computes the frontier of every node input port from the currently published
     /// capabilities. The result is indexed as `result[node][port]`.
     pub fn input_frontiers(&self) -> Vec<Vec<Antichain<Time>>> {
+        let mut result = Vec::new();
+        let mut scratch = FrontierScratch::default();
+        self.input_frontiers_into(&mut result, &mut scratch);
+        result
+    }
+
+    /// As [`DataflowShared::input_frontiers`], but fills caller-owned buffers so the
+    /// per-step frontier recomputation reuses its working memory.
+    pub fn input_frontiers_into(
+        &self,
+        into: &mut Vec<Vec<Antichain<Time>>>,
+        scratch: &mut FrontierScratch,
+    ) {
         let graph = self.graph.lock().expect("graph lock poisoned");
         let graph = graph.as_ref().expect("graph installed before stepping");
         let caps = self.capabilities.lock().expect("capability lock poisoned");
-        compute_input_frontiers(graph, &caps)
+        compute_input_frontiers_into(graph, &caps, into, scratch);
     }
 }
 
@@ -132,25 +183,56 @@ impl Default for DataflowShared {
     }
 }
 
+/// Reusable working memory for [`compute_input_frontiers_into`]: the output-frontier
+/// table of the propagation fixed point and a flat time buffer. Holding these per
+/// dataflow instance makes the per-step frontier recomputation allocation-free once
+/// warmed up.
+#[derive(Default)]
+pub struct FrontierScratch {
+    output: Vec<Antichain<Time>>,
+    times: Vec<Time>,
+}
+
 /// Combines per-worker capabilities and propagates them to per-port input frontiers.
 pub fn compute_input_frontiers(
     graph: &DataflowGraph,
     capabilities: &[Vec<Antichain<Time>>],
 ) -> Vec<Vec<Antichain<Time>>> {
-    // Union the capabilities of all workers for each node.
-    let mut own: Vec<Antichain<Time>> = vec![Antichain::new(); graph.nodes];
+    let mut result = Vec::new();
+    let mut scratch = FrontierScratch::default();
+    compute_input_frontiers_into(graph, capabilities, &mut result, &mut scratch);
+    result
+}
+
+/// As [`compute_input_frontiers`], but fills `into` (indexed `[node][port]`) and reuses
+/// `scratch`, clearing antichains in place rather than reallocating them.
+pub fn compute_input_frontiers_into(
+    graph: &DataflowGraph,
+    capabilities: &[Vec<Antichain<Time>>],
+    into: &mut Vec<Vec<Antichain<Time>>>,
+    scratch: &mut FrontierScratch,
+) {
+    // Seed each node's output frontier with the union of its capabilities across
+    // workers.
+    let output = &mut scratch.output;
+    output.resize_with(graph.nodes, Antichain::new);
+    for antichain in output.iter_mut() {
+        antichain.clear();
+    }
     for worker_caps in capabilities.iter() {
         for (node, cap) in worker_caps.iter().enumerate() {
             for time in cap.elements() {
-                own[node].insert(*time);
+                output[node].insert(*time);
             }
         }
     }
 
     // Least-fixed-point propagation of output frontiers: a node may emit at any time in
     // its own capabilities, or at any time it may still receive on an input (identity
-    // internal summary), transformed along the incoming edge.
-    let mut output: Vec<Antichain<Time>> = own.clone();
+    // internal summary), transformed along the incoming edge. Times are `Copy`, so one
+    // flat scratch buffer stands in for the per-edge frontier clones the aliasing rules
+    // would otherwise force.
+    let times = &mut scratch.times;
     let mut changed = true;
     let mut rounds = 0usize;
     while changed {
@@ -160,12 +242,16 @@ pub fn compute_input_frontiers(
             rounds <= 16 * (graph.nodes + graph.edges.len() + 1),
             "frontier propagation failed to converge"
         );
-        for (index, edge) in graph.edges.iter().enumerate() {
-            let _ = index;
-            let source_frontier = output[edge.from.0].clone();
-            let transformed = edge.transform.apply_frontier(&source_frontier);
+        for edge in graph.edges.iter() {
+            times.clear();
+            times.extend(
+                output[edge.from.0]
+                    .elements()
+                    .iter()
+                    .map(|t| edge.transform.apply(t)),
+            );
             let target = &mut output[edge.to.0];
-            for time in transformed.elements() {
+            for time in times.iter() {
                 if target.insert(*time) {
                     changed = true;
                 }
@@ -175,19 +261,26 @@ pub fn compute_input_frontiers(
 
     // Per-port input frontiers: the union of transformed source output frontiers over the
     // edges arriving at that port.
-    let mut inputs: Vec<Vec<Antichain<Time>>> = graph
-        .input_ports
-        .iter()
-        .map(|&ports| vec![Antichain::new(); ports])
-        .collect();
+    into.resize_with(graph.nodes, Vec::new);
+    for (node, ports) in into.iter_mut().enumerate() {
+        ports.resize_with(graph.input_ports[node], Antichain::new);
+        for antichain in ports.iter_mut() {
+            antichain.clear();
+        }
+    }
     for edge in graph.edges.iter() {
-        let transformed = edge.transform.apply_frontier(&output[edge.from.0]);
-        let slot = &mut inputs[edge.to.0][edge.port];
-        for time in transformed.elements() {
+        times.clear();
+        times.extend(
+            output[edge.from.0]
+                .elements()
+                .iter()
+                .map(|t| edge.transform.apply(t)),
+        );
+        let slot = &mut into[edge.to.0][edge.port];
+        for time in times.iter() {
             slot.insert(*time);
         }
     }
-    inputs
 }
 
 /// Convenience: the output frontier of a single node given published capabilities.

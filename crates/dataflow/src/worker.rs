@@ -12,7 +12,7 @@ use kpg_timestamp::{Antichain, Time};
 use crate::fabric::{Fabric, RemoteMessage};
 use crate::graph::{DataflowGraph, EdgeDesc, EdgeId, EdgeTransform, NodeId};
 use crate::operator::{BundleBox, Emission, Operator, OutputContext};
-use crate::progress::DataflowShared;
+use crate::progress::{DataflowShared, FrontierScratch};
 
 /// Runtime configuration.
 #[derive(Clone, Copy, Debug)]
@@ -103,6 +103,18 @@ struct DataflowInstance {
     queues: Vec<VecDeque<(usize, BundleBox)>>,
     dirty: Vec<bool>,
     last_frontiers: Vec<Vec<Antichain<Time>>>,
+    /// The capability-table version whose frontiers were last delivered. While the
+    /// shared version stands still — the steady state of an idle dataflow — frontier
+    /// recomputation (the propagation fixed point and the per-port comparison sweep) is
+    /// skipped entirely.
+    last_progress_version: u64,
+    /// Reusable per-node antichains for the once-per-step capability sweep: cleared and
+    /// refilled in place, and swapped wholesale with the shared table's row when the
+    /// capabilities actually changed.
+    capability_scratch: Vec<Antichain<Time>>,
+    /// Reusable result and working buffers for frontier recomputation.
+    frontier_buffer: Vec<Vec<Antichain<Time>>>,
+    frontier_scratch: FrontierScratch,
     /// True once the dataflow has been uninstalled: its operators are dropped, its graph
     /// is cleared, and any message still addressed to it is discarded. The slot itself
     /// goes onto the worker's free list and is reused (under a bumped generation) by the
@@ -222,6 +234,10 @@ impl Worker {
             queues,
             dirty,
             last_frontiers,
+            last_progress_version: u64::MAX,
+            capability_scratch: Vec::new(),
+            frontier_buffer: Vec::new(),
+            frontier_scratch: FrontierScratch::default(),
             retired: false,
         };
         if slot == self.dataflows.len() {
@@ -411,14 +427,19 @@ impl Worker {
         loop {
             let mut progress = false;
 
-            // Drain the remote inbox into local queues. Messages addressed to a retired
-            // generation are acknowledged (so in-flight accounting stays exact) and
-            // discarded; messages ahead of this worker's construction are buffered.
+            // Drain the remote inbox into local queues, acknowledging the whole sweep
+            // with one batched decrement. Messages addressed to a retired generation are
+            // acknowledged (so in-flight accounting stays exact) and discarded; messages
+            // ahead of this worker's construction are buffered. Acking after routing is
+            // safe: the count can only be transiently over-stated, which delays
+            // quiescence detection but never falsely declares it.
+            let mut received = 0usize;
             while let Ok(message) = self.inbox.try_recv() {
-                self.shared.fabric.acknowledge();
+                received += 1;
                 self.route_remote(message);
                 progress = true;
             }
+            self.shared.fabric.acknowledge_n(received);
 
             // Deliver queued payloads and run dirty operators, visiting live slots only.
             for position in 0..self.live_slots.len() {
@@ -505,34 +526,55 @@ impl Worker {
     /// Publishes capabilities, recomputes frontiers, and notifies operators of changes.
     fn advance_frontiers(&mut self) -> bool {
         // Publish this worker's capabilities for every live dataflow. Retired dataflows
-        // withdrew their capabilities when they were dropped.
+        // withdrew their capabilities when they were dropped. The sweep reuses one
+        // scratch row per dataflow (operators insert into caller-owned antichains), so
+        // an idle step publishes nothing and allocates nothing.
         for &slot in self.live_slots.iter() {
-            let instance = &self.dataflows[slot];
-            let capabilities = instance
-                .operators
-                .iter()
-                .map(|op| op.capabilities())
-                .collect();
-            instance.shared.publish(self.index, capabilities);
+            let instance = &mut self.dataflows[slot];
+            let scratch = &mut instance.capability_scratch;
+            scratch.resize_with(instance.operators.len(), Antichain::new);
+            for (operator, capability) in instance.operators.iter().zip(scratch.iter_mut()) {
+                capability.clear();
+                operator.capabilities(capability);
+            }
+            instance.shared.publish_swap(self.index, scratch);
         }
         self.shared.barrier.wait();
 
         // Recompute frontiers (deterministically, from shared state) and deliver changes.
+        // A dataflow whose capability table has not changed since the last delivery is
+        // skipped: its frontiers are a pure function of that table, so they are exactly
+        // the ones already delivered. Every worker sees the same version sequence at the
+        // same step, so the skip decisions are identical across workers.
         let mut changed_any = false;
         for position in 0..self.live_slots.len() {
             let slot = self.live_slots[position];
             let instance = &mut self.dataflows[slot];
-            let frontiers = instance.shared.input_frontiers();
-            for (node, ports) in frontiers.iter().enumerate() {
+            let version = instance.shared.version();
+            if version == instance.last_progress_version {
+                continue;
+            }
+            let DataflowInstance {
+                shared,
+                operators,
+                dirty,
+                last_frontiers,
+                frontier_buffer,
+                frontier_scratch,
+                ..
+            } = instance;
+            shared.input_frontiers_into(frontier_buffer, frontier_scratch);
+            for (node, ports) in frontier_buffer.iter().enumerate() {
                 for (port, new) in ports.iter().enumerate() {
-                    if !instance.last_frontiers[node][port].same_as(new) {
-                        instance.operators[node].set_frontier(port, new);
-                        instance.last_frontiers[node][port] = new.clone();
-                        instance.dirty[node] = true;
+                    if !last_frontiers[node][port].same_as(new) {
+                        operators[node].set_frontier(port, new);
+                        last_frontiers[node][port] = new.clone();
+                        dirty[node] = true;
                         changed_any = true;
                     }
                 }
             }
+            instance.last_progress_version = version;
         }
         // Ensure all workers finish reading shared progress state before anyone starts
         // mutating it again in the next step.

@@ -34,9 +34,7 @@ impl Operator for Sink {
         false
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
-    fn capabilities(&self) -> Antichain<Time> {
-        Antichain::new()
-    }
+    fn capabilities(&self, _into: &mut Antichain<Time>) {}
 }
 
 /// Builds `input -> sink` (edge 0) and returns the input handle and the sink's log.

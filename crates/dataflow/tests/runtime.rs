@@ -40,8 +40,10 @@ impl Operator for ExchangeByKey {
         true
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
-    fn capabilities(&self) -> Antichain<Time> {
-        Antichain::from_iter(self.pending.iter().map(|(_, t, _)| *t))
+    fn capabilities(&self, into: &mut Antichain<Time>) {
+        for (_, time, _) in self.pending.iter() {
+            into.insert(*time);
+        }
     }
 }
 
@@ -62,9 +64,7 @@ impl Operator for CountReceived {
         false
     }
     fn set_frontier(&mut self, _port: usize, _frontier: &Antichain<Time>) {}
-    fn capabilities(&self) -> Antichain<Time> {
-        Antichain::new()
-    }
+    fn capabilities(&self, _into: &mut Antichain<Time>) {}
 }
 
 #[test]

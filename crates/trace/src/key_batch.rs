@@ -112,13 +112,55 @@ impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Batch for OrdKeyBatch<K, T, 
 }
 
 /// Builds an [`OrdKeyBatch`] from unsorted `(key, (), time, diff)` tuples.
+///
+/// Consolidation is amortized exactly as in [`OrdValBuilder`](crate::OrdValBuilder): the
+/// buffer keeps a sorted-and-consolidated prefix that is re-established (via an adaptive
+/// sort) whenever the unsorted tail grows to match it, so `done` only folds in the final
+/// tail.
 pub struct OrdKeyBuilder<K, T, R> {
     buffer: Vec<(K, T, R)>,
+    /// Length of the sorted-and-consolidated prefix of `buffer`.
+    sorted: usize,
 }
 
 impl<K, T, R> Default for OrdKeyBuilder<K, T, R> {
     fn default() -> Self {
-        OrdKeyBuilder { buffer: Vec::new() }
+        OrdKeyBuilder {
+            buffer: Vec::new(),
+            sorted: 0,
+        }
+    }
+}
+
+impl<K: Data, T: Timestamp + Lattice, R: Semigroup> OrdKeyBuilder<K, T, R> {
+    /// Sorts the buffer, coalesces equal `(key, time)` tuples, and drops zero diffs.
+    fn consolidate_buffer(&mut self) {
+        if self.sorted == self.buffer.len() {
+            return;
+        }
+        self.buffer.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut write = 0;
+        let mut read = 0;
+        while read < self.buffer.len() {
+            let mut end = read + 1;
+            while end < self.buffer.len()
+                && self.buffer[end].0 == self.buffer[read].0
+                && self.buffer[end].1 == self.buffer[read].1
+            {
+                end += 1;
+            }
+            let (head, tail) = self.buffer.split_at_mut(read + 1);
+            for other in &tail[..end - read - 1] {
+                head[read].2.plus_equals(&other.2);
+            }
+            if !self.buffer[read].2.is_zero() {
+                self.buffer.swap(write, read);
+                write += 1;
+            }
+            read = end;
+        }
+        self.buffer.truncate(write);
+        self.sorted = self.buffer.len();
     }
 }
 
@@ -132,11 +174,17 @@ impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Builder for OrdKeyBuilder<K,
     fn with_capacity(capacity: usize) -> Self {
         OrdKeyBuilder {
             buffer: Vec::with_capacity(capacity),
+            sorted: 0,
         }
     }
 
     fn push(&mut self, key: K, _val: (), time: T, diff: R) {
         self.buffer.push((key, time, diff));
+        if self.buffer.len() - self.sorted
+            >= self.sorted.max(crate::ord_batch::BUILDER_CONSOLIDATE_MIN)
+        {
+            self.consolidate_buffer();
+        }
     }
 
     fn done(
@@ -147,25 +195,11 @@ impl<K: Data, T: Timestamp + Lattice, R: Semigroup> Builder for OrdKeyBuilder<K,
     ) -> Self::Output {
         // As for `OrdValBuilder`: fresh batches keep their original times; compaction to
         // `since` happens lazily during merges.
-        self.buffer.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        self.consolidate_buffer();
 
         let mut storage = OrdKeyStorage::empty();
-        let mut index = 0;
-        while index < self.buffer.len() {
-            let mut diff = self.buffer[index].2.clone();
-            let mut end = index + 1;
-            while end < self.buffer.len()
-                && self.buffer[end].0 == self.buffer[index].0
-                && self.buffer[end].1 == self.buffer[index].1
-            {
-                diff.plus_equals(&self.buffer[end].2);
-                end += 1;
-            }
-            if !diff.is_zero() {
-                let (key, time, _) = &self.buffer[index];
-                push_key_update(&mut storage, key, time.clone(), diff);
-            }
-            index = end;
+        for (key, time, diff) in self.buffer.iter() {
+            push_key_update(&mut storage, key, time.clone(), diff.clone());
         }
         seal(&mut storage);
         OrdKeyBatch {

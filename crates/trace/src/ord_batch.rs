@@ -107,14 +107,74 @@ impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> Batch for OrdValBat
     }
 }
 
+/// The minimum unsorted-tail length before a builder re-consolidates its buffer.
+///
+/// Shared by [`OrdValBuilder`] and [`OrdKeyBuilder`](crate::key_batch::OrdKeyBuilder):
+/// below this threshold the O(n log n) of a final sort is cheaper than the bookkeeping.
+pub(crate) const BUILDER_CONSOLIDATE_MIN: usize = 256;
+
 /// Builds an [`OrdValBatch`] from unsorted update tuples.
+///
+/// Consolidation is amortized: `buffer[..sorted]` is always sorted by `(key, val, time)`
+/// with equal tuples coalesced, and whenever the unsorted tail grows to the size of that
+/// prefix the whole buffer is re-consolidated (the sort is adaptive, so the sorted prefix
+/// costs a merge, not a fresh sort). Each update therefore takes part in O(log n)
+/// consolidations, the buffer stays at most linear in the number of *distinct* tuples
+/// (paper §4.2, "partially evaluated merge sort"), and `done` only folds in the final
+/// tail instead of sorting everything from scratch.
 pub struct OrdValBuilder<K, V, T, R> {
     buffer: Vec<(K, V, T, R)>,
+    /// Length of the sorted-and-consolidated prefix of `buffer`.
+    sorted: usize,
 }
 
 impl<K, V, T, R> Default for OrdValBuilder<K, V, T, R> {
     fn default() -> Self {
-        OrdValBuilder { buffer: Vec::new() }
+        OrdValBuilder {
+            buffer: Vec::new(),
+            sorted: 0,
+        }
+    }
+}
+
+impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> OrdValBuilder<K, V, T, R> {
+    /// Sorts the buffer (a merge of the sorted prefix and the tail), coalesces equal
+    /// `(key, val, time)` tuples, drops zero diffs, and marks the result sorted.
+    fn consolidate_buffer(&mut self) {
+        if self.sorted == self.buffer.len() {
+            return;
+        }
+        self.buffer
+            .sort_by(|a, b| (&a.0, &a.1, &a.2).cmp(&(&b.0, &b.1, &b.2)));
+        let mut write = 0;
+        let mut read = 0;
+        while read < self.buffer.len() {
+            let mut end = read + 1;
+            while end < self.buffer.len()
+                && self.buffer[end].0 == self.buffer[read].0
+                && self.buffer[end].1 == self.buffer[read].1
+                && self.buffer[end].2 == self.buffer[read].2
+            {
+                end += 1;
+            }
+            let (head, tail) = self.buffer.split_at_mut(read + 1);
+            for other in &tail[..end - read - 1] {
+                head[read].3.plus_equals(&other.3);
+            }
+            if !self.buffer[read].3.is_zero() {
+                self.buffer.swap(write, read);
+                write += 1;
+            }
+            read = end;
+        }
+        self.buffer.truncate(write);
+        self.sorted = self.buffer.len();
+    }
+
+    /// The sorted-prefix length and buffer capacity, for amortization tests.
+    #[doc(hidden)]
+    pub fn buffer_state(&self) -> (usize, usize, usize) {
+        (self.sorted, self.buffer.len(), self.buffer.capacity())
     }
 }
 
@@ -128,11 +188,15 @@ impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> Builder for OrdValB
     fn with_capacity(capacity: usize) -> Self {
         OrdValBuilder {
             buffer: Vec::with_capacity(capacity),
+            sorted: 0,
         }
     }
 
     fn push(&mut self, key: K, val: V, time: T, diff: R) {
         self.buffer.push((key, val, time, diff));
+        if self.buffer.len() - self.sorted >= self.sorted.max(BUILDER_CONSOLIDATE_MIN) {
+            self.consolidate_buffer();
+        }
     }
 
     fn done(
@@ -145,28 +209,11 @@ impl<K: Data, V: Data, T: Timestamp + Lattice, R: Semigroup> Builder for OrdValB
         // how far accumulations are valid, but times are only advanced lazily, during
         // merges. Advancing here would re-timestamp the live batch stream that operator
         // shells (and loop feedback paths) consume.
-        self.buffer
-            .sort_by(|a, b| (&a.0, &a.1, &a.2).cmp(&(&b.0, &b.1, &b.2)));
+        self.consolidate_buffer();
 
         let mut storage = OrdValStorage::empty();
-        let mut index = 0;
-        while index < self.buffer.len() {
-            // Accumulate a run of identical (key, val, time).
-            let mut diff = self.buffer[index].3.clone();
-            let mut end = index + 1;
-            while end < self.buffer.len()
-                && self.buffer[end].0 == self.buffer[index].0
-                && self.buffer[end].1 == self.buffer[index].1
-                && self.buffer[end].2 == self.buffer[index].2
-            {
-                diff.plus_equals(&self.buffer[end].3);
-                end += 1;
-            }
-            if !diff.is_zero() {
-                let (key, val, time, _) = &self.buffer[index];
-                push_update(&mut storage, key, val, time.clone(), diff);
-            }
-            index = end;
+        for (key, val, time, diff) in self.buffer.iter() {
+            push_update(&mut storage, key, val, time.clone(), diff.clone());
         }
         seal(&mut storage);
         OrdValBatch {

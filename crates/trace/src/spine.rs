@@ -48,6 +48,10 @@ enum Layer<B: Batch> {
     Single(B),
     /// Two abutting batches being merged, with the in-progress merger.
     Merging(B, B, B::Merger),
+    /// Transient placeholder installed while a layer's contents are moved out by value.
+    /// Never observable outside [`Spine::apply_fuel`] / [`Spine::consider_merges`]; it
+    /// exists so extraction does not have to allocate an empty batch.
+    Taken,
 }
 
 impl<B: Batch> Layer<B> {
@@ -55,6 +59,7 @@ impl<B: Batch> Layer<B> {
         match self {
             Layer::Single(batch) => batch.len(),
             Layer::Merging(a, b, _) => a.len() + b.len(),
+            Layer::Taken => unreachable!("transient layer observed"),
         }
     }
 }
@@ -110,6 +115,7 @@ impl<B: Batch> Spine<B> {
             .map(|l| match l {
                 Layer::Single(_) => 1,
                 Layer::Merging(..) => 2,
+                Layer::Taken => unreachable!("transient layer observed"),
             })
             .sum()
     }
@@ -138,6 +144,7 @@ impl<B: Batch> Spine<B> {
                     logic(a);
                     logic(b);
                 }
+                Layer::Taken => unreachable!("transient layer observed"),
             }
         }
     }
@@ -176,42 +183,58 @@ impl<B: Batch> Spine<B> {
         self.inserted += batch.len();
         let fuel_basis = batch.len();
         self.layers.push(Layer::Single(batch));
-        self.apply_fuel(fuel_basis);
-        self.consider_merges();
+        self.maintain(fuel_basis);
     }
 
     /// Applies additional merge effort, as if a batch of `effort_basis` updates had been
     /// introduced. Useful for making progress on merges while otherwise idle.
     pub fn exert(&mut self, effort_basis: usize) {
-        self.apply_fuel(effort_basis);
-        self.consider_merges();
+        self.maintain(effort_basis);
+    }
+
+    /// Starts eligible merges and fuels in-progress ones, looping while completions make
+    /// further merges eligible. This single path serves every effort level: `Eager` fuel
+    /// is unbounded, so the loop drives all merges (including transitively enabled ones)
+    /// to completion; bounded efforts stop as soon as a fuel application completes
+    /// nothing, leaving the remainder for later introductions.
+    fn maintain(&mut self, effort_basis: usize) {
+        loop {
+            self.consider_merges();
+            if !self.apply_fuel(effort_basis) {
+                break;
+            }
+        }
     }
 
     /// Gives every in-progress merge its share of fuel; installs completed merges.
-    fn apply_fuel(&mut self, batch_len: usize) {
+    /// Returns true iff at least one merge completed.
+    fn apply_fuel(&mut self, batch_len: usize) -> bool {
+        let mut completed = false;
         for layer in self.layers.iter_mut() {
             if let Layer::Merging(a, b, merger) = layer {
                 let mut fuel = self.effort.fuel_for(batch_len);
                 merger.work(a, b, &mut fuel);
                 if merger.is_complete() {
-                    // Replace the merging layer with the merged result.
-                    let placeholder =
-                        B::empty(Antichain::new(), Antichain::new(), Antichain::new());
-                    let previous = std::mem::replace(layer, Layer::Single(placeholder));
-                    if let Layer::Merging(a, b, merger) = previous {
-                        let merged = merger.done(&a, &b);
-                        *layer = Layer::Single(merged);
-                    }
+                    // Move the merge out by value (no placeholder batch allocation) and
+                    // install the merged result.
+                    let Layer::Merging(a, b, merger) = std::mem::replace(layer, Layer::Taken)
+                    else {
+                        unreachable!("layer changed variant underfoot");
+                    };
+                    *layer = Layer::Single(merger.done(&a, &b));
+                    completed = true;
                 }
             }
         }
+        completed
     }
 
     /// Starts merges between adjacent settled layers of comparable size.
     ///
     /// Scans newest to oldest; a merge is started when the older neighbour is at most
     /// twice the size of the newer layer, which keeps the number of layers logarithmic in
-    /// the number of distinct updates.
+    /// the number of distinct updates. Merges only *start* here; all completion goes
+    /// through [`Spine::apply_fuel`].
     fn consider_merges(&mut self) {
         let mut changed = true;
         while changed {
@@ -226,26 +249,13 @@ impl<B: Batch> Spine<B> {
                 };
                 if start_merge {
                     let newer_layer = self.layers.remove(index);
-                    let older_layer = std::mem::replace(
-                        &mut self.layers[older],
-                        Layer::Single(B::empty(
-                            Antichain::new(),
-                            Antichain::new(),
-                            Antichain::new(),
-                        )),
-                    );
-                    if let (Layer::Single(a), Layer::Single(b)) = (older_layer, newer_layer) {
-                        let mut merger = a.begin_merge(&b, self.since.borrow());
-                        if self.effort == MergeEffort::Eager {
-                            let mut fuel = isize::MAX;
-                            merger.work(&a, &b, &mut fuel);
-                            let merged = merger.done(&a, &b);
-                            self.layers[older] = Layer::Single(merged);
-                        } else {
-                            self.layers[older] = Layer::Merging(a, b, merger);
-                        }
-                        changed = true;
-                    }
+                    let older_layer = std::mem::replace(&mut self.layers[older], Layer::Taken);
+                    let (Layer::Single(a), Layer::Single(b)) = (older_layer, newer_layer) else {
+                        unreachable!("layer changed variant underfoot");
+                    };
+                    let merger = a.begin_merge(&b, self.since.borrow());
+                    self.layers[older] = Layer::Merging(a, b, merger);
+                    changed = true;
                     // After restructuring, restart the scan from the end.
                     break;
                 }

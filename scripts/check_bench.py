@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Validate the `BENCH {...}` JSON lines a benchmark binary printed.
+
+Usage: check_bench.py <output-file> <required-name> [<required-name> ...]
+
+Fails (exit 1) if any `BENCH ` line is not followed by a single valid JSON
+object with a string `name` field, or if any required name never appears.
+CI pipes each bench smoke run through a file and calls this afterwards, so a
+refactor that silently drops or mangles the machine-readable perf record
+breaks the build instead of the perf trajectory.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, required = sys.argv[1], set(sys.argv[2:])
+
+    seen = set()
+    errors = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.startswith("BENCH "):
+                continue
+            body = line[len("BENCH "):].strip()
+            try:
+                record = json.loads(body)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{lineno}: unparsable BENCH line: {exc}")
+                continue
+            if not isinstance(record, dict) or not isinstance(record.get("name"), str):
+                errors.append(f"{path}:{lineno}: BENCH object lacks a string 'name'")
+                continue
+            seen.add(record["name"])
+            print(f"ok: {path}:{lineno}: {record['name']} ({len(record)} fields)")
+
+    for name in sorted(required - seen):
+        errors.append(f"{path}: required BENCH record {name!r} never emitted")
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
