@@ -12,7 +12,7 @@
 //! `BENCH {...}` JSON line (`micro_latency`, `micro_throughput`, `micro_join_install`),
 //! so CI and future PRs can track the perf trajectory of the hot path.
 
-use kpg_bench::{arg_usize, timed, BenchReport, LatencyRecorder};
+use kpg_bench::{arg_usize, bench_record, num, text, timed, LatencyRecorder};
 use kpg_core::prelude::*;
 use kpg_dataflow::Time;
 use kpg_timestamp::rng::SmallRng;
@@ -129,14 +129,17 @@ fn join_proportionality(keys: u64, probe_sizes: &[usize]) -> Vec<(usize, f64)> {
 
 /// Emits the `micro_latency` BENCH line for one step-latency experiment.
 fn emit_latency(label: &str, workers: usize, load: usize, recorder: &LatencyRecorder) {
-    BenchReport::new("micro_latency")
-        .text("experiment", label)
-        .field("workers", workers)
-        .field("load", load)
-        .field("p50_ns", recorder.median().as_nanos())
-        .field("p99_ns", recorder.quantile(0.99).as_nanos())
-        .field("max_ns", recorder.max().as_nanos())
-        .emit();
+    bench_record(
+        "micro_latency",
+        &[
+            ("experiment", text(label)),
+            ("workers", num(workers)),
+            ("load", num(load)),
+            ("p50_ns", num(recorder.median().as_nanos())),
+            ("p99_ns", num(recorder.quantile(0.99).as_nanos())),
+            ("max_ns", num(recorder.max().as_nanos())),
+        ],
+    );
 }
 
 fn main() {
@@ -181,12 +184,15 @@ fn main() {
     while workers <= max_workers {
         let rate = throughput(workers, keys, updates);
         println!("workers-{workers}\t{rate:.0} records/s");
-        BenchReport::new("micro_throughput")
-            .field("workers", workers)
-            .field("keys", keys)
-            .field("updates", updates)
-            .field("records_per_s", format!("{rate:.0}"))
-            .emit();
+        bench_record(
+            "micro_throughput",
+            &[
+                ("workers", num(workers)),
+                ("keys", num(keys)),
+                ("updates", num(updates)),
+                ("records_per_s", num(format!("{rate:.0}"))),
+            ],
+        );
         workers *= 2;
     }
 
@@ -205,10 +211,13 @@ fn main() {
     println!("probe size\tlatency (ms)");
     for (size, ms) in join_proportionality(keys, &[1, 256, 4_096, 16_384]) {
         println!("{size}\t{ms:.3}");
-        BenchReport::new("micro_join_install")
-            .field("keys", keys)
-            .field("size", size)
-            .field("latency_us", format!("{:.0}", ms * 1e3))
-            .emit();
+        bench_record(
+            "micro_join_install",
+            &[
+                ("keys", num(keys)),
+                ("size", num(size)),
+                ("latency_us", num(format!("{:.0}", ms * 1e3))),
+            ],
+        );
     }
 }

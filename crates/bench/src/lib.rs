@@ -130,6 +130,43 @@ impl BenchReport {
     }
 }
 
+/// One field value of a [`bench_record`] line: rendered bare for numbers, quoted for
+/// text.
+pub enum BenchField {
+    /// A numeric field (rendered bare; the value must be valid JSON as-is).
+    Num(String),
+    /// A string field (rendered as a JSON string).
+    Text(String),
+}
+
+/// A numeric [`BenchField`].
+pub fn num(value: impl std::fmt::Display) -> BenchField {
+    BenchField::Num(value.to_string())
+}
+
+/// A string [`BenchField`].
+pub fn text(value: impl Into<String>) -> BenchField {
+    BenchField::Text(value.into())
+}
+
+/// Builds a [`BenchReport`] from a flat field list. Field order is preserved.
+pub fn bench_report(name: &str, fields: &[(&str, BenchField)]) -> BenchReport {
+    let mut report = BenchReport::new(name);
+    for (key, value) in fields {
+        report = match value {
+            BenchField::Num(value) => report.field(key, value),
+            BenchField::Text(value) => report.text(key, value),
+        };
+    }
+    report
+}
+
+/// Emits one `BENCH {...}` line in a single call: the shared shorthand for binaries
+/// whose emission is a flat name-plus-fields record (which is all of them).
+pub fn bench_record(name: &str, fields: &[(&str, BenchField)]) {
+    bench_report(name, fields).emit();
+}
+
 /// Escapes a string as a JSON string literal (RFC 8259: quote, backslash, and control
 /// characters; everything else passes through verbatim).
 fn json_string(value: &str) -> String {
@@ -188,6 +225,11 @@ pub fn arg_string(name: &str, default: &str) -> String {
     default.to_string()
 }
 
+/// True iff the bare flag `name` (e.g. `--plan`) appears on the command line.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|arg| arg == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +258,15 @@ mod tests {
         let report = BenchReport::new("churn")
             .field("queries", 10)
             .text("mode", "mixed");
+        assert_eq!(
+            report.render(),
+            "{\"name\":\"churn\",\"queries\":10,\"mode\":\"mixed\"}"
+        );
+    }
+
+    #[test]
+    fn bench_record_builds_the_same_shape() {
+        let report = bench_report("churn", &[("queries", num(10)), ("mode", text("mixed"))]);
         assert_eq!(
             report.render(),
             "{\"name\":\"churn\",\"queries\":10,\"mode\":\"mixed\"}"

@@ -29,7 +29,7 @@
 //!     let (mut edges, probe) = worker.install("graph", |builder| {
 //!         let (input, edges) = new_collection::<(u32, u32), isize>(builder);
 //!         let arranged = edges.arrange_by_key();
-//!         catalog.publish("edges", &arranged).unwrap();
+//!         catalog.publish_if_absent("edges", &arranged).unwrap();
 //!         (input, arranged.probe())
 //!     });
 //!     // ...then install queries against it by name, and retire them when done.
@@ -119,7 +119,7 @@ impl<B: Batch<Time = Time> + 'static> AnyTrace for TraceAgent<B> {
 /// Why a catalog operation failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CatalogError {
-    /// A publish used a name that is already bound.
+    /// A `publish_if_absent` used a name that is already bound.
     NameTaken(String),
     /// A lookup named an arrangement that is not in the catalog.
     NotFound(String),
@@ -211,37 +211,63 @@ impl Catalog {
         }
     }
 
-    /// Publishes an arrangement's trace under `name`.
+    /// Publishes an arrangement's trace under `name`, replacing any previous entry
+    /// (last-writer-wins arbitration). Returns true iff a previous entry was displaced.
     ///
     /// The catalog registers its own read handle on the trace (cloned from the
     /// arrangement's), so the published entry remains live and importable independent of
-    /// the handle it was published from.
+    /// the handle it was published from. Use [`Catalog::publish_if_absent`] when a name
+    /// collision should be an error instead of an overwrite.
     pub fn publish<B: Batch<Time = Time> + 'static>(
         &self,
         name: &str,
         arranged: &Arranged<B>,
-    ) -> Result<(), CatalogError> {
+    ) -> bool {
         self.publish_trace(name, &arranged.trace)
     }
 
-    /// Publishes a trace handle under `name`. See [`Catalog::publish`].
+    /// Publishes a trace handle under `name`, replacing any previous entry. Returns true
+    /// iff a previous entry was displaced. See [`Catalog::publish`].
     pub fn publish_trace<B: Batch<Time = Time> + 'static>(
         &self,
         name: &str,
         trace: &TraceAgent<B>,
-    ) -> Result<(), CatalogError> {
+    ) -> bool {
         let mut inner = self.inner.borrow_mut();
-        if inner.entries.contains_key(name) {
+        let publisher = inner.installing.clone();
+        inner
+            .entries
+            .insert(
+                name.to_string(),
+                CatalogEntry {
+                    trace: Box::new(trace.clone()),
+                    publisher,
+                },
+            )
+            .is_some()
+    }
+
+    /// Publishes an arrangement's trace under `name`, refusing to displace an existing
+    /// entry: the arbitration for publish races where first-writer-wins is wanted.
+    pub fn publish_if_absent<B: Batch<Time = Time> + 'static>(
+        &self,
+        name: &str,
+        arranged: &Arranged<B>,
+    ) -> Result<(), CatalogError> {
+        self.publish_trace_if_absent(name, &arranged.trace)
+    }
+
+    /// Publishes a trace handle under `name` unless the name is already bound, in which
+    /// case [`CatalogError::NameTaken`] is returned and the existing entry is kept.
+    pub fn publish_trace_if_absent<B: Batch<Time = Time> + 'static>(
+        &self,
+        name: &str,
+        trace: &TraceAgent<B>,
+    ) -> Result<(), CatalogError> {
+        if self.inner.borrow().entries.contains_key(name) {
             return Err(CatalogError::NameTaken(name.to_string()));
         }
-        let publisher = inner.installing.clone();
-        inner.entries.insert(
-            name.to_string(),
-            CatalogEntry {
-                trace: Box::new(trace.clone()),
-                publisher,
-            },
-        );
+        self.publish_trace(name, trace);
         Ok(())
     }
 
@@ -478,7 +504,7 @@ mod tests {
     fn publish_lookup_roundtrip() {
         let catalog = Catalog::new();
         let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
-        catalog.publish_trace("edges", &trace).unwrap();
+        assert!(!catalog.publish_trace("edges", &trace));
         assert!(catalog.contains("edges"));
         assert_eq!(catalog.names(), vec!["edges".to_string()]);
         let looked = catalog.lookup::<ValBatch<u32, u32>>("edges").unwrap();
@@ -489,7 +515,7 @@ mod tests {
     fn lookup_reports_missing_and_mismatched_types() {
         let catalog = Catalog::new();
         let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
-        catalog.publish_trace("edges", &trace).unwrap();
+        catalog.publish_trace("edges", &trace);
         assert_eq!(
             catalog.lookup::<ValBatch<u32, u32>>("nodes").unwrap_err(),
             CatalogError::NotFound("nodes".to_string())
@@ -509,16 +535,48 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_names_are_rejected() {
+    fn duplicate_names_are_rejected_by_publish_if_absent() {
         let catalog = Catalog::new();
         let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
-        catalog.publish_trace("edges", &trace).unwrap();
+        catalog.publish_trace_if_absent("edges", &trace).unwrap();
         assert_eq!(
-            catalog.publish_trace("edges", &trace).unwrap_err(),
+            catalog
+                .publish_trace_if_absent("edges", &trace)
+                .unwrap_err(),
             CatalogError::NameTaken("edges".to_string())
         );
         assert!(catalog.unpublish("edges"));
-        catalog.publish_trace("edges", &trace).unwrap();
+        catalog.publish_trace_if_absent("edges", &trace).unwrap();
+    }
+
+    /// The publish-race arbitration (ROADMAP: "arbitration for publish races"): plain
+    /// `publish` is last-writer-wins and reports the displacement, while
+    /// `publish_if_absent` is first-writer-wins and reports the refusal — so both racers
+    /// always agree on which trace a name resolves to.
+    #[test]
+    fn publish_race_arbitration() {
+        let catalog = Catalog::new();
+        let first = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
+        let second = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
+
+        // Last-writer-wins: the overwrite is reported, and lookups resolve to the winner.
+        assert!(!catalog.publish_trace("edges", &first));
+        assert_eq!(first.reader_count(), 2);
+        assert!(catalog.publish_trace("edges", &second));
+        // The displaced entry's reader handle is released; the winner's is registered.
+        assert_eq!(first.reader_count(), 1);
+        assert_eq!(second.reader_count(), 2);
+
+        // First-writer-wins: the loser gets an error and the winner's entry survives.
+        let third = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
+        assert_eq!(
+            catalog
+                .publish_trace_if_absent("edges", &third)
+                .unwrap_err(),
+            CatalogError::NameTaken("edges".to_string())
+        );
+        assert_eq!(second.reader_count(), 2);
+        assert_eq!(third.reader_count(), 1);
     }
 
     #[test]
@@ -526,8 +584,8 @@ mod tests {
         let catalog = Catalog::new();
         let by_key = TraceAgent::<ValBatch<u32, String>>::new(MergeEffort::Default);
         let by_self = TraceAgent::<KeyBatch<(u64, u64)>>::new(MergeEffort::Default);
-        catalog.publish_trace("profiles", &by_key).unwrap();
-        catalog.publish_trace("pairs", &by_self).unwrap();
+        catalog.publish_trace("profiles", &by_key);
+        catalog.publish_trace("pairs", &by_self);
         assert_eq!(catalog.len(), 2);
         catalog.lookup::<ValBatch<u32, String>>("profiles").unwrap();
         catalog.lookup::<KeyBatch<(u64, u64)>>("pairs").unwrap();
@@ -538,7 +596,7 @@ mod tests {
         let catalog = Catalog::new();
         let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
         assert_eq!(trace.reader_count(), 1);
-        catalog.publish_trace("edges", &trace).unwrap();
+        catalog.publish_trace("edges", &trace);
         assert_eq!(trace.reader_count(), 2);
         drop(trace);
         // The published entry keeps the trace alive and importable.

@@ -34,7 +34,7 @@ fn run_lifecycle(workers: usize) -> Vec<LifecycleObservations> {
             move |builder| {
                 let (input, edges) = new_collection::<(u32, u32), isize>(builder);
                 let arranged = edges.arrange_by_key();
-                catalog.publish("edges", &arranged).unwrap();
+                catalog.publish_if_absent("edges", &arranged).unwrap();
                 (input, arranged.probe())
             }
         });
@@ -195,7 +195,7 @@ fn query_churn_keeps_slots_and_reader_tables_bounded() {
                 move |builder| {
                     let (input, edges) = new_collection::<(u32, u32), isize>(builder);
                     let arranged = edges.arrange_by_key();
-                    catalog.publish("edges", &arranged).unwrap();
+                    catalog.publish_if_absent("edges", &arranged).unwrap();
                     (input, arranged.probe())
                 }
             });
@@ -278,7 +278,7 @@ fn query_churn_keeps_slots_and_reader_tables_bounded() {
 fn reader_slots_are_reused_after_drop() {
     let catalog = Catalog::new();
     let trace = TraceAgent::<ValBatch<u32, u32>>::new(MergeEffort::Default);
-    catalog.publish_trace("edges", &trace).unwrap();
+    catalog.publish_trace_if_absent("edges", &trace).unwrap();
     let baseline = trace.reader_slot_capacity();
     for _ in 0..1000 {
         let looked = catalog.lookup::<ValBatch<u32, u32>>("edges").unwrap();

@@ -70,7 +70,7 @@ impl InteractiveSession {
             let (edges_in, edges) = new_collection::<Edge, isize>(builder);
             let arranged = edges.arrange_by_key_named("SharedEdges", MergeEffort::Default);
             catalog_for_closure
-                .publish(&name_owned, &arranged)
+                .publish_if_absent(&name_owned, &arranged)
                 .expect("graph arrangement name already taken");
             (edges_in, arranged.probe())
         });

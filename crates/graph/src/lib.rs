@@ -7,6 +7,8 @@
 //! * [`interactive`] — the four interactive query classes of Figure 5 / Table 10
 //!   (point look-up, 1-hop, 2-hop, 4-hop shortest path), built either against a shared
 //!   arrangement of the graph or against per-query private arrangements.
+//! * [`plans`] — the same four query classes expressed as runtime [`kpg_plan::Plan`]
+//!   values, installable from data through a [`kpg_plan::Manager`].
 //! * [`baseline`] — the paper's "purpose-written single-threaded code" comparators
 //!   (array- and hash-map-based BFS, union-find connectivity).
 
@@ -16,6 +18,7 @@ pub mod algorithms;
 pub mod baseline;
 pub mod generate;
 pub mod interactive;
+pub mod plans;
 
 /// A directed edge between two node identifiers.
 pub type Edge = (u32, u32);

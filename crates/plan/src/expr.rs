@@ -1,0 +1,264 @@
+//! The data-described expression language used by `Map` and `Filter`.
+//!
+//! An [`Expr`] is a small tree over row columns and literals. It exists so that the
+//! per-record logic of a runtime query is *data* — constructible from a wire message,
+//! hashable for sub-plan memoization, comparable for plan equality — where the
+//! closure-compiled operators take arbitrary Rust functions.
+
+use crate::value::{Row, Value};
+
+/// A scalar expression over a [`Row`].
+///
+/// Arithmetic follows [`Value::as_i64`] coercion unless both operands share a numeric
+/// variant (`UInt + UInt` stays `UInt`; `Add` on two strings concatenates), and panics
+/// on overflow — in release builds too, matching the crate's panic-on-misuse
+/// evaluation semantics. Comparisons between two numbers compare numerically across
+/// variants; any comparison involving a string compares [`Value`]s structurally.
+/// Boolean results use [`Value::bool`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// The value of the row's `i`-th column (panics at evaluation if out of range).
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// Addition (string concatenation when both operands are strings).
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Equality.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality.
+    Ne(Box<Expr>, Box<Expr>),
+    /// Strictly less than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Less than or equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Strictly greater than.
+    Gt(Box<Expr>, Box<Expr>),
+    /// Greater than or equal.
+    Ge(Box<Expr>, Box<Expr>),
+    /// Logical conjunction of truthiness.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction of truthiness.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation of truthiness.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// The `i`-th column.
+    pub fn col(index: usize) -> Expr {
+        Expr::Column(index)
+    }
+
+    /// A literal.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(other))
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Ne(Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Le(Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Gt(Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Ge(Box::new(self), Box::new(other))
+    }
+
+    /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// `self && other` (truthiness).
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self || other` (truthiness).
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `!self` (truthiness).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Evaluates the expression against `row`.
+    pub fn eval(&self, row: &[Value]) -> Value {
+        match self {
+            Expr::Column(index) => row
+                .get(*index)
+                .unwrap_or_else(|| {
+                    panic!("column {index} out of range for row of arity {}", row.len())
+                })
+                .clone(),
+            Expr::Literal(value) => value.clone(),
+            Expr::Add(lhs, rhs) => match (lhs.eval(row), rhs.eval(row)) {
+                (Value::UInt(a), Value::UInt(b)) => {
+                    Value::UInt(a.checked_add(b).expect("Add overflow"))
+                }
+                (Value::String(mut a), Value::String(b)) => {
+                    a.push_str(&b);
+                    Value::String(a)
+                }
+                (a, b) => Value::Int(a.as_i64().checked_add(b.as_i64()).expect("Add overflow")),
+            },
+            Expr::Sub(lhs, rhs) => match (lhs.eval(row), rhs.eval(row)) {
+                (Value::UInt(a), Value::UInt(b)) if a >= b => Value::UInt(a - b),
+                (a, b) => Value::Int(a.as_i64().checked_sub(b.as_i64()).expect("Sub overflow")),
+            },
+            Expr::Mul(lhs, rhs) => match (lhs.eval(row), rhs.eval(row)) {
+                (Value::UInt(a), Value::UInt(b)) => {
+                    Value::UInt(a.checked_mul(b).expect("Mul overflow"))
+                }
+                (a, b) => Value::Int(a.as_i64().checked_mul(b.as_i64()).expect("Mul overflow")),
+            },
+            Expr::Eq(lhs, rhs) => Value::bool(compare(&lhs.eval(row), &rhs.eval(row)).is_eq()),
+            Expr::Ne(lhs, rhs) => Value::bool(compare(&lhs.eval(row), &rhs.eval(row)).is_ne()),
+            Expr::Lt(lhs, rhs) => Value::bool(compare(&lhs.eval(row), &rhs.eval(row)).is_lt()),
+            Expr::Le(lhs, rhs) => Value::bool(compare(&lhs.eval(row), &rhs.eval(row)).is_le()),
+            Expr::Gt(lhs, rhs) => Value::bool(compare(&lhs.eval(row), &rhs.eval(row)).is_gt()),
+            Expr::Ge(lhs, rhs) => Value::bool(compare(&lhs.eval(row), &rhs.eval(row)).is_ge()),
+            Expr::And(lhs, rhs) => Value::bool(lhs.eval(row).truthy() && rhs.eval(row).truthy()),
+            Expr::Or(lhs, rhs) => Value::bool(lhs.eval(row).truthy() || rhs.eval(row).truthy()),
+            Expr::Not(inner) => Value::bool(!inner.eval(row).truthy()),
+        }
+    }
+
+    /// Evaluates the expression as a predicate (truthiness of [`Expr::eval`]).
+    pub fn test(&self, row: &[Value]) -> bool {
+        self.eval(row).truthy()
+    }
+
+    /// The greatest column index the expression reads, if it reads any.
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Expr::Column(index) => Some(*index),
+            Expr::Literal(_) => None,
+            Expr::Add(lhs, rhs)
+            | Expr::Sub(lhs, rhs)
+            | Expr::Mul(lhs, rhs)
+            | Expr::Eq(lhs, rhs)
+            | Expr::Ne(lhs, rhs)
+            | Expr::Lt(lhs, rhs)
+            | Expr::Le(lhs, rhs)
+            | Expr::Gt(lhs, rhs)
+            | Expr::Ge(lhs, rhs)
+            | Expr::And(lhs, rhs)
+            | Expr::Or(lhs, rhs) => lhs.max_column().max(rhs.max_column()),
+            Expr::Not(inner) => inner.max_column(),
+        }
+    }
+}
+
+/// Evaluates a projection list against `row`, producing the output row.
+pub fn project(exprs: &[Expr], row: &Row) -> Row {
+    exprs.iter().map(|expr| expr.eval(row)).collect()
+}
+
+/// Comparison used by the relational operators: numeric across `Int`/`UInt` when both
+/// sides are numeric, structural otherwise.
+fn compare(lhs: &Value, rhs: &Value) -> std::cmp::Ordering {
+    match (lhs, rhs) {
+        (Value::String(_), _) | (_, Value::String(_)) => lhs.cmp(rhs),
+        (a, b) => {
+            let a = match a {
+                Value::Int(v) => i128::from(*v),
+                Value::UInt(v) => i128::from(*v),
+                Value::String(_) => unreachable!(),
+            };
+            let b = match b {
+                Value::Int(v) => i128::from(*v),
+                Value::UInt(v) => i128::from(*v),
+                Value::String(_) => unreachable!(),
+            };
+            a.cmp(&b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_projection() {
+        let row: Row = Row::from(vec![Value::UInt(4), Value::UInt(10), Value::Int(-2)]);
+        assert_eq!(
+            Expr::col(0).add(Expr::col(1)).eval(&row),
+            Value::UInt(14),
+            "UInt + UInt stays UInt"
+        );
+        assert_eq!(Expr::col(1).sub(Expr::col(0)).eval(&row), Value::UInt(6));
+        assert_eq!(Expr::col(2).mul(Expr::lit(3i64)).eval(&row), Value::Int(-6));
+        assert_eq!(
+            project(&[Expr::col(2), Expr::lit("tag")], &row),
+            Row::from(vec![Value::Int(-2), Value::from("tag")])
+        );
+    }
+
+    #[test]
+    fn comparisons_cross_numeric_variants() {
+        let row: Row = Row::from(vec![Value::Int(3), Value::UInt(3), Value::UInt(5)]);
+        assert!(Expr::col(0).eq(Expr::col(1)).test(&row));
+        assert!(Expr::col(0).lt(Expr::col(2)).test(&row));
+        assert!(Expr::col(2).ge(Expr::lit(5u64)).test(&row));
+        assert!(Expr::col(0).ne(Expr::col(2)).test(&row));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let row: Row = Row::from(vec![Value::UInt(1), Value::UInt(0)]);
+        assert!(Expr::col(0).and(Expr::col(1).not()).test(&row));
+        assert!(Expr::col(1).or(Expr::col(0)).test(&row));
+        assert!(!Expr::col(1).and(Expr::col(0)).test(&row));
+    }
+
+    #[test]
+    fn max_column_bounds_arity_requirements() {
+        assert_eq!(Expr::lit(1u64).max_column(), None);
+        assert_eq!(
+            Expr::col(4).eq(Expr::col(1).add(Expr::col(7))).max_column(),
+            Some(7)
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Runtime query plans: install dataflows from *data*, not closures.
+//!
+//! Everything else in this workspace builds queries by running Rust closures against a
+//! [`DataflowBuilder`](kpg_dataflow::DataflowBuilder) — which means every query class is
+//! compiled into the binary. The paper's interactive evaluation (§6.2) instead treats
+//! queries as things that *arrive at runtime* against shared arrangements. This crate is
+//! that gateway:
+//!
+//! * [`Value`] / [`Row`] — the uniform dynamic row type every plan-rendered collection
+//!   carries, so one render pass serves every query shape.
+//! * [`Expr`] — a data-described scalar language for `Map` and `Filter` (columns,
+//!   literals, arithmetic, comparisons, boolean connectives).
+//! * [`Plan`] — the IR: `Source`, `Map`, `Filter`, `Join { keys }`,
+//!   `Reduce { Count | Sum | Min | Top }`, `Distinct`, `Concat`, `Negate`, and
+//!   `Iterate`/`Recur` for fixed points. Plans are plain values (`Eq + Hash`), which is
+//!   what makes sub-plan sharing *recognisable*.
+//! * [`Renderer`] — the render pass compiling a validated plan into a dataflow against
+//!   the existing [`Catalog`](kpg_core::Catalog) / `install_query` lifecycle. Sub-trees
+//!   reading only shared state are imported from memoized shared arrangements;
+//!   plan-identical subtrees across queries import the *same* trace.
+//! * [`Manager`] — the per-worker engine: named inputs, the plan→trace memo registry,
+//!   and [`Command`] execution (`CreateInput`, `Update`, `AdvanceTime`, `Install`,
+//!   `Uninstall`, `Query`), so a driver loop can run a recorded command stream today and
+//!   a network server can feed the same loop tomorrow.
+//!
+//! ```no_run
+//! use kpg_core::prelude::*;
+//! use kpg_plan::{Command, Manager, Plan, Row, Value};
+//!
+//! execute(Config::new(1), |worker| {
+//!     let mut manager = Manager::new();
+//!     let edges = |src: u32, dst: u32| -> Row { Row::from(vec![src.into(), dst.into()]) };
+//!     manager
+//!         .execute(worker, Command::CreateInput { name: "edges".into(), key_arity: Some(1) })
+//!         .unwrap();
+//!     manager
+//!         .execute(
+//!             worker,
+//!             Command::Update { name: "edges".into(), row: edges(1, 2), diff: 1 },
+//!         )
+//!         .unwrap();
+//!     // Degree count per source node, described as data:
+//!     let plan = Plan::source("edges").reduce(1, kpg_plan::ReduceKind::Count);
+//!     manager
+//!         .execute(worker, Command::Install { name: "degrees".into(), plan, locals: vec![] })
+//!         .unwrap();
+//!     manager.execute(worker, Command::AdvanceTime { epoch: 1 }).unwrap();
+//!     manager.settle(worker);
+//!     let rows = manager.execute(worker, Command::Query { name: "degrees".into() }).unwrap();
+//!     let _ = (rows, Value::UInt(1));
+//! });
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod expr;
+pub mod manager;
+pub mod plan;
+pub mod render;
+pub mod value;
+
+pub use expr::{project, Expr};
+pub use manager::{Command, Manager, PlanError, Response};
+pub use plan::{ArrangeKey, KeySpec, Plan, PlanValidity, ReduceKind};
+pub use render::{Renderer, RowBatch, SourceBinding};
+pub use value::{Row, Value};

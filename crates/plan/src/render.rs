@@ -1,0 +1,631 @@
+//! The render pass: compiling a validated [`Plan`] into a live dataflow.
+//!
+//! Rendering happens *inside* an `install_query` closure: the [`Renderer`] is a snapshot
+//! of everything the plan needs that lives outside the dataflow under construction —
+//! the catalog names of base-input arrangements and of every memoized sub-plan
+//! arrangement the manager pre-installed. Sub-trees that read only shared state are
+//! **imported** (one shared arrangement, any number of reading queries — the paper's
+//! economy applied between runtime queries); sub-trees bound to the loop variable or to
+//! a query-local input are rendered inline, arranged privately within this dataflow.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+
+use kpg_core::arrange::{KeyBatch, ValBatch};
+use kpg_core::prelude::*;
+
+use crate::expr::project;
+use crate::plan::{ArrangeKey, KeySpec, Plan, ReduceKind};
+use crate::value::{Row, Value};
+
+/// Builds the row `head ++ mid ++ tail` (any part may be empty) in one allocation: the
+/// chained slice iterators are `TrustedLen`, so the collect writes straight into the
+/// row's shared storage — this runs once per join emission, the hottest row path.
+fn concat_rows(head: &[Value], mid: &[Value], tail: &[Value]) -> Row {
+    head.iter()
+        .chain(mid.iter())
+        .chain(tail.iter())
+        .cloned()
+        .collect()
+}
+
+/// Reads position `index` of the virtual join-output row `key ++ left ++ right`
+/// without materializing it.
+fn segment<'a>(key: &'a [Value], left: &'a [Value], right: &'a [Value], index: usize) -> &'a Value {
+    if index < key.len() {
+        &key[index]
+    } else if index < key.len() + left.len() {
+        &left[index - key.len()]
+    } else {
+        &right[index - key.len() - left.len()]
+    }
+}
+
+/// If picking `indices` out of the virtual row `key ++ left ++ right` reproduces one of
+/// the three segments whole and in order, that segment's row is reused (a reference
+/// bump) instead of building a new one.
+fn whole_segment(indices: &[usize], key: &Row, left: &Row, right: &Row) -> Option<Row> {
+    let matches = |row: &Row, base: usize| {
+        indices.len() == row.len()
+            && indices
+                .iter()
+                .enumerate()
+                .all(|(slot, &index)| index == base + slot)
+    };
+    if matches(key, 0) {
+        Some(key.clone())
+    } else if matches(left, key.len()) {
+        Some(left.clone())
+    } else if matches(right, key.len() + left.len()) {
+        Some(right.clone())
+    } else {
+        None
+    }
+}
+
+/// The column indices of a pure projection (`exprs` all `Expr::Column`), if it is one.
+fn column_indices(exprs: &[crate::Expr]) -> Option<Vec<usize>> {
+    exprs
+        .iter()
+        .map(|expr| match expr {
+            crate::Expr::Column(index) => Some(*index),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The batch type of column-keyed plan arrangements: rows keyed by rows.
+pub type RowBatch = ValBatch<Row, Row>;
+
+/// The batch type of self-keyed plan arrangements (`KeySpec::SelfRow`): a key-only
+/// layout with no value arrays, matching what `Distinct` and whole-row base inputs
+/// actually need. Half the batch-building and cursor work of carrying empty value rows.
+pub type RowKeyBatch = KeyBatch<Row>;
+
+/// How a global input's base arrangement is published: its catalog name and key spec.
+///
+/// Base keyings are always row prefixes (or the whole row), so the original row is
+/// reconstructible as key ++ rest when the source is read at collection position.
+#[derive(Clone, Debug)]
+pub struct SourceBinding {
+    /// The catalog name of the base arrangement.
+    pub arrangement: String,
+    /// How its rows are keyed (a prefix `Columns(0..k)` or `SelfRow`).
+    pub keys: KeySpec,
+}
+
+/// Loop-scope bookkeeping threaded through rendering.
+struct Scope<'a> {
+    /// The innermost loop variable, if rendering inside an `Iterate` body.
+    recur: Option<&'a Collection<Row>>,
+    /// Iteration nesting depth (0 = the streaming scope).
+    depth: usize,
+}
+
+/// A plan compiler bound to one dataflow installation.
+///
+/// The maps are snapshots taken by the manager immediately before installing: rendering
+/// panics if the plan was not validated or a required arrangement was not pre-installed,
+/// both of which the manager guarantees.
+pub struct Renderer {
+    /// Catalog names of the memoized sub-plan arrangements this plan imports.
+    pub arrangements: HashMap<ArrangeKey, String>,
+    /// Base-arrangement bindings of the global inputs, by input name.
+    pub sources: HashMap<String, SourceBinding>,
+    /// Query-local input collections, created inside the dataflow being built.
+    pub locals: HashMap<String, Collection<Row>>,
+    /// Arrangements already imported into this dataflow, per catalog name and loop
+    /// depth: a plan that reads the same shared arrangement at several operator sites
+    /// (a 2-hop query joins the edge index twice) pays one import operator, not one per
+    /// site. Column-keyed and self-keyed arrangements have distinct batch types, so
+    /// they cache separately.
+    imported: RefCell<HashMap<(String, usize), Arranged<RowBatch>>>,
+    imported_self: RefCell<HashMap<(String, usize), Arranged<RowKeyBatch>>>,
+}
+
+impl Renderer {
+    /// A renderer over the given snapshots, with an empty import cache.
+    pub fn new(
+        arrangements: HashMap<ArrangeKey, String>,
+        sources: HashMap<String, SourceBinding>,
+        locals: HashMap<String, Collection<Row>>,
+    ) -> Self {
+        Renderer {
+            arrangements,
+            sources,
+            locals,
+            imported: RefCell::new(HashMap::new()),
+            imported_self: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Imports the named column-keyed catalog arrangement at `depth`, reusing a
+    /// previous import of the same name at the same depth.
+    fn import(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        name: &str,
+        depth: usize,
+    ) -> Arranged<RowBatch> {
+        let key = (name.to_string(), depth);
+        if let Some(imported) = self.imported.borrow().get(&key) {
+            return imported.clone();
+        }
+        let mut imported = catalog
+            .import::<RowBatch>(name, builder)
+            .expect("arrangement published before plan install");
+        for _ in 0..depth {
+            imported = imported.enter();
+        }
+        self.imported.borrow_mut().insert(key, imported.clone());
+        imported
+    }
+
+    /// Imports the named self-keyed catalog arrangement at `depth`, with the same
+    /// per-dataflow reuse as [`Renderer::import`].
+    fn import_self(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        name: &str,
+        depth: usize,
+    ) -> Arranged<RowKeyBatch> {
+        let key = (name.to_string(), depth);
+        if let Some(imported) = self.imported_self.borrow().get(&key) {
+            return imported.clone();
+        }
+        let mut imported = catalog
+            .import::<RowKeyBatch>(name, builder)
+            .expect("arrangement published before plan install");
+        for _ in 0..depth {
+            imported = imported.enter();
+        }
+        self.imported_self
+            .borrow_mut()
+            .insert(key, imported.clone());
+        imported
+    }
+}
+
+impl Renderer {
+    /// Compiles `plan` into a collection in `builder`'s dataflow.
+    pub fn render(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        plan: &Plan,
+    ) -> Collection<Row> {
+        self.collection(
+            builder,
+            catalog,
+            plan,
+            &Scope {
+                recur: None,
+                depth: 0,
+            },
+        )
+    }
+
+    /// Compiles `plan` into a column-keyed arrangement in `builder`'s dataflow — the
+    /// memo-dataflow entry point for `KeySpec::Columns`, with the same operator fusions
+    /// the inline paths get.
+    pub fn render_arranged(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        plan: &Plan,
+        columns: &[usize],
+    ) -> Arranged<RowBatch> {
+        self.arrange_inline(
+            builder,
+            catalog,
+            plan,
+            columns,
+            &Scope {
+                recur: None,
+                depth: 0,
+            },
+        )
+    }
+
+    /// Compiles `plan` into a self-keyed arrangement in `builder`'s dataflow — the
+    /// memo-dataflow entry point for `KeySpec::SelfRow`.
+    pub fn render_arranged_self(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        plan: &Plan,
+    ) -> Arranged<RowKeyBatch> {
+        self.arrange_self_inline(
+            builder,
+            catalog,
+            plan,
+            &Scope {
+                recur: None,
+                depth: 0,
+            },
+        )
+    }
+
+    fn local_names(&self) -> BTreeSet<String> {
+        self.locals.keys().cloned().collect()
+    }
+
+    fn collection(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        plan: &Plan,
+        scope: &Scope<'_>,
+    ) -> Collection<Row> {
+        match plan {
+            Plan::Source(name) => {
+                if let Some(local) = self.locals.get(name) {
+                    let mut local = local.clone();
+                    for _ in 0..scope.depth {
+                        local = local.enter();
+                    }
+                    local
+                } else {
+                    let binding = self
+                        .sources
+                        .get(name)
+                        .unwrap_or_else(|| panic!("source {name:?} was not validated"))
+                        .clone();
+                    match binding.keys {
+                        KeySpec::SelfRow => self
+                            .import_self(builder, catalog, &binding.arrangement, scope.depth)
+                            .as_collection(|key, _| key.clone()),
+                        // Prefix-keyed bases: the original row is key ++ rest.
+                        KeySpec::Columns(_) => self
+                            .import(builder, catalog, &binding.arrangement, scope.depth)
+                            .as_collection(|key, rest| concat_rows(key, rest, &[])),
+                    }
+                }
+            }
+            Plan::Recur => scope
+                .recur
+                .expect("Recur outside an Iterate body survived validation")
+                .clone(),
+            Plan::Map { input, exprs } => {
+                // Projection fusion: a pure column projection over a join is emitted
+                // straight from the join logic, materializing only the projected row.
+                if let Plan::Join { left, right, keys } = input.as_ref() {
+                    if let Some(columns) = column_indices(exprs) {
+                        let (left, right) =
+                            self.join_sides(builder, catalog, left, right, keys, scope);
+                        return left.join_core(&right, move |k: &Row, l: &Row, r: &Row| {
+                            whole_segment(&columns, k, l, r).unwrap_or_else(|| {
+                                columns
+                                    .iter()
+                                    .map(|&i| segment(k, l, r, i).clone())
+                                    .collect()
+                            })
+                        });
+                    }
+                }
+                let input = self.collection(builder, catalog, input, scope);
+                let exprs = exprs.clone();
+                input.map(move |row| project(&exprs, &row))
+            }
+            Plan::Filter { input, predicate } => {
+                let input = self.collection(builder, catalog, input, scope);
+                let predicate = predicate.clone();
+                input.filter(move |row| predicate.test(row))
+            }
+            Plan::Negate(input) => self.collection(builder, catalog, input, scope).negate(),
+            Plan::Concat(plans) => {
+                let mut rendered = plans
+                    .iter()
+                    .map(|plan| self.collection(builder, catalog, plan, scope));
+                let first = rendered.next().expect("Concat of at least one plan");
+                first.concatenate(rendered.collect::<Vec<_>>())
+            }
+            Plan::Join { left, right, keys } => {
+                let (left, right) = self.join_sides(builder, catalog, left, right, keys, scope);
+                left.join_core(&right, |key: &Row, left_rest: &Row, right_rest: &Row| {
+                    concat_rows(key, left_rest, right_rest)
+                })
+            }
+            Plan::Reduce {
+                input,
+                key_arity,
+                kind,
+            } => {
+                let arranged = self.arranged(
+                    builder,
+                    catalog,
+                    input,
+                    &(0..*key_arity).collect::<Vec<usize>>(),
+                    scope,
+                );
+                let key_arity = *key_arity;
+                let reduced = match kind.clone() {
+                    ReduceKind::Count => arranged.reduce_core(
+                        "PlanCount",
+                        |_key, input, output: &mut Vec<(Row, isize)>| {
+                            let total: isize = input.iter().map(|(_, diff)| *diff).sum();
+                            if total != 0 {
+                                output.push((Row::from(vec![Value::Int(total as i64)]), 1));
+                            }
+                        },
+                    ),
+                    ReduceKind::Sum(column) => {
+                        let index = column - key_arity;
+                        arranged.reduce_core(
+                            "PlanSum",
+                            move |_key, input, output: &mut Vec<(Row, isize)>| {
+                                let sum: i64 = input
+                                    .iter()
+                                    .map(|(val, diff)| {
+                                        val[index]
+                                            .as_i64()
+                                            .checked_mul(*diff as i64)
+                                            .expect("Sum overflow")
+                                    })
+                                    .fold(0i64, |acc, term| {
+                                        acc.checked_add(term).expect("Sum overflow")
+                                    });
+                                output.push((Row::from(vec![Value::Int(sum)]), 1));
+                            },
+                        )
+                    }
+                    ReduceKind::Min(column) => {
+                        let index = column - key_arity;
+                        arranged.reduce_core(
+                            "PlanMin",
+                            move |_key, input, output: &mut Vec<(Row, isize)>| {
+                                let min = input
+                                    .iter()
+                                    .filter(|(_, diff)| *diff > 0)
+                                    .map(|(val, _)| val[index].clone())
+                                    .min();
+                                if let Some(min) = min {
+                                    output.push((Row::from(vec![min]), 1));
+                                }
+                            },
+                        )
+                    }
+                    ReduceKind::Top(column) => {
+                        let index = column - key_arity;
+                        arranged.reduce_core(
+                            "PlanTop",
+                            move |_key, input, output: &mut Vec<(Row, isize)>| {
+                                let best = input
+                                    .iter()
+                                    .filter(|(_, diff)| *diff > 0)
+                                    .max_by_key(|(val, _)| (val[index].clone(), val.clone()));
+                                if let Some((best, _)) = best {
+                                    output.push((best.clone(), 1));
+                                }
+                            },
+                        )
+                    }
+                };
+                reduced.as_collection(|key, val| concat_rows(key, val, &[]))
+            }
+            Plan::Distinct(input) => {
+                let arranged = self.arranged_self(builder, catalog, input, scope);
+                arranged
+                    .reduce_core(
+                        "PlanDistinct",
+                        |_key, input, output: &mut Vec<((), isize)>| {
+                            if input[0].1 > 0 {
+                                output.push(((), 1));
+                            }
+                        },
+                    )
+                    .as_collection(|key, _| key.clone())
+            }
+            Plan::Iterate { seed, body } => {
+                let seed = self.collection(builder, catalog, seed, scope);
+                seed.iterate(|variable| {
+                    let inner = Scope {
+                        recur: Some(variable),
+                        depth: scope.depth + 1,
+                    };
+                    self.collection(builder, catalog, body, &inner)
+                })
+            }
+        }
+    }
+
+    /// An arranged rendering of `plan` keyed by `columns`: imported from the memoized
+    /// shared arrangement when the sub-tree reads only shared state, arranged privately
+    /// inline when it is bound to the loop variable or a query-local input.
+    fn arranged(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        plan: &Plan,
+        columns: &[usize],
+        scope: &Scope<'_>,
+    ) -> Arranged<RowBatch> {
+        if plan.is_inline(&self.local_names()) {
+            self.arrange_inline(builder, catalog, plan, columns, scope)
+        } else {
+            let key = ArrangeKey {
+                plan: plan.clone(),
+                keys: KeySpec::Columns(columns.to_vec()),
+            };
+            let name = self
+                .arrangements
+                .get(&key)
+                .unwrap_or_else(|| panic!("arrangement for {key:?} was not pre-installed"))
+                .clone();
+            self.import(builder, catalog, &name, scope.depth)
+        }
+    }
+
+    /// A self-keyed arranged rendering of `plan` (the `Distinct` input shape):
+    /// imported when shared, arranged inline when loop-bound or query-local.
+    fn arranged_self(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        plan: &Plan,
+        scope: &Scope<'_>,
+    ) -> Arranged<RowKeyBatch> {
+        if plan.is_inline(&self.local_names()) {
+            self.arrange_self_inline(builder, catalog, plan, scope)
+        } else {
+            let key = ArrangeKey {
+                plan: plan.clone(),
+                keys: KeySpec::SelfRow,
+            };
+            let name = self
+                .arrangements
+                .get(&key)
+                .unwrap_or_else(|| panic!("arrangement for {key:?} was not pre-installed"))
+                .clone();
+            self.import_self(builder, catalog, &name, scope.depth)
+        }
+    }
+
+    /// Arranges `plan` keyed by `columns` inside the dataflow under construction (the
+    /// memo dataflows' entry point, and the path for loop-bound / query-local
+    /// sub-trees).
+    ///
+    /// Fusions: a join — bare or under a pure column projection — that feeds an
+    /// arrangement emits `(key, rest)` pairs straight from the join logic, so the
+    /// intermediate concatenated row, the projection operator, and the re-splitting map
+    /// are never materialized. Multi-stage plans (2-hop, path queries) spend most of
+    /// their per-update work in exactly this shape.
+    fn arrange_inline(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        plan: &Plan,
+        columns: &[usize],
+        scope: &Scope<'_>,
+    ) -> Arranged<RowBatch> {
+        match plan {
+            Plan::Join {
+                left,
+                right,
+                keys: join_keys,
+            } => {
+                return self.join_pairs(
+                    builder, catalog, left, right, join_keys, scope, None, columns,
+                )
+            }
+            Plan::Map { input, exprs } => {
+                if let Plan::Join {
+                    left,
+                    right,
+                    keys: join_keys,
+                } = input.as_ref()
+                {
+                    if let Some(projection) = column_indices(exprs) {
+                        return self.join_pairs(
+                            builder,
+                            catalog,
+                            left,
+                            right,
+                            join_keys,
+                            scope,
+                            Some(projection),
+                            columns,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        let collection = self.collection(builder, catalog, plan, scope);
+        let keys = KeySpec::Columns(columns.to_vec());
+        collection
+            .map(move |row| keys.split(row))
+            .arrange_by_key_named("PlanArrange", MergeEffort::Default)
+    }
+
+    /// Arranges `plan` by its whole rows inside the dataflow under construction. The
+    /// join/projection fusions live in [`Renderer::collection`], so a `Distinct` over a
+    /// (projected) join still materializes only the final row per match.
+    fn arrange_self_inline(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        plan: &Plan,
+        scope: &Scope<'_>,
+    ) -> Arranged<RowKeyBatch> {
+        self.collection(builder, catalog, plan, scope)
+            .arrange_by_self_named("PlanArrangeSelf", MergeEffort::Default)
+    }
+
+    /// The two arranged sides of a join.
+    fn join_sides(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        left: &Plan,
+        right: &Plan,
+        join_keys: &[(usize, usize)],
+        scope: &Scope<'_>,
+    ) -> (Arranged<RowBatch>, Arranged<RowBatch>) {
+        let left_columns: Vec<usize> = join_keys.iter().map(|&(l, _)| l).collect();
+        let right_columns: Vec<usize> = join_keys.iter().map(|&(_, r)| r).collect();
+        let left = self.arranged(builder, catalog, left, &left_columns, scope);
+        let right = self.arranged(builder, catalog, right, &right_columns, scope);
+        (left, right)
+    }
+
+    /// Renders `left ⋈ right` emitting `(key, rest)` pairs keyed by `columns` directly
+    /// from the join logic, optionally through a pure column `projection` of the join
+    /// output.
+    #[allow(clippy::too_many_arguments)]
+    fn join_pairs(
+        &self,
+        builder: &mut DataflowBuilder,
+        catalog: &Catalog,
+        left: &Plan,
+        right: &Plan,
+        join_keys: &[(usize, usize)],
+        scope: &Scope<'_>,
+        projection: Option<Vec<usize>>,
+        columns: &[usize],
+    ) -> Arranged<RowBatch> {
+        let (left, right) = self.join_sides(builder, catalog, left, right, join_keys, scope);
+        // The key picks (and, under a projection, the rest picks too) are constants of
+        // the operator: resolve them into virtual-row index lists once, outside the
+        // per-match closure. Only the projection-less rest picks depend on per-record
+        // arities; those fill a scratch vector owned by the closure (capacity retained),
+        // so steady-state emissions allocate nothing beyond the rows themselves.
+        let key_picks: Vec<usize> = match &projection {
+            Some(projected) => columns.iter().map(|&column| projected[column]).collect(),
+            None => columns.to_vec(),
+        };
+        let rest_picks: Option<Vec<usize>> = projection.as_ref().map(|projected| {
+            (0..projected.len())
+                .filter(|index| !columns.contains(index))
+                .map(|index| projected[index])
+                .collect()
+        });
+        let columns = columns.to_vec();
+        let mut rest_scratch: Vec<usize> = Vec::new();
+        left.join_core(&right, move |k: &Row, l: &Row, r: &Row| {
+            // The virtual output row is key ++ l ++ r, seen through the projection.
+            let pick = |picked: &[usize]| -> Row {
+                whole_segment(picked, k, l, r).unwrap_or_else(|| {
+                    picked
+                        .iter()
+                        .map(|&index| segment(k, l, r, index).clone())
+                        .collect()
+                })
+            };
+            let key = pick(&key_picks);
+            let rest = match &rest_picks {
+                Some(picked) => pick(picked),
+                None => {
+                    let arity = k.len() + l.len() + r.len();
+                    rest_scratch.clear();
+                    rest_scratch.extend((0..arity).filter(|index| !columns.contains(index)));
+                    pick(&rest_scratch)
+                }
+            };
+            (key, rest)
+        })
+        .arrange_by_key_named("PlanArrange", MergeEffort::Default)
+    }
+}

@@ -1,0 +1,485 @@
+//! Model tests for the runtime-plan engine: the command loop end to end, sub-plan
+//! sharing between independently installed plans (the paper's economy applied at the
+//! Plan layer), memo retention/eviction, update sharding across workers, and fixed
+//! points rendered from data.
+
+use kpg_core::prelude::*;
+use kpg_dataflow::Time;
+use kpg_plan::{
+    ArrangeKey, Command, Expr, KeySpec, Manager, Plan, PlanError, ReduceKind, Response, Row, Value,
+};
+
+fn row(values: &[u64]) -> Row {
+    values.iter().map(|&value| Value::UInt(value)).collect()
+}
+
+/// The 2-hop query class as a plan: arguments (a query-local input) joined through the
+/// shared edge index twice, projected back to `(argument, destination)`, set semantics.
+fn two_hop(edges: &str, args: &str) -> Plan {
+    Plan::source(args)
+        .join(Plan::source(edges), vec![(0, 0)]) // [q, mid]
+        .join(Plan::source(edges), vec![(1, 0)]) // [mid, q, dst]
+        .map(vec![Expr::col(1), Expr::col(2)]) // [q, dst]
+        .distinct()
+}
+
+fn edges_by_src(edges: &str) -> ArrangeKey {
+    ArrangeKey {
+        plan: Plan::source(edges),
+        keys: KeySpec::Columns(vec![0]),
+    }
+}
+
+#[test]
+fn command_loop_end_to_end() {
+    let results = execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager
+            .execute(
+                worker,
+                Command::CreateInput {
+                    name: "edges".into(),
+                    key_arity: None,
+                },
+            )
+            .unwrap();
+        for (src, dst) in [(1u64, 2u64), (1, 3), (2, 4), (5, 4)] {
+            manager
+                .execute(
+                    worker,
+                    Command::Update {
+                        name: "edges".into(),
+                        row: row(&[src, dst]),
+                        diff: 1,
+                    },
+                )
+                .unwrap();
+        }
+        // Out-degree per source, described entirely as data.
+        let degrees = Plan::source("edges").reduce(1, ReduceKind::Count);
+        let response = manager
+            .execute(
+                worker,
+                Command::Install {
+                    name: "degrees".into(),
+                    plan: degrees,
+                    locals: vec![],
+                },
+            )
+            .unwrap();
+        assert!(matches!(response, Response::Installed { .. }));
+        manager
+            .execute(worker, Command::AdvanceTime { epoch: 1 })
+            .unwrap();
+        manager.settle(worker);
+        let rows = manager
+            .execute(
+                worker,
+                Command::Query {
+                    name: "degrees".into(),
+                },
+            )
+            .unwrap();
+
+        // Retract an edge: the count corrects incrementally.
+        manager
+            .execute(
+                worker,
+                Command::Update {
+                    name: "edges".into(),
+                    row: row(&[1, 3]),
+                    diff: -1,
+                },
+            )
+            .unwrap();
+        manager
+            .execute(worker, Command::AdvanceTime { epoch: 2 })
+            .unwrap();
+        manager.settle(worker);
+        let corrected = manager.query("degrees").unwrap();
+        (rows, corrected)
+    });
+    let (rows, corrected) = results[0].clone();
+    let expected = |pairs: &[(u64, i64)]| -> Response {
+        Response::Rows(
+            pairs
+                .iter()
+                .map(|&(src, count)| (Row::from(vec![Value::UInt(src), Value::Int(count)]), 1))
+                .collect(),
+        )
+    };
+    assert_eq!(rows, expected(&[(1, 2), (2, 1), (5, 1)]));
+    assert_eq!(
+        Response::Rows(corrected),
+        expected(&[(1, 1), (2, 1), (5, 1)])
+    );
+}
+
+/// The acceptance assertion: two installed plans sharing a subtree import one
+/// arrangement. The second install constructs no new memo dataflow, and the shared
+/// arrangement's reader count tracks the importing queries up and down.
+#[test]
+fn two_plans_share_one_subtree_arrangement() {
+    execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager.create_input(worker, "edges").unwrap();
+        for (src, dst) in [(1u64, 2u64), (2, 3), (2, 4)] {
+            manager.update("edges", row(&[src, dst]), 1).unwrap();
+        }
+        manager.advance_to(1).unwrap();
+        manager.settle(worker);
+        let shared = edges_by_src("edges");
+
+        // First install builds the query dataflow AND the shared memo arrangement.
+        let first = manager
+            .install(
+                worker,
+                "q1",
+                two_hop("edges", "args-1"),
+                vec!["args-1".into()],
+            )
+            .unwrap();
+        assert_eq!(first, 2, "query dataflow + one memo dataflow");
+        assert_eq!(manager.memo_count(), 1);
+        assert_eq!(manager.memo_uses(&shared), Some(1));
+        let readers_one = manager.arrangement_reader_count(&shared).unwrap();
+
+        // The second plan shares the (edges, keyed-by-src) subtree: no new memo
+        // dataflow, one more importing reader on the same arrangement.
+        let second = manager
+            .install(
+                worker,
+                "q2",
+                two_hop("edges", "args-2"),
+                vec!["args-2".into()],
+            )
+            .unwrap();
+        assert_eq!(second, 1, "only the query dataflow itself");
+        assert_eq!(manager.memo_count(), 1, "the subtree arrangement is shared");
+        assert_eq!(manager.memo_uses(&shared), Some(2));
+        let readers_two = manager.arrangement_reader_count(&shared).unwrap();
+        assert!(
+            readers_two > readers_one,
+            "the second plan imports the shared arrangement: {readers_one} -> {readers_two}"
+        );
+
+        // Both answer through the one arrangement.
+        manager.update("args-1", row(&[1]), 1).unwrap();
+        manager.update("args-2", row(&[2]), 1).unwrap();
+        manager.advance_to(2).unwrap();
+        manager.settle(worker);
+        assert_eq!(
+            manager.query("q1").unwrap(),
+            vec![(row(&[1, 3]), 1), (row(&[1, 4]), 1)]
+        );
+        assert!(manager.query("q2").unwrap().is_empty(), "no 2-hop from 2");
+
+        // Retiring a query releases its readers; the memo entry is retained (uses 0)
+        // so the next arriving plan attaches without rebuilding.
+        assert!(manager.uninstall(worker, "q2").unwrap());
+        assert_eq!(manager.arrangement_reader_count(&shared), Some(readers_one));
+        assert!(manager.uninstall(worker, "q1").unwrap());
+        assert_eq!(manager.memo_count(), 1);
+        assert_eq!(manager.memo_uses(&shared), Some(0));
+        let third = manager
+            .install(
+                worker,
+                "q3",
+                two_hop("edges", "args-3"),
+                vec!["args-3".into()],
+            )
+            .unwrap();
+        assert_eq!(third, 1, "the retained arrangement is reused");
+        assert!(manager.uninstall(worker, "q3").unwrap());
+
+        // Removing the input evicts the memo entries built on it and retires their
+        // dataflows; only the slot table remembers they existed.
+        let live_before = worker.live_dataflow_count();
+        assert!(manager.uninstall(worker, "edges").unwrap());
+        assert_eq!(manager.memo_count(), 0);
+        assert_eq!(worker.live_dataflow_count(), live_before - 2);
+        assert!(manager.input_names().is_empty());
+    });
+}
+
+#[test]
+fn input_removal_is_blocked_while_a_query_reads_it() {
+    execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager.create_input(worker, "edges").unwrap();
+        manager
+            .install(worker, "q", two_hop("edges", "args"), vec!["args".into()])
+            .unwrap();
+        assert_eq!(
+            manager.uninstall(worker, "edges"),
+            Err(PlanError::InputInUse {
+                input: "edges".into(),
+                user: "q".into(),
+            })
+        );
+        // Query-local inputs may not be removed out from under their query either.
+        assert_eq!(
+            manager.uninstall(worker, "args"),
+            Err(PlanError::InputInUse {
+                input: "args".into(),
+                user: "q".into(),
+            })
+        );
+        assert!(manager.uninstall(worker, "q").unwrap());
+        assert!(manager.uninstall(worker, "edges").unwrap());
+    });
+}
+
+/// One command stream, replayed identically on two workers: `Command::Update` shards
+/// internally, so the union of per-worker answers equals the one-worker answers.
+#[test]
+fn identical_command_streams_shard_updates_across_workers() {
+    let stream = || -> Vec<Command> {
+        let mut commands = vec![Command::CreateInput {
+            name: "edges".into(),
+            key_arity: None,
+        }];
+        for i in 0..40u64 {
+            commands.push(Command::Update {
+                name: "edges".into(),
+                row: row(&[i % 10, (i * 7) % 10]),
+                diff: 1,
+            });
+        }
+        commands.push(Command::Install {
+            name: "degrees".into(),
+            plan: Plan::source("edges")
+                .distinct()
+                .reduce(1, ReduceKind::Count),
+            locals: vec![],
+        });
+        commands.push(Command::AdvanceTime { epoch: 1 });
+        commands
+    };
+    let run = |workers: usize| -> Vec<(Row, isize)> {
+        let per_worker = execute(Config::new(workers), move |worker| {
+            let mut manager = Manager::new();
+            for command in stream() {
+                manager.execute(worker, command).unwrap();
+            }
+            manager.settle(worker);
+            manager.query("degrees").unwrap()
+        });
+        let mut merged: std::collections::BTreeMap<Row, isize> = std::collections::BTreeMap::new();
+        for rows in per_worker {
+            for (row, diff) in rows {
+                *merged.entry(row).or_insert(0) += diff;
+            }
+        }
+        merged.into_iter().filter(|(_, diff)| *diff != 0).collect()
+    };
+    let one = run(1);
+    let two = run(2);
+    assert!(!one.is_empty());
+    assert_eq!(one, two);
+}
+
+/// A fixed point described as data: reachability from a shared root set, with the edge
+/// index imported into the loop from outside it (§5.4 sharing into iterative scopes).
+#[test]
+fn iterate_renders_reachability_from_data() {
+    let results = execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager.create_input(worker, "edges").unwrap();
+        manager.create_input(worker, "roots").unwrap();
+        for (src, dst) in [(1u64, 2u64), (2, 3), (3, 4), (5, 6)] {
+            manager.update("edges", row(&[src, dst]), 1).unwrap();
+        }
+        manager.update("roots", row(&[1]), 1).unwrap();
+        let body = Plan::source("roots")
+            .concat(
+                Plan::Recur
+                    .join(Plan::source("edges"), vec![(0, 0)]) // [n, next]
+                    .map(vec![Expr::col(1)]),
+            )
+            .distinct();
+        let reach = Plan::source("roots").iterate(body);
+        manager.install(worker, "reach", reach, vec![]).unwrap();
+        manager.advance_to(1).unwrap();
+        manager.settle(worker);
+        let at_one = manager.query("reach").unwrap();
+
+        // A new edge extends the fixed point incrementally.
+        manager.update("edges", row(&[4, 5]), 1).unwrap();
+        manager.advance_to(2).unwrap();
+        manager.settle(worker);
+        (at_one, manager.query("reach").unwrap())
+    });
+    let (at_one, at_two) = results[0].clone();
+    let expect =
+        |nodes: &[u64]| -> Vec<(Row, isize)> { nodes.iter().map(|&n| (row(&[n]), 1)).collect() };
+    assert_eq!(at_one, expect(&[1, 2, 3, 4]));
+    assert_eq!(at_two, expect(&[1, 2, 3, 4, 5, 6]));
+}
+
+/// Expression-heavy plans: filters and projections evaluate the data-described `Expr`
+/// language, including comparisons and arithmetic.
+#[test]
+fn expressions_drive_filter_and_map() {
+    let results = execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager.create_input(worker, "pairs").unwrap();
+        for (a, b) in [(1u64, 1u64), (2, 5), (3, 2), (4, 4)] {
+            manager.update("pairs", row(&[a, b]), 1).unwrap();
+        }
+        // Keep rows where the second column exceeds the first; output their sum and
+        // difference.
+        let plan = Plan::source("pairs")
+            .filter(Expr::col(1).gt(Expr::col(0)))
+            .map(vec![
+                Expr::col(0).add(Expr::col(1)),
+                Expr::col(1).sub(Expr::col(0)),
+            ]);
+        manager.install(worker, "arith", plan, vec![]).unwrap();
+        manager.advance_to(1).unwrap();
+        manager.settle(worker);
+        manager.query("arith").unwrap()
+    });
+    assert_eq!(results[0], vec![(row(&[7, 3]), 1)]);
+}
+
+/// Reduce kinds beyond Count: Sum, Min, and Top-1 per group.
+#[test]
+fn reduce_kinds_aggregate_per_group() {
+    let results = execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager.create_input(worker, "sales").unwrap();
+        // [region, amount]
+        for (region, amount) in [(1u64, 10u64), (1, 30), (2, 7), (2, 5)] {
+            manager.update("sales", row(&[region, amount]), 1).unwrap();
+        }
+        for (name, kind) in [
+            ("sum", ReduceKind::Sum(1)),
+            ("min", ReduceKind::Min(1)),
+            ("top", ReduceKind::Top(1)),
+        ] {
+            manager
+                .install(worker, name, Plan::source("sales").reduce(1, kind), vec![])
+                .unwrap();
+        }
+        manager.advance_to(1).unwrap();
+        manager.settle(worker);
+        (
+            manager.query("sum").unwrap(),
+            manager.query("min").unwrap(),
+            manager.query("top").unwrap(),
+        )
+    });
+    let (sum, min, top) = results[0].clone();
+    assert_eq!(
+        sum,
+        vec![
+            (Row::from(vec![Value::UInt(1), Value::Int(40)]), 1),
+            (Row::from(vec![Value::UInt(2), Value::Int(12)]), 1),
+        ]
+    );
+    assert_eq!(min, vec![(row(&[1, 10]), 1), (row(&[2, 5]), 1)]);
+    assert_eq!(top, vec![(row(&[1, 30]), 1), (row(&[2, 7]), 1)]);
+}
+
+/// Prefix-keyed base inputs: a plan joining on the base's key prefix imports the base
+/// arrangement directly (no memo dataflow), and reading the source at collection
+/// position reconstructs the original rows.
+#[test]
+fn prefix_keyed_inputs_serve_joins_without_rearrangement() {
+    let results = execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager
+            .create_input_keyed(worker, "edges", Some(1))
+            .unwrap();
+        for (src, dst) in [(1u64, 2u64), (2, 3), (2, 4)] {
+            manager.update("edges", row(&[src, dst]), 1).unwrap();
+        }
+        let installs = manager
+            .install(worker, "q", two_hop("edges", "args"), vec!["args".into()])
+            .unwrap();
+        assert_eq!(installs, 1, "the base arrangement serves both join sites");
+        assert_eq!(manager.memo_count(), 0);
+        // Reading the source at collection position reconstructs [src, dst] rows.
+        manager
+            .install(worker, "identity", Plan::source("edges"), vec![])
+            .unwrap();
+        manager.update("args", row(&[1]), 1).unwrap();
+        manager.advance_to(1).unwrap();
+        manager.settle(worker);
+        (
+            manager.query("q").unwrap(),
+            manager.query("identity").unwrap(),
+        )
+    });
+    let (two_hops, identity) = results[0].clone();
+    assert_eq!(two_hops, vec![(row(&[1, 3]), 1), (row(&[1, 4]), 1)]);
+    assert_eq!(
+        identity,
+        vec![(row(&[1, 2]), 1), (row(&[2, 3]), 1), (row(&[2, 4]), 1),]
+    );
+}
+
+/// Install-time validation rejects malformed plans and name misuse without touching
+/// worker state.
+#[test]
+fn validation_and_name_errors() {
+    execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager.create_input(worker, "edges").unwrap();
+        assert_eq!(
+            manager.create_input(worker, "edges"),
+            Err(PlanError::DuplicateInput("edges".into()))
+        );
+        assert!(matches!(
+            manager.install(worker, "q", Plan::source("nope"), vec![]),
+            Err(PlanError::Invalid(_))
+        ));
+        assert!(matches!(
+            manager.install(worker, "q", Plan::Recur, vec![]),
+            Err(PlanError::Invalid(_))
+        ));
+        assert_eq!(
+            manager.update("nope", row(&[1]), 1),
+            Err(PlanError::UnknownInput("nope".into()))
+        );
+        manager
+            .install(worker, "q", Plan::source("edges"), vec![])
+            .unwrap();
+        assert_eq!(
+            manager.install(worker, "q", Plan::source("edges"), vec![]),
+            Err(PlanError::DuplicateQuery("q".into()))
+        );
+        assert_eq!(
+            manager.query("other"),
+            Err(PlanError::UnknownQuery("other".into()))
+        );
+        assert_eq!(
+            manager.advance_to(0).and_then(|_| {
+                manager.advance_to(3)?;
+                manager.advance_to(1)
+            }),
+            Err(PlanError::TimeRegression { from: 3, to: 1 })
+        );
+        assert!(!manager.uninstall(worker, "ghost").unwrap());
+        let _ = manager.query_probe("q").unwrap();
+        let _ = Time::minimum();
+
+        // A failed Install leaves no state behind — in particular, a query name that
+        // collides with a manager-internal dataflow name is rejected *before* any memo
+        // dataflow is ensured.
+        let live_before = worker.live_dataflow_count();
+        assert_eq!(
+            manager.install(
+                worker,
+                "plan-input-edges",
+                two_hop("edges", "args"),
+                vec!["args".into()],
+            ),
+            Err(PlanError::DuplicateQuery("plan-input-edges".into()))
+        );
+        assert_eq!(manager.memo_count(), 0);
+        assert_eq!(worker.live_dataflow_count(), live_before);
+        assert!(!manager.input_names().contains(&"args".to_string()));
+    });
+}

@@ -19,7 +19,7 @@ fn main() {
             move |builder| {
                 let (edges_in, edges) = new_collection::<(u32, u32), isize>(builder);
                 let arranged = edges.arrange_by_key();
-                catalog.publish("edges", &arranged).unwrap();
+                catalog.publish_if_absent("edges", &arranged).unwrap();
                 (edges_in, arranged.probe())
             }
         });

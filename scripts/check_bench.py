@@ -4,14 +4,48 @@
 Usage: check_bench.py <output-file> <required-name> [<required-name> ...]
 
 Fails (exit 1) if any `BENCH ` line is not followed by a single valid JSON
-object with a string `name` field, or if any required name never appears.
-CI pipes each bench smoke run through a file and calls this afterwards, so a
-refactor that silently drops or mangles the machine-readable perf record
-breaks the build instead of the perf trajectory.
+object with a string `name` field, if any required name never appears, or if a
+record of a known name is missing the keys its schema requires — so a refactor
+that silently empties a record (a latency record without its percentiles, a
+churn record without its steady-state step cost) breaks the build instead of
+the perf trajectory. CI pipes each bench smoke run through a file and calls
+this afterwards.
 """
 
 import json
 import sys
+
+# Per-record required keys, by record name. Names absent from this table are
+# only checked for basic shape (a JSON object with a string `name`).
+SCHEMAS = {
+    "churn": {
+        "queries",
+        "workers",
+        "install_median_ns",
+        "install_p99_ns",
+        "step_median_ns_first_half",
+        "step_median_ns_second_half",
+        "steady_step_median_ns",
+        "slot_high_water",
+        "reader_slots_high_water",
+    },
+    # The plan-mode churn record must stay field-compatible with the closure
+    # baseline so the two stay directly comparable.
+    "churn_plan": {
+        "queries",
+        "workers",
+        "install_median_ns",
+        "install_p99_ns",
+        "step_median_ns_first_half",
+        "step_median_ns_second_half",
+        "steady_step_median_ns",
+        "slot_high_water",
+        "reader_slots_high_water",
+    },
+    "micro_latency": {"experiment", "workers", "load", "p50_ns", "p99_ns"},
+    "micro_throughput": {"workers", "updates", "records_per_s"},
+    "micro_join_install": {"keys", "size", "latency_us"},
+}
 
 
 def main() -> int:
@@ -35,8 +69,16 @@ def main() -> int:
             if not isinstance(record, dict) or not isinstance(record.get("name"), str):
                 errors.append(f"{path}:{lineno}: BENCH object lacks a string 'name'")
                 continue
-            seen.add(record["name"])
-            print(f"ok: {path}:{lineno}: {record['name']} ({len(record)} fields)")
+            name = record["name"]
+            missing = SCHEMAS.get(name, set()) - record.keys()
+            if missing:
+                errors.append(
+                    f"{path}:{lineno}: {name} record is missing required keys: "
+                    + ", ".join(sorted(missing))
+                )
+                continue
+            seen.add(name)
+            print(f"ok: {path}:{lineno}: {name} ({len(record)} fields)")
 
     for name in sorted(required - seen):
         errors.append(f"{path}: required BENCH record {name!r} never emitted")

@@ -35,7 +35,7 @@
 //!         move |builder| {
 //!             let (input, edges) = new_collection::<(u32, u32), isize>(builder);
 //!             let arranged = edges.arrange_by_key();
-//!             catalog.publish("edges", &arranged).unwrap();
+//!             catalog.publish_if_absent("edges", &arranged).unwrap();
 //!             (input, arranged.probe())
 //!         }
 //!     });
@@ -68,6 +68,7 @@ pub use kpg_core as core;
 pub use kpg_dataflow as dataflow;
 pub use kpg_datalog as datalog;
 pub use kpg_graph as graph;
+pub use kpg_plan as plan;
 pub use kpg_relational as relational;
 pub use kpg_timestamp as timestamp;
 pub use kpg_trace as trace;
