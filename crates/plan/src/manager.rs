@@ -78,9 +78,11 @@ pub enum Command {
         /// The query or input name.
         name: String,
     },
-    /// Reads the named query's current accumulated output (consolidated rows with
-    /// multiplicities, at all times up to the current epoch). The driver should step the
-    /// worker until [`Manager::behind`] is false first.
+    /// Reads the named query's current accumulated output: consolidated rows with
+    /// multiplicities, over every time *strictly before* the current epoch — exactly
+    /// the times [`Manager::settle`] seals, so a settled query's answer is
+    /// deterministic. To observe an `Update`, advance time past its epoch and settle
+    /// first; updates at the still-open current epoch are never reported.
     Query {
         /// The query name.
         name: String,
@@ -379,8 +381,9 @@ impl Manager {
         locals: Vec<String>,
     ) -> Result<usize, PlanError> {
         // Check the worker's dataflow namespace too (it also holds the manager's
-        // "plan-input-…"/"plan-memo-…" dataflows): every failure must be detected
-        // *before* memo dataflows are ensured, so a failed command leaves no state.
+        // "plan-input-…"/"plan-memo-…" dataflows): name failures are detected before
+        // any memo dataflow is ensured, and later failures roll the ensured ones back,
+        // so a failed command leaves no state either way.
         if self.installed.contains_key(name) || worker.installed_index(name).is_some() {
             return Err(PlanError::DuplicateQuery(name.to_string()));
         }
@@ -402,35 +405,49 @@ impl Manager {
         plan.sources(&mut sources);
 
         // Ensure every arrangement the render pass will import exists (installing memo
-        // dataflows for the missing ones), then install the query itself.
+        // dataflows for the missing ones), then install the query itself. A failure in
+        // either part rolls back the memo dataflows this install created, so a failed
+        // command still leaves no state.
         let mut requirements = Vec::new();
         plan.arrangement_requirements(&locals_set, &mut requirements);
         let mut new_dataflows = 1;
         let mut arrangements = HashMap::new();
+        let mut created = Vec::new();
         for requirement in &requirements {
-            let (installs, arrangement) = self.ensure_arranged(worker, requirement)?;
-            new_dataflows += installs;
-            arrangements.insert(requirement.clone(), arrangement);
+            match self.ensure_arranged(worker, requirement, &mut created) {
+                Ok((installs, arrangement)) => {
+                    new_dataflows += installs;
+                    arrangements.insert(requirement.clone(), arrangement);
+                }
+                Err(error) => {
+                    self.roll_back_created(worker, &created);
+                    return Err(error);
+                }
+            }
         }
 
         let catalog = self.catalog.clone();
         let sources_map = self.source_arrangements();
         let plan_for_render = plan.clone();
         let locals_for_render = locals.clone();
-        let handle = worker
-            .install_query(name, &catalog, move |builder, catalog| {
-                let mut local_map = HashMap::new();
-                let mut handles = Vec::new();
-                for local in &locals_for_render {
-                    let (handle, collection) = new_collection::<Row, isize>(builder);
-                    handles.push((local.clone(), handle));
-                    local_map.insert(local.clone(), collection);
-                }
-                let renderer = Renderer::new(arrangements, sources_map, local_map);
-                let output = renderer.render(builder, catalog, &plan_for_render);
-                (handles, output.probe(), output.capture())
-            })
-            .map_err(PlanError::Catalog)?;
+        let handle = match worker.install_query(name, &catalog, move |builder, catalog| {
+            let mut local_map = HashMap::new();
+            let mut handles = Vec::new();
+            for local in &locals_for_render {
+                let (handle, collection) = new_collection::<Row, isize>(builder);
+                handles.push((local.clone(), handle));
+                local_map.insert(local.clone(), collection);
+            }
+            let renderer = Renderer::new(arrangements, sources_map, local_map);
+            let output = renderer.render(builder, catalog, &plan_for_render);
+            (handles, output.probe(), output.capture())
+        }) {
+            Ok(handle) => handle,
+            Err(error) => {
+                self.roll_back_created(worker, &created);
+                return Err(PlanError::Catalog(error));
+            }
+        };
         for requirement in &requirements {
             if let Some(entry) = self.memo.get_mut(requirement) {
                 entry.uses += 1;
@@ -555,10 +572,13 @@ impl Manager {
 
     /// Ensures an arrangement for `key` exists, installing (recursively) the memo
     /// dataflows needed. Returns `(dataflows installed, catalog arrangement name)`.
+    /// Every memo entry this call creates is appended to `created` (dependencies before
+    /// dependants), so a caller whose later steps fail can roll them back.
     fn ensure_arranged(
         &mut self,
         worker: &mut Worker,
         key: &ArrangeKey,
+        created: &mut Vec<ArrangeKey>,
     ) -> Result<(usize, String), PlanError> {
         // A source keyed the way its base arrangement is keyed *is* the base
         // arrangement; only other keyings need a memoized re-arrangement.
@@ -583,7 +603,7 @@ impl Manager {
         let mut installs = 0;
         let mut arrangements = HashMap::new();
         for requirement in &requirements {
-            let (nested, arrangement) = self.ensure_arranged(worker, requirement)?;
+            let (nested, arrangement) = self.ensure_arranged(worker, requirement, created)?;
             installs += nested;
             arrangements.insert(requirement.clone(), arrangement);
         }
@@ -635,12 +655,24 @@ impl Manager {
                 sources,
             },
         );
+        created.push(key.clone());
         Ok((installs + 1, arrangement))
     }
 
+    /// Undoes a partially completed install: evicts the memo entries it `created`,
+    /// newest first, so each dependant releases its dependencies before they go.
+    fn roll_back_created(&mut self, worker: &mut Worker, created: &[ArrangeKey]) {
+        for key in created.iter().rev() {
+            self.evict(worker, key);
+        }
+    }
+
     /// The named query's consolidated output: every `(row, multiplicity)` accumulated
-    /// over times up to the current epoch, sorted by row. Step the worker until
-    /// [`Manager::behind`] is false for current answers.
+    /// over times *strictly before* the current epoch, sorted by row. That bound is
+    /// exactly what [`Manager::settle`] waits for ([`Manager::behind`] at the current
+    /// epoch), so a settled query's answer is deterministic; updates introduced at the
+    /// still-open current epoch become visible after the next [`Manager::advance_to`]
+    /// seals it.
     pub fn query(&self, name: &str) -> Result<Vec<(Row, isize)>, PlanError> {
         let installed = self
             .installed
@@ -649,7 +681,7 @@ impl Manager {
         let bound = Time::from_epoch(self.epoch);
         let mut accumulated: BTreeMap<Row, isize> = BTreeMap::new();
         for (row, time, diff) in installed.results.borrow().iter() {
-            if time.less_equal(&bound) {
+            if time.less_than(&bound) {
                 *accumulated.entry(row.clone()).or_insert(0) += diff;
             }
         }
@@ -679,7 +711,9 @@ impl Manager {
             .any(|probe| probe.less_than(time))
     }
 
-    /// Steps `worker` until everything managed is current at the manager's epoch.
+    /// Steps `worker` until everything managed is current at the manager's epoch,
+    /// sealing every time strictly before it — the bound [`Manager::query`] answers
+    /// over.
     pub fn settle(&self, worker: &mut Worker) {
         let target = Time::from_epoch(self.epoch);
         worker.step_while(|| self.behind(&target));

@@ -13,6 +13,13 @@ use crate::expr::Expr;
 ///
 /// Grouping is by the first `key_arity` columns; aggregate column indices refer to the
 /// *full* input row and must address non-key columns.
+///
+/// `Min` and `Top` rank values by [`Value`](crate::Value)'s structural ordering —
+/// variant order then payload, the same total order every arrangement sorts by — *not*
+/// by the expression language's numeric cross-variant comparison: on a mixed-variant
+/// column every `Int` precedes every `UInt` (so `Min` can pick `Int(7)` over `UInt(3)`
+/// where `Expr::Lt` would say the opposite). Per `Value`'s contract, plans that rank a
+/// column should produce it with a consistent variant.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ReduceKind {
     /// The number of rows in the group (sum of multiplicities), as one `Int` column.
@@ -20,11 +27,11 @@ pub enum ReduceKind {
     /// The sum of the named column across the group (weighted by multiplicity), as one
     /// `Int` column.
     Sum(usize),
-    /// The least value of the named column among rows present in the group, as one
-    /// column.
+    /// The structurally least value of the named column among rows present in the
+    /// group, as one column.
     Min(usize),
-    /// The greatest-ranked row of the group by the named column (top-1): the entire
-    /// non-key remainder of that row is kept.
+    /// The greatest-ranked row of the group by the named column (top-1, structural
+    /// order): the entire non-key remainder of that row is kept.
     Top(usize),
 }
 
@@ -156,6 +163,19 @@ pub enum PlanValidity {
         /// The reduce's key arity.
         key_arity: usize,
     },
+    /// A column index (in an expression, a join key, or an aggregate) is out of range
+    /// for its input's rows, where that input's arity is derivable at install time.
+    /// Sources are dynamically shaped, so plans straight over them are not checkable —
+    /// but any sub-plan whose shape an operator pins (`Map` produces exactly its
+    /// expression count, `Reduce` its key plus aggregate) is.
+    ColumnOutOfRange {
+        /// The offending column index.
+        column: usize,
+        /// The input's derived row arity.
+        arity: usize,
+    },
+    /// A `Concat` had no input plans (rendering requires at least one).
+    EmptyConcat,
     /// A `Source` named an input that neither the manager nor the query defines.
     UnknownSource(String),
 }
@@ -171,6 +191,11 @@ impl std::fmt::Display for PlanValidity {
                 f,
                 "aggregate column {column} lies inside the grouping key (key_arity {key_arity})"
             ),
+            PlanValidity::ColumnOutOfRange { column, arity } => write!(
+                f,
+                "column {column} is out of range for input rows of arity {arity}"
+            ),
+            PlanValidity::EmptyConcat => write!(f, "Concat requires at least one input plan"),
             PlanValidity::UnknownSource(name) => {
                 write!(f, "plan names source {name:?}, which is not a known input")
             }
@@ -354,47 +379,109 @@ impl Plan {
         }
     }
 
-    /// Structural validation: `Recur` placement, seed purity, aggregate column bounds,
-    /// and source resolution against `known` inputs (global and query-local).
+    /// Structural validation: `Recur` placement, seed purity, non-empty `Concat`,
+    /// source resolution against `known` inputs (global and query-local), and column
+    /// bounds. Column bounds are checked against each operator's *derivable* row arity:
+    /// sources are dynamically shaped (arity unknown), but `Map` pins its output to the
+    /// expression count, `Reduce` to key-plus-aggregate, and `Join`/`Filter` propagate
+    /// their inputs' — so any out-of-range expression, join-key, or aggregate column
+    /// downstream of a shape-pinning operator is rejected at install time rather than
+    /// panicking the worker when data arrives.
     pub fn validate(&self, known: &BTreeSet<String>) -> Result<(), PlanValidity> {
-        self.validate_at(known, false)
+        self.validate_at(known, None).map(|_| ())
     }
 
-    fn validate_at(&self, known: &BTreeSet<String>, in_loop: bool) -> Result<(), PlanValidity> {
+    /// Validates the subtree and returns the arity of its output rows, where derivable.
+    /// `loop_arity` is `Some(arity)` inside an `Iterate` body (the loop variable's
+    /// derived arity, itself optional), `None` outside any loop.
+    fn validate_at(
+        &self,
+        known: &BTreeSet<String>,
+        loop_arity: Option<Option<usize>>,
+    ) -> Result<Option<usize>, PlanValidity> {
+        /// Rejects `column` when the input arity is derivable and the index exceeds it.
+        fn check_column(column: Option<usize>, arity: Option<usize>) -> Result<(), PlanValidity> {
+            match (column, arity) {
+                (Some(column), Some(arity)) if column >= arity => {
+                    Err(PlanValidity::ColumnOutOfRange { column, arity })
+                }
+                _ => Ok(()),
+            }
+        }
         match self {
             Plan::Source(name) => {
                 if known.contains(name) {
-                    Ok(())
+                    // Rows of an input are whatever updates carried: arity unknown.
+                    Ok(None)
                 } else {
                     Err(PlanValidity::UnknownSource(name.clone()))
                 }
             }
-            Plan::Recur => {
-                if in_loop {
-                    Ok(())
-                } else {
-                    Err(PlanValidity::RecurOutsideIterate)
+            Plan::Recur => loop_arity.ok_or(PlanValidity::RecurOutsideIterate),
+            Plan::Map { input, exprs } => {
+                let arity = input.validate_at(known, loop_arity)?;
+                for expr in exprs {
+                    check_column(expr.max_column(), arity)?;
                 }
+                Ok(Some(exprs.len()))
             }
-            Plan::Map { input, .. } | Plan::Filter { input, .. } | Plan::Negate(input) => {
-                input.validate_at(known, in_loop)
+            Plan::Filter { input, predicate } => {
+                let arity = input.validate_at(known, loop_arity)?;
+                check_column(predicate.max_column(), arity)?;
+                Ok(arity)
             }
-            Plan::Distinct(input) => input.validate_at(known, in_loop),
+            Plan::Negate(input) | Plan::Distinct(input) => input.validate_at(known, loop_arity),
             Plan::Concat(plans) => {
-                for plan in plans {
-                    plan.validate_at(known, in_loop)?;
+                if plans.is_empty() {
+                    return Err(PlanValidity::EmptyConcat);
                 }
-                Ok(())
+                // The union's arity is derivable only when every member agrees.
+                let mut arity: Option<Option<usize>> = None;
+                for plan in plans {
+                    let member = plan.validate_at(known, loop_arity)?;
+                    arity = Some(match arity {
+                        None => member,
+                        Some(previous) if previous == member => previous,
+                        Some(_) => None,
+                    });
+                }
+                Ok(arity.flatten())
             }
-            Plan::Join { left, right, .. } => {
-                left.validate_at(known, in_loop)?;
-                right.validate_at(known, in_loop)
+            Plan::Join { left, right, keys } => {
+                let left_arity = left.validate_at(known, loop_arity)?;
+                let right_arity = right.validate_at(known, loop_arity)?;
+                for &(left_column, right_column) in keys {
+                    check_column(Some(left_column), left_arity)?;
+                    check_column(Some(right_column), right_arity)?;
+                }
+                // Output: key columns (in `keys` order) ++ remaining left ++ remaining
+                // right, where "remaining" excludes the distinct key columns.
+                match (left_arity, right_arity) {
+                    (Some(left), Some(right)) => {
+                        let distinct = |side: fn(&(usize, usize)) -> usize| {
+                            keys.iter().map(side).collect::<BTreeSet<usize>>().len()
+                        };
+                        let remaining =
+                            (left - distinct(|&(l, _)| l)) + (right - distinct(|&(_, r)| r));
+                        Ok(Some(keys.len() + remaining))
+                    }
+                    _ => Ok(None),
+                }
             }
             Plan::Reduce {
                 input,
                 key_arity,
                 kind,
             } => {
+                let arity = input.validate_at(known, loop_arity)?;
+                if let Some(arity) = arity {
+                    if *key_arity > arity {
+                        return Err(PlanValidity::ColumnOutOfRange {
+                            column: key_arity - 1,
+                            arity,
+                        });
+                    }
+                }
                 let column = match kind {
                     ReduceKind::Count => None,
                     ReduceKind::Sum(column) | ReduceKind::Min(column) | ReduceKind::Top(column) => {
@@ -408,15 +495,27 @@ impl Plan {
                             key_arity: *key_arity,
                         });
                     }
+                    check_column(Some(column), arity)?;
                 }
-                input.validate_at(known, in_loop)
+                match kind {
+                    // Key columns plus the one aggregate column.
+                    ReduceKind::Count | ReduceKind::Sum(_) | ReduceKind::Min(_) => {
+                        Ok(Some(key_arity + 1))
+                    }
+                    // Key columns plus the winning row's whole non-key remainder.
+                    ReduceKind::Top(_) => Ok(arity),
+                }
             }
             Plan::Iterate { seed, body } => {
                 if seed.mentions_recur() {
                     return Err(PlanValidity::RecurInSeed);
                 }
-                seed.validate_at(known, in_loop)?;
-                body.validate_at(known, true)
+                let seed_arity = seed.validate_at(known, loop_arity)?;
+                // The body may change the row shape round to round, so `Recur`
+                // validates with unknown arity rather than inheriting the seed's; the
+                // fixed point's arity is derivable only when seed and body agree.
+                let body_arity = body.validate_at(known, Some(None))?;
+                Ok(seed_arity.filter(|&arity| body_arity == Some(arity)))
             }
         }
     }
@@ -468,6 +567,100 @@ mod tests {
                 column: 1,
                 key_arity: 2
             })
+        );
+    }
+
+    /// An empty `Concat` is rejected at validation (install time), not at render time:
+    /// plans arrive over the wire, and validate is the boundary where `PlanError`
+    /// exists — rendering would panic the worker.
+    #[test]
+    fn validation_rejects_empty_concat() {
+        let known = known(&["edges"]);
+        assert_eq!(
+            Plan::Concat(vec![]).validate(&known),
+            Err(PlanValidity::EmptyConcat)
+        );
+        // Nested inside other operators too.
+        assert_eq!(
+            Plan::source("edges")
+                .join(Plan::Concat(vec![]).distinct(), vec![(0, 0)])
+                .validate(&known),
+            Err(PlanValidity::EmptyConcat)
+        );
+    }
+
+    /// Column bounds are enforced wherever the input's row arity is derivable, so an
+    /// out-of-range expression, join-key, or aggregate index fails at install instead
+    /// of panicking the worker when data arrives.
+    #[test]
+    fn validation_bounds_columns_against_derivable_arity() {
+        let known = known(&["edges"]);
+        // `Map` pins its output arity; everything downstream is checkable.
+        let two_wide = Plan::source("edges").map(vec![Expr::col(0), Expr::col(1)]);
+        assert_eq!(
+            two_wide.clone().map(vec![Expr::col(2)]).validate(&known),
+            Err(PlanValidity::ColumnOutOfRange {
+                column: 2,
+                arity: 2
+            })
+        );
+        assert_eq!(
+            two_wide
+                .clone()
+                .filter(Expr::col(5).gt(Expr::lit(0u64)))
+                .validate(&known),
+            Err(PlanValidity::ColumnOutOfRange {
+                column: 5,
+                arity: 2
+            })
+        );
+        assert_eq!(
+            two_wide
+                .clone()
+                .reduce(1, ReduceKind::Sum(3))
+                .validate(&known),
+            Err(PlanValidity::ColumnOutOfRange {
+                column: 3,
+                arity: 2
+            })
+        );
+        assert_eq!(
+            two_wide
+                .clone()
+                .reduce(3, ReduceKind::Count)
+                .validate(&known),
+            Err(PlanValidity::ColumnOutOfRange {
+                column: 2,
+                arity: 2
+            }),
+            "a grouping key wider than the row is out of range"
+        );
+        assert_eq!(
+            two_wide
+                .clone()
+                .join(Plan::source("edges"), vec![(2, 0)])
+                .validate(&known),
+            Err(PlanValidity::ColumnOutOfRange {
+                column: 2,
+                arity: 2
+            })
+        );
+        // Join output arity: key columns plus both remainders (2 + 2 - 1 key = 3).
+        let joined = two_wide.clone().join(two_wide.clone(), vec![(0, 0)]);
+        assert_eq!(
+            joined.clone().map(vec![Expr::col(3)]).validate(&known),
+            Err(PlanValidity::ColumnOutOfRange {
+                column: 3,
+                arity: 3
+            })
+        );
+        assert_eq!(joined.map(vec![Expr::col(2)]).validate(&known), Ok(()));
+        // Sources are dynamically shaped: nothing derivable, nothing rejected.
+        assert_eq!(
+            Plan::source("edges")
+                .map(vec![Expr::col(9)])
+                .validate(&known),
+            Ok(())
         );
     }
 

@@ -59,7 +59,10 @@ pub struct Row {
 /// mirroring [`Value`]'s ordering) and a 62-bit monotone slot. A slot is *exact*
 /// (encodes its field injectively) for integers within ±2^60 / below 2^61 and strings
 /// of at most 7 bytes; out-of-window integers saturate and longer strings keep only a
-/// 7-byte prefix plus their length, both of which stay monotone but can tie. Field 1
+/// 7-byte prefix plus their length capped at 8 (so a short string orders against its
+/// extensions by length, but two longer strings never order by length — their order is
+/// decided by bytes the slot cannot see), both of which stay monotone but can tie.
+/// Field 1
 /// is encoded only while field 0 is exact — otherwise a tie in field 0's slot could
 /// let field 1 decide an order field 0 actually determines. The returned flag says
 /// whether the prefix determines the whole row (every field encoded exactly and no
@@ -91,13 +94,18 @@ fn prefix_of(values: &[Value]) -> (u128, bool) {
                 }
             }
             Value::String(string) => {
-                // First 7 bytes, then the (saturated) length: byte-wise lexicographic
-                // order, with short strings fully determined.
+                // First 7 bytes, then the length capped at 8: byte-wise lexicographic
+                // order, with short strings fully determined. The cap lets length
+                // discriminate only where it is decisive — a ≤7-byte string against
+                // anything sharing its head is ordered by length (a proper prefix
+                // precedes its extensions) — while all longer strings tie on it and
+                // fall back to field comparison, since their order is decided by
+                // bytes the slot cannot see.
                 let bytes = string.as_bytes();
                 let mut head = [0u8; 8];
                 let taken = bytes.len().min(7);
                 head[1..1 + taken].copy_from_slice(&bytes[..taken]);
-                let slot = (u64::from_be_bytes(head) << 6) | bytes.len().min(63) as u64;
+                let slot = (u64::from_be_bytes(head) << 6) | bytes.len().min(8) as u64;
                 (3, slot, bytes.len() <= 7)
             }
         }
@@ -347,6 +355,11 @@ mod tests {
             vec![Value::from("abc\0x")],
             vec![Value::from("abcx")],
             vec![Value::from("abcdefg")],
+            // Long strings sharing a 7-byte head: order is decided past the encoded
+            // bytes, so the shorter string must not win on length alone ("abcdefgaa"
+            // precedes "abcdefgz" despite being longer).
+            vec![Value::from("abcdefgaa")],
+            vec![Value::from("abcdefgz")],
             vec![Value::from("abcdefgh")],
             vec![Value::from("abcdefghX")],
             vec![Value::from("abcdefghY")],

@@ -420,6 +420,74 @@ fn prefix_keyed_inputs_serve_joins_without_rearrangement() {
     );
 }
 
+/// Query answers only over sealed history: an update at the still-open current epoch
+/// is invisible to Query no matter how much the worker has stepped, so a settled
+/// Query's answer is deterministic — the epoch becomes visible once time advances
+/// past it.
+#[test]
+fn query_excludes_the_unsealed_current_epoch() {
+    execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager.create_input(worker, "nums").unwrap();
+        manager
+            .install(worker, "all", Plan::source("nums"), vec![])
+            .unwrap();
+        manager.update("nums", row(&[1]), 1).unwrap();
+        manager.advance_to(1).unwrap();
+        manager.settle(worker);
+        assert_eq!(manager.query("all").unwrap(), vec![(row(&[1]), 1)]);
+
+        // An update at the current epoch: settling (and stepping well past it) must
+        // not leak a partially processed epoch into the answer.
+        manager.update("nums", row(&[2]), 1).unwrap();
+        manager.settle(worker);
+        for _ in 0..32 {
+            worker.step();
+        }
+        assert_eq!(
+            manager.query("all").unwrap(),
+            vec![(row(&[1]), 1)],
+            "the open epoch is not yet part of the answer"
+        );
+        manager.advance_to(2).unwrap();
+        manager.settle(worker);
+        assert_eq!(
+            manager.query("all").unwrap(),
+            vec![(row(&[1]), 1), (row(&[2]), 1)]
+        );
+    });
+}
+
+/// An install that fails *after* memo dataflows were created rolls them back. The
+/// manager's reserved "plan-memo-…" names live in the worker's shared dataflow
+/// namespace, so a user query named like the next memo dataflow makes the query's own
+/// install fail after its memo was ensured — and must leave no memo state behind.
+#[test]
+fn failed_install_rolls_back_created_memos() {
+    execute(Config::new(1), |worker| {
+        let mut manager = Manager::new();
+        manager.create_input(worker, "edges").unwrap();
+        let live_before = worker.live_dataflow_count();
+        let result = manager.install(
+            worker,
+            "plan-memo-1",
+            two_hop("edges", "args"),
+            vec!["args".into()],
+        );
+        assert!(matches!(result, Err(PlanError::Catalog(_))), "{result:?}");
+        assert_eq!(manager.memo_count(), 0, "created memos were rolled back");
+        assert_eq!(worker.live_dataflow_count(), live_before);
+        assert!(manager.installed_names().is_empty());
+        assert!(!manager.input_names().contains(&"args".to_string()));
+        // The manager remains fully usable: the same plan installs cleanly now.
+        manager
+            .install(worker, "q", two_hop("edges", "args"), vec!["args".into()])
+            .unwrap();
+        assert!(manager.uninstall(worker, "q").unwrap());
+        assert!(manager.uninstall(worker, "edges").unwrap());
+    });
+}
+
 /// Install-time validation rejects malformed plans and name misuse without touching
 /// worker state.
 #[test]
