@@ -1,0 +1,178 @@
+//! Measures the cost of the byte boundary: per-command latency through the network
+//! server (wire codec + framing + sequencer + all-worker execution + response
+//! aggregation, full round trip over loopback TCP) against the same command stream
+//! executed directly on an in-process `Manager`.
+//!
+//! ```console
+//! $ cargo run --release -p kpg_bench --bin server_roundtrip -- \
+//!       --updates 2000 --queries 20 --workers 2
+//! ```
+//!
+//! Emits one `BENCH {"name":"server_roundtrip",...}` line: direct vs wire update
+//! medians, wire p99, query medians, and the wire/direct overhead ratio — the number
+//! that tells us when the socket loop (not the dataflow) becomes the bottleneck.
+
+use std::time::Instant;
+
+use kpg_bench::{arg_usize, bench_record, num, LatencyRecorder};
+use kpg_dataflow::{execute, Config, Worker};
+use kpg_plan::{Command, Manager, Plan, ReduceKind, Row};
+use kpg_server::{serve, Client, ServerConfig};
+
+fn edge(src: u64, dst: u64) -> Row {
+    Row::from(vec![src.into(), dst.into()])
+}
+
+fn commands_setup() -> Vec<Command> {
+    vec![
+        Command::CreateInput {
+            name: "edges".into(),
+            key_arity: Some(1),
+        },
+        Command::Install {
+            name: "degrees".into(),
+            plan: Plan::source("edges").reduce(1, ReduceKind::Count),
+            locals: vec![],
+        },
+    ]
+}
+
+fn update_command(index: u64) -> Command {
+    Command::Update {
+        name: "edges".into(),
+        row: edge(index % 500, (index * 7) % 500),
+        diff: 1,
+    }
+}
+
+struct Measured {
+    update_p50_ns: u128,
+    update_p99_ns: u128,
+    query_p50_ns: u128,
+}
+
+/// Runs the workload through a loopback server, timing each command's full round trip.
+fn measure_wire(workers: usize, updates: usize, queries: usize) -> Measured {
+    let mut server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind the bench server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for command in commands_setup() {
+        client.send(&command).expect("setup send");
+        client.receive().expect("setup ack");
+    }
+    let mut update_latency = LatencyRecorder::new();
+    let mut query_latency = LatencyRecorder::new();
+    for round in 0..queries.max(1) {
+        for index in 0..(updates / queries.max(1)) as u64 {
+            let command = update_command(round as u64 * 1_000_003 + index);
+            let start = Instant::now();
+            client.send(&command).expect("send update");
+            client.receive().expect("update ack");
+            update_latency.record(start.elapsed());
+        }
+        client.advance(round as u64 + 1).expect("advance");
+        let start = Instant::now();
+        let rows = client.query("degrees").expect("query");
+        query_latency.record(start.elapsed());
+        assert!(!rows.is_empty());
+    }
+    server.shutdown();
+    Measured {
+        update_p50_ns: update_latency.quantile(0.5).as_nanos(),
+        update_p99_ns: update_latency.quantile(0.99).as_nanos(),
+        query_p50_ns: query_latency.quantile(0.5).as_nanos(),
+    }
+}
+
+/// Runs the identical workload directly on one in-process `Manager` per worker —
+/// no codec, no socket, no sequencer. (Same command stream; `Command::Update` shards
+/// itself, so the multi-worker run executes the same log everywhere.)
+fn measure_direct(workers: usize, updates: usize, queries: usize) -> Measured {
+    let mut results = execute(Config::new(workers), move |worker: &mut Worker| {
+        let mut manager = Manager::new();
+        for command in commands_setup() {
+            manager.execute(worker, command).expect("setup");
+        }
+        let mut update_latency = LatencyRecorder::new();
+        let mut query_latency = LatencyRecorder::new();
+        for round in 0..queries.max(1) {
+            for index in 0..(updates / queries.max(1)) as u64 {
+                let command = update_command(round as u64 * 1_000_003 + index);
+                let start = Instant::now();
+                manager.execute(worker, command).expect("update");
+                update_latency.record(start.elapsed());
+            }
+            manager
+                .execute(
+                    worker,
+                    Command::AdvanceTime {
+                        epoch: round as u64 + 1,
+                    },
+                )
+                .expect("advance");
+            let start = Instant::now();
+            manager.settle(worker);
+            let rows = manager
+                .execute(
+                    worker,
+                    Command::Query {
+                        name: "degrees".into(),
+                    },
+                )
+                .expect("query");
+            query_latency.record(start.elapsed());
+            drop(rows);
+        }
+        Measured {
+            update_p50_ns: update_latency.quantile(0.5).as_nanos(),
+            update_p99_ns: update_latency.quantile(0.99).as_nanos(),
+            query_p50_ns: query_latency.quantile(0.5).as_nanos(),
+        }
+    });
+    results.remove(0)
+}
+
+fn main() {
+    let workers = arg_usize("--workers", 1);
+    let updates = arg_usize("--updates", 2_000);
+    let queries = arg_usize("--queries", 20);
+
+    // Round the workload to whole rounds so the emitted record states exactly what
+    // was measured (and a tiny --updates still updates at least once per round).
+    let rounds = queries.max(1);
+    let per_round = (updates / rounds).max(1);
+    let updates = per_round * rounds;
+
+    let wire = measure_wire(workers, updates, queries);
+    let direct = measure_direct(workers, updates, queries);
+    let overhead = wire.update_p50_ns as f64 / (direct.update_p50_ns.max(1)) as f64;
+
+    println!(
+        "update p50: direct {} ns, wire {} ns ({overhead:.1}x); wire p99 {} ns; query p50: direct {} ns, wire {} ns",
+        direct.update_p50_ns,
+        wire.update_p50_ns,
+        wire.update_p99_ns,
+        direct.query_p50_ns,
+        wire.query_p50_ns,
+    );
+    bench_record(
+        "server_roundtrip",
+        &[
+            ("workers", num(workers)),
+            ("updates", num(updates)),
+            ("queries", num(queries)),
+            ("direct_update_p50_ns", num(direct.update_p50_ns)),
+            ("wire_update_p50_ns", num(wire.update_p50_ns)),
+            ("wire_update_p99_ns", num(wire.update_p99_ns)),
+            ("direct_query_p50_ns", num(direct.query_p50_ns)),
+            ("wire_query_p50_ns", num(wire.query_p50_ns)),
+            ("overhead_x", num(format!("{overhead:.3}"))),
+        ],
+    );
+}

@@ -141,6 +141,39 @@ pub enum PlanError {
     Catalog(CatalogError),
 }
 
+impl Command {
+    /// A short, stable label for the command's variant — what a server logs and keys
+    /// metrics on.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Command::CreateInput { .. } => "create-input",
+            Command::Update { .. } => "update",
+            Command::AdvanceTime { .. } => "advance-time",
+            Command::Install { .. } => "install",
+            Command::Uninstall { .. } => "uninstall",
+            Command::Query { .. } => "query",
+        }
+    }
+}
+
+impl PlanError {
+    /// A short, stable machine-readable code for the error class. The wire protocol
+    /// sends it alongside the human-readable message, so remote clients can match on
+    /// failures without parsing display text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PlanError::Invalid(_) => "invalid-plan",
+            PlanError::DuplicateInput(_) => "duplicate-input",
+            PlanError::UnknownInput(_) => "unknown-input",
+            PlanError::DuplicateQuery(_) => "duplicate-query",
+            PlanError::UnknownQuery(_) => "unknown-query",
+            PlanError::InputInUse { .. } => "input-in-use",
+            PlanError::TimeRegression { .. } => "time-regression",
+            PlanError::Catalog(_) => "catalog",
+        }
+    }
+}
+
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,52 @@
+//! The standalone network query server.
+//!
+//! ```console
+//! $ cargo run --release -p kpg_server --bin kpg_server -- \
+//!       --addr 127.0.0.1:6464 --workers 2
+//! ```
+//!
+//! Clients speak the framed `kpg_wire` protocol (see the README's "Network protocol"
+//! section), most conveniently through `kpg_server::Client`. The process serves until
+//! killed.
+
+use kpg_server::{serve, ServerConfig};
+use kpg_wire::DEFAULT_FRAME_LIMIT;
+
+fn arg(name: &str, default: &str) -> String {
+    let mut args = std::env::args();
+    while let Some(current) = args.next() {
+        if current == name {
+            if let Some(value) = args.next() {
+                return value;
+            }
+        }
+    }
+    default.to_string()
+}
+
+fn main() {
+    let addr = arg("--addr", "127.0.0.1:6464");
+    let workers: usize = arg("--workers", "1").parse().expect("--workers: a number");
+    let frame_limit: usize = arg("--frame-limit", &DEFAULT_FRAME_LIMIT.to_string())
+        .parse()
+        .expect("--frame-limit: bytes");
+
+    let server = serve(
+        &addr,
+        ServerConfig {
+            workers,
+            frame_limit,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("failed to bind");
+    println!(
+        "kpg_server listening on {} ({} workers, {}-byte frame limit)",
+        server.local_addr(),
+        workers,
+        frame_limit
+    );
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,212 @@
+//! The client handle: a blocking, framed connection speaking the wire protocol.
+//!
+//! [`Client`] offers both a request/response surface (the `create_input` / `update` /
+//! `advance` / `install` / `uninstall` / `query` helpers, each one round trip) and a
+//! split [`Client::send`] / [`Client::receive`] surface for pipelining: the server
+//! answers every frame in order, so a caller may send a batch of commands and then
+//! collect the same number of responses. Keep at most
+//! [`PIPELINE_DEPTH`](crate::PIPELINE_DEPTH) commands unanswered: past that depth the
+//! server deliberately stops reading the connection (backpressure), and a client that
+//! only sends can eventually deadlock against it once the kernel socket buffers fill.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use kpg_plan::{Command, Plan, Row};
+use kpg_wire::{read_frame, write_frame, Frame, Response, WireCodec, DEFAULT_FRAME_LIMIT};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(io::Error),
+    /// The server's bytes did not decode — a protocol bug or version skew, not a
+    /// command failure.
+    Protocol(String),
+    /// A response frame exceeded this client's frame limit and its payload was
+    /// discarded (frames are skipped, not buffered, past the limit). The answer is
+    /// lost but the connection is still in sync; reissue the command on a client
+    /// given a larger bound via [`Client::with_frame_limit`].
+    ResponseTooLarge {
+        /// The announced frame length.
+        length: u64,
+        /// This client's frame limit.
+        limit: usize,
+    },
+    /// The server rejected the frame at the byte boundary (its `WireError` response).
+    Wire(String),
+    /// The engine rejected the command; `code` is the stable
+    /// [`PlanError`](kpg_plan::PlanError) class.
+    Plan {
+        /// The stable error class (e.g. `"unknown-query"`).
+        code: String,
+        /// The human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(error) => write!(f, "connection: {error}"),
+            ClientError::Protocol(message) => write!(f, "protocol: {message}"),
+            ClientError::ResponseTooLarge { length, limit } => write!(
+                f,
+                "a {length}-byte response exceeds this client's {limit}-byte frame \
+                 limit and was discarded; retry with a larger Client::with_frame_limit"
+            ),
+            ClientError::Wire(message) => write!(f, "rejected at the wire: {message}"),
+            ClientError::Plan { code, message } => write!(f, "plan error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(error: io::Error) -> Self {
+        ClientError::Io(error)
+    }
+}
+
+impl ClientError {
+    /// The stable plan-error code, if this is an engine rejection.
+    pub fn plan_code(&self) -> Option<&str> {
+        match self {
+            ClientError::Plan { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// A connection to a [`kpg_server`](crate) instance.
+pub struct Client {
+    stream: TcpStream,
+    frame_limit: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            frame_limit: DEFAULT_FRAME_LIMIT,
+        })
+    }
+
+    /// Sets the largest response frame this client will buffer.
+    pub fn with_frame_limit(mut self, frame_limit: usize) -> Client {
+        self.frame_limit = frame_limit;
+        self
+    }
+
+    /// Sends one command without waiting for its response (pipelining). The server
+    /// responds to every frame in order; pair each `send` with one [`Client::receive`].
+    pub fn send(&mut self, command: &Command) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &command.encode())?;
+        Ok(())
+    }
+
+    /// Receives the next response frame.
+    pub fn receive(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream, self.frame_limit)? {
+            None => Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            )),
+            Some(Frame::TooLarge(length)) => Err(ClientError::ResponseTooLarge {
+                length,
+                limit: self.frame_limit,
+            }),
+            Some(Frame::Payload(payload)) => {
+                Response::decode(&payload).map_err(|error| ClientError::Protocol(error.to_string()))
+            }
+        }
+    }
+
+    /// One round trip: send `command`, return its raw [`Response`].
+    pub fn execute(&mut self, command: &Command) -> Result<Response, ClientError> {
+        self.send(command)?;
+        self.receive()
+    }
+
+    fn expect_ok(&mut self, command: &Command) -> Result<(), ClientError> {
+        match self.execute(command)? {
+            Response::Ok => Ok(()),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// Creates a shared input (see [`Command::CreateInput`]).
+    pub fn create_input(
+        &mut self,
+        name: &str,
+        key_arity: Option<usize>,
+    ) -> Result<(), ClientError> {
+        self.expect_ok(&Command::CreateInput {
+            name: name.to_string(),
+            key_arity,
+        })
+    }
+
+    /// Introduces one update at the current epoch.
+    pub fn update(&mut self, name: &str, row: Row, diff: isize) -> Result<(), ClientError> {
+        self.expect_ok(&Command::Update {
+            name: name.to_string(),
+            row,
+            diff,
+        })
+    }
+
+    /// Advances every input to `epoch`.
+    pub fn advance(&mut self, epoch: u64) -> Result<(), ClientError> {
+        self.expect_ok(&Command::AdvanceTime { epoch })
+    }
+
+    /// Installs `plan` as the standing query `name`.
+    pub fn install(&mut self, name: &str, plan: Plan, locals: &[&str]) -> Result<(), ClientError> {
+        self.expect_ok(&Command::Install {
+            name: name.to_string(),
+            plan,
+            locals: locals.iter().map(|local| local.to_string()).collect(),
+        })
+    }
+
+    /// Retires the named query or shared input.
+    pub fn uninstall(&mut self, name: &str) -> Result<(), ClientError> {
+        self.expect_ok(&Command::Uninstall {
+            name: name.to_string(),
+        })
+    }
+
+    /// The named query's settled answer: consolidated `(row, multiplicity)` pairs,
+    /// sorted by row. Large answers arrive as one frame: a result set whose encoding
+    /// exceeds the client's frame limit is reported (and discarded) as
+    /// [`ClientError::ResponseTooLarge`] — raise [`Client::with_frame_limit`] for
+    /// queries expected to return tens of thousands of rows.
+    pub fn query(&mut self, name: &str) -> Result<Vec<(Row, isize)>, ClientError> {
+        match self.execute(&Command::Query {
+            name: name.to_string(),
+        })? {
+            Response::QueryResults { rows, diffs } => Ok(rows
+                .into_iter()
+                .zip(diffs)
+                .map(|(row, diff)| (row, diff as isize))
+                .collect()),
+            other => Err(response_error(other)),
+        }
+    }
+}
+
+/// Maps a non-success (or shape-mismatched) response to the client error it implies.
+fn response_error(response: Response) -> ClientError {
+    match response {
+        Response::PlanError { code, message } => ClientError::Plan { code, message },
+        Response::WireError { message } => ClientError::Wire(message),
+        Response::Ok | Response::QueryResults { .. } => {
+            ClientError::Protocol("response does not match the command sent".to_string())
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The sequencer core: one totally ordered command log, executed by every worker.
+//!
+//! PR 4's invariant is that a [`Manager`] is deterministic when every worker executes
+//! the *same* command stream in the same order. A multi-client server therefore has
+//! exactly one job at its heart: turn concurrently arriving per-client command streams
+//! into one total order, and fan every worker's (identical) results back to the client
+//! that asked. [`ServerCore`] is that job, with the network left out so tests can pin
+//! its arbitration rules deterministically:
+//!
+//! * **Sequencing.** [`ServerCore::submit`] appends to the shared [`command
+//!   log`](ServerCore::command_log) under one lock; the append order *is* the
+//!   arbitration order for every name conflict. An `Uninstall` sequenced before a
+//!   queued `Install` referencing the same input makes the install fail
+//!   (`unknown-input`/`invalid-plan`); sequenced after it, the uninstall fails
+//!   (`input-in-use`). Within one name, queries shadow inputs: `Uninstall` retires a
+//!   live query named `n` before it would remove an input named `n` (the manager's
+//!   namespace rule, pinned by `tests/arbitration.rs`). By default the log prunes the
+//!   prefix every worker has consumed (a long-lived server holds O(in-flight)
+//!   commands, not its full traffic history); [`ServerCore::with_history`] retains
+//!   everything so tests can replay the merged log.
+//! * **Execution.** Each worker thread runs [`ServerCore::worker_loop`]: a private
+//!   `Manager`, the log consumed in order, [`Manager::settle`] before every `Query` so
+//!   answers are deterministic.
+//! * **Aggregation.** Workers deposit per-command results; the last deposit merges them
+//!   (query rows union-summed across worker shards, everything else identical by
+//!   determinism) into one wire [`Response`] and dispatches it to the origin client
+//!   *under the same lock*, so each client's responses leave in its request order.
+//! * **Ownership.** The sequencer tracks which client owns each *live* query. A name
+//!   is claimed when its `Install` **completes successfully** (completions occur in
+//!   log order, so claims are log-order consistent) — a failed install, duplicate or
+//!   otherwise, never claims anything. Client disconnect enqueues `Uninstall`s for the
+//!   queries that client owns, and nothing else: shared inputs outlive their creator
+//!   (arrangements outlive queries — the paper's model), and another client's queries
+//!   are untouchable. An install still in flight when its client departs is retired by
+//!   the deposit that completes it.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+use kpg_dataflow::{execute, Config, Worker};
+use kpg_plan::{Command, Manager, PlanError, Response as PlanResponse, Row};
+use kpg_wire::Response;
+
+/// Identifies one connected client (or test-registered pseudo-client).
+pub type ClientId = u64;
+
+/// One entry of the total command order.
+pub struct SequencedCommand {
+    /// The position in the log (dense, from 0).
+    pub seq: u64,
+    /// The submitting client and its per-client request index, or `None` for commands
+    /// the server generated itself (disconnect cleanup).
+    pub origin: Option<(ClientId, u64)>,
+    /// The command.
+    pub command: Command,
+}
+
+struct LogState {
+    /// The sequence number of `entries[0]` (everything below it has been pruned).
+    base: u64,
+    entries: VecDeque<Arc<SequencedCommand>>,
+    /// Per worker, the next sequence number it will consume: everything below every
+    /// cursor is done everywhere and (unless `retain`) can be dropped.
+    cursors: Vec<u64>,
+    /// Keep consumed entries (history mode, for replay-based tests/introspection).
+    retain: bool,
+    closed: bool,
+}
+
+impl LogState {
+    fn prune(&mut self) {
+        if self.retain {
+            return;
+        }
+        let consumed = self.cursors.iter().copied().min().unwrap_or(0);
+        while self.base < consumed {
+            if self.entries.pop_front().is_none() {
+                break;
+            }
+            self.base += 1;
+        }
+    }
+}
+
+/// A command's merged outcome while deposits accumulate.
+enum Outcome {
+    /// A non-query success (identical on every worker).
+    Plain,
+    /// Query rows, union-summed across the workers' output shards.
+    Rows(BTreeMap<Row, isize>),
+    /// The deterministic failure (identical on every worker; first deposit kept).
+    Failed(PlanError),
+}
+
+struct PendingResponse {
+    remaining: usize,
+    outcome: Outcome,
+}
+
+/// Client-facing state: response routing, response aggregation, and name ownership.
+/// One lock, so dispatch order equals completion order equals per-client request order.
+struct ClientState {
+    /// Live query name → owning client. Written only when an `Install` or `Uninstall`
+    /// *completes* (and at submit for `Uninstall`, which can only free a name early),
+    /// so the map never credits a failed install.
+    owners: HashMap<String, ClientId>,
+    /// Per-seq aggregation of worker deposits.
+    pending: HashMap<u64, PendingResponse>,
+    /// Where each client's responses go.
+    routes: HashMap<ClientId, mpsc::Sender<(u64, Response)>>,
+}
+
+/// The network-free server: sequencer, worker pool driver, response aggregator. See
+/// the module docs for the architecture; [`crate::serve`] wraps it in TCP.
+pub struct ServerCore {
+    workers: usize,
+    log: Mutex<LogState>,
+    grown: Condvar,
+    clients: Mutex<ClientState>,
+    next_client: AtomicU64,
+}
+
+impl ServerCore {
+    /// A core that will drive `workers` dataflow workers, pruning log entries once
+    /// every worker has consumed them (the long-lived-server default).
+    pub fn new(workers: usize) -> Self {
+        Self::build(workers, false)
+    }
+
+    /// Like [`ServerCore::new`], but the log retains every command ever sequenced, so
+    /// [`ServerCore::command_log`] is the complete replayable history.
+    pub fn with_history(workers: usize) -> Self {
+        Self::build(workers, true)
+    }
+
+    fn build(workers: usize, retain: bool) -> Self {
+        let workers = workers.max(1);
+        ServerCore {
+            workers,
+            log: Mutex::new(LogState {
+                base: 0,
+                entries: VecDeque::new(),
+                cursors: vec![0; workers],
+                retain,
+                closed: false,
+            }),
+            grown: Condvar::new(),
+            clients: Mutex::new(ClientState {
+                owners: HashMap::new(),
+                pending: HashMap::new(),
+                routes: HashMap::new(),
+            }),
+            next_client: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of dataflow workers this core drives.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Starts the worker pool on a background thread. The thread exits once
+    /// [`ServerCore::close`] is called and the log is drained.
+    pub fn start(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
+        let core = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("kpg-server-engine".to_string())
+            .spawn(move || {
+                let workers = core.workers;
+                execute(Config::new(workers), move |worker| {
+                    core.worker_loop(worker);
+                });
+            })
+            .expect("failed to spawn the server engine thread")
+    }
+
+    /// Registers a client: allocates its id and the channel its responses arrive on,
+    /// tagged with the per-client request index they answer.
+    pub fn register_client(&self) -> (ClientId, mpsc::Receiver<(u64, Response)>) {
+        let client = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (sender, receiver) = mpsc::channel();
+        self.clients
+            .lock()
+            .expect("client state poisoned")
+            .routes
+            .insert(client, sender);
+        (client, receiver)
+    }
+
+    /// Appends `command` from `client` (answering its request number `reply`) to the
+    /// log. Sequencing happens under the client-state lock, so the log order *is* the
+    /// arbitration order.
+    pub fn submit(&self, client: ClientId, reply: u64, command: Command) -> u64 {
+        let mut clients = self.clients.lock().expect("client state poisoned");
+        // An Uninstall frees the name *at submit*: once one is sequenced, no
+        // disconnect between now and its execution may still count the query as owned
+        // (a cleanup Uninstall sequenced behind it would fall through to a same-named
+        // input). Install claims happen at completion, never here — see `deposit`.
+        if let Command::Uninstall { name } = &command {
+            clients.owners.remove(name);
+        }
+        self.append(Some((client, reply)), command)
+    }
+
+    /// Responds to `client`'s request `reply` with a wire-level error, without touching
+    /// the log (the command never existed as far as the engine is concerned).
+    pub fn respond_wire_error(&self, client: ClientId, reply: u64, message: String) {
+        let clients = self.clients.lock().expect("client state poisoned");
+        if let Some(route) = clients.routes.get(&client) {
+            let _ = route.send((reply, Response::WireError { message }));
+        }
+    }
+
+    /// Removes a departed client: unregisters its response route and enqueues
+    /// `Uninstall`s for the queries it owns — and for nothing else. Ownership holds
+    /// only successfully installed queries, so the cleanup can never remove another
+    /// client's query or a shared input. Route removal and the cleanup appends happen
+    /// under the same lock that sequences live submissions, so a racing `Install` of a
+    /// just-freed name cannot slip in between; an install of this client still in
+    /// flight is retired by the deposit that completes it (the route is already gone).
+    pub fn disconnect(&self, client: ClientId) {
+        let mut clients = self.clients.lock().expect("client state poisoned");
+        clients.routes.remove(&client);
+        let mut owned: Vec<String> = clients
+            .owners
+            .iter()
+            .filter(|(_, owner)| **owner == client)
+            .map(|(name, _)| name.clone())
+            .collect();
+        owned.sort_unstable();
+        for name in &owned {
+            clients.owners.remove(name);
+        }
+        for name in owned {
+            self.append(None, Command::Uninstall { name });
+        }
+    }
+
+    /// Closes the log: workers drain what is already sequenced, then exit. Submissions
+    /// after close are ignored.
+    pub fn close(&self) {
+        let mut log = self.log.lock().expect("command log poisoned");
+        log.closed = true;
+        self.grown.notify_all();
+    }
+
+    /// A snapshot of the retained command log, in execution order. On a core built
+    /// with [`ServerCore::with_history`] this is the complete stream a single
+    /// `Manager` could replay to reproduce the server's state (the determinism the
+    /// session tests check); on a default core, entries every worker has consumed are
+    /// pruned and absent.
+    pub fn command_log(&self) -> Vec<Command> {
+        self.log
+            .lock()
+            .expect("command log poisoned")
+            .entries
+            .iter()
+            .map(|entry| entry.command.clone())
+            .collect()
+    }
+
+    /// How many log entries are currently held in memory (after pruning).
+    pub fn retained_log_len(&self) -> usize {
+        self.log.lock().expect("command log poisoned").entries.len()
+    }
+
+    fn append(&self, origin: Option<(ClientId, u64)>, command: Command) -> u64 {
+        let mut log = self.log.lock().expect("command log poisoned");
+        if log.closed {
+            return u64::MAX;
+        }
+        let seq = log.base + log.entries.len() as u64;
+        log.entries.push_back(Arc::new(SequencedCommand {
+            seq,
+            origin,
+            command,
+        }));
+        self.grown.notify_all();
+        seq
+    }
+
+    /// The log entry at position `from`, blocking until it exists; records that
+    /// `worker` has consumed everything below `from` (and prunes what everyone has).
+    /// `None` once the log is closed and drained.
+    fn next_command(&self, worker: usize, from: u64) -> Option<Arc<SequencedCommand>> {
+        let mut log = self.log.lock().expect("command log poisoned");
+        log.cursors[worker] = from;
+        log.prune();
+        loop {
+            let index = from.checked_sub(log.base).expect("cursor below log base") as usize;
+            if let Some(entry) = log.entries.get(index) {
+                return Some(Arc::clone(entry));
+            }
+            if log.closed {
+                return None;
+            }
+            log = self.grown.wait(log).expect("command log poisoned");
+        }
+    }
+
+    /// One worker's service loop: a private [`Manager`] fed the shared log in order.
+    /// Runs until the core is closed. Exposed so embedders (and the arbitration tests)
+    /// can drive the engine through [`execute`] themselves.
+    pub fn worker_loop(&self, worker: &mut Worker) {
+        let mut manager = Manager::new();
+        let mut next = 0u64;
+        while let Some(entry) = self.next_command(worker.index(), next) {
+            next = entry.seq + 1;
+            // Settle before reading: Manager::query answers over every time strictly
+            // below the current epoch, which is exactly what settle seals — so a
+            // query's answer is deterministic (and equal to a single-manager replay).
+            if matches!(entry.command, Command::Query { .. }) {
+                manager.settle(worker);
+            }
+            let result = manager.execute(worker, entry.command.clone());
+            self.deposit(&entry, result);
+        }
+    }
+
+    /// Records one worker's result for `entry`; the final deposit merges, converts to
+    /// the wire [`Response`], applies the completion's ownership effect, and
+    /// dispatches to the origin client. All of it happens under the client-state
+    /// lock, and completions occur in log order (every worker deposits in log order),
+    /// so ownership and response order are both log-order consistent.
+    fn deposit(&self, entry: &SequencedCommand, result: Result<PlanResponse, PlanError>) {
+        let mut clients = self.clients.lock().expect("client state poisoned");
+        let workers = self.workers;
+        let pending = clients.pending.entry(entry.seq).or_insert(PendingResponse {
+            remaining: workers,
+            outcome: Outcome::Plain,
+        });
+        match result {
+            Err(error) => {
+                // Deterministic command streams fail identically everywhere; keep the
+                // first rendering.
+                if !matches!(pending.outcome, Outcome::Failed(_)) {
+                    pending.outcome = Outcome::Failed(error);
+                }
+            }
+            Ok(PlanResponse::Rows(rows)) => {
+                // Each worker holds one shard of the query's output; the answer is the
+                // union with multiplicities summed.
+                if !matches!(pending.outcome, Outcome::Rows(_)) {
+                    pending.outcome = Outcome::Rows(BTreeMap::new());
+                }
+                if let Outcome::Rows(accumulated) = &mut pending.outcome {
+                    for (row, diff) in rows {
+                        *accumulated.entry(row).or_insert(0) += diff;
+                    }
+                }
+            }
+            Ok(_) => {}
+        }
+        pending.remaining -= 1;
+        if pending.remaining > 0 {
+            return;
+        }
+        let pending = clients
+            .pending
+            .remove(&entry.seq)
+            .expect("completed response present");
+        let succeeded = !matches!(pending.outcome, Outcome::Failed(_));
+        self.apply_ownership(&mut clients, entry, succeeded);
+        let response = match pending.outcome {
+            Outcome::Plain => Response::Ok,
+            Outcome::Failed(error) => Response::PlanError {
+                code: error.code().to_string(),
+                message: error.to_string(),
+            },
+            Outcome::Rows(accumulated) => {
+                let mut rows = Vec::new();
+                let mut diffs = Vec::new();
+                for (row, diff) in accumulated {
+                    if diff != 0 {
+                        rows.push(row);
+                        diffs.push(diff as i64);
+                    }
+                }
+                Response::QueryResults { rows, diffs }
+            }
+        };
+        if let Some((client, reply)) = entry.origin {
+            if let Some(route) = clients.routes.get(&client) {
+                // A send can only fail if the client departed; the response is moot.
+                let _ = route.send((reply, response));
+            }
+        }
+    }
+
+    /// The ownership effect of a completed command. Only a *successful* `Install`
+    /// claims its name — for its submitter if still connected, or, if the submitter
+    /// departed while the install was in flight, the fresh query is retired right
+    /// here (the disconnect could not see it). A successful `Uninstall` frees the
+    /// name whoever issued it.
+    fn apply_ownership(&self, clients: &mut ClientState, entry: &SequencedCommand, ok: bool) {
+        if !ok {
+            return;
+        }
+        match (&entry.command, entry.origin) {
+            (Command::Install { name, .. }, Some((client, _))) => {
+                if clients.routes.contains_key(&client) {
+                    clients.owners.insert(name.clone(), client);
+                } else {
+                    clients.owners.remove(name);
+                    self.append(None, Command::Uninstall { name: name.clone() });
+                }
+            }
+            (Command::Uninstall { name }, _) => {
+                clients.owners.remove(name);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The TCP front end: frames in, frames out, one [`ServerCore`] in the middle.
+//!
+//! Per connection the server runs two threads. The *reader* turns incoming frames into
+//! sequenced commands — a frame that fails to decode (or exceeds the frame limit, in
+//! which case its bytes were discarded unbuffered) is answered with
+//! [`Response::WireError`](kpg_wire::Response::WireError) and the stream continues at
+//! the next frame. The *writer* drains the client's response channel; responses are
+//! reordered by request index before writing, so the client always reads exactly one
+//! response per frame it sent, in order, even though wire errors short-circuit the
+//! engine. EOF (or any read error) disconnects the client, which uninstalls the
+//! queries it owned and nothing else.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use kpg_plan::Command;
+use kpg_wire::{read_frame, write_frame, Frame, Response, WireCodec, DEFAULT_FRAME_LIMIT};
+
+use crate::engine::{ClientId, ServerCore};
+
+/// The most commands a client may have submitted-but-unanswered before its reader
+/// stops pulling frames off the socket. Bounds the per-client response channel and
+/// reorder buffer; the stalled reader applies ordinary TCP backpressure upstream.
+/// Clients that pipeline should stay under this bound — see
+/// [`PIPELINE_DEPTH`](crate::PIPELINE_DEPTH).
+pub(crate) const MAX_IN_FLIGHT: u64 = 1024;
+
+/// The writer's progress, shared with the reader for backpressure: how many responses
+/// have been written back (or `u64::MAX` once the writer is gone, releasing any wait).
+struct SessionFlow {
+    written: Mutex<u64>,
+    advanced: std::sync::Condvar,
+}
+
+impl SessionFlow {
+    fn new() -> Self {
+        SessionFlow {
+            written: Mutex::new(0),
+            advanced: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until fewer than `limit` responses separate `reply` from what has been
+    /// written back.
+    fn wait_below(&self, reply: u64, limit: u64) {
+        let mut written = self.written.lock().expect("session flow poisoned");
+        while reply.saturating_sub(*written) >= limit {
+            written = self.advanced.wait(written).expect("session flow poisoned");
+        }
+    }
+
+    fn note_written(&self) {
+        let mut written = self.written.lock().expect("session flow poisoned");
+        *written += 1;
+        self.advanced.notify_all();
+    }
+
+    fn release(&self) {
+        let mut written = self.written.lock().expect("session flow poisoned");
+        *written = u64::MAX;
+        self.advanced.notify_all();
+    }
+}
+
+/// Server tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Dataflow worker threads.
+    pub workers: usize,
+    /// The largest frame payload accepted from a client, in bytes.
+    pub frame_limit: usize,
+    /// Retain the full command log (see [`ServerCore::with_history`]) instead of
+    /// pruning consumed entries. For replay-based tests and introspection; a
+    /// long-lived server should leave this off.
+    pub retain_log: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 1,
+            frame_limit: DEFAULT_FRAME_LIMIT,
+            retain_log: false,
+        }
+    }
+}
+
+/// A running server: the engine, the acceptor, and every live connection.
+/// [`Server::shutdown`] (or drop) stops all of it.
+pub struct Server {
+    core: Arc<ServerCore>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    connections: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
+    acceptor: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` and serves until [`Server::shutdown`]. Use port 0 to let the OS pick
+/// (the bound address is [`Server::local_addr`]).
+pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let core = Arc::new(if config.retain_log {
+        ServerCore::with_history(config.workers)
+    } else {
+        ServerCore::new(config.workers)
+    });
+    let engine = core.start();
+    let stop = Arc::new(AtomicBool::new(false));
+    let connections: Arc<Mutex<HashMap<ClientId, TcpStream>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+
+    let acceptor = {
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop);
+        let connections = Arc::clone(&connections);
+        std::thread::Builder::new()
+            .name("kpg-server-accept".to_string())
+            .spawn(move || {
+                let mut sessions = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // The listener is nonblocking (for the stop poll); on
+                            // BSD-derived platforms the accepted socket inherits
+                            // that, and the session loops need blocking reads.
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            if let Ok(session) = spawn_session(
+                                Arc::clone(&core),
+                                stream,
+                                config.frame_limit,
+                                Arc::clone(&connections),
+                                Arc::clone(&stop),
+                            ) {
+                                sessions.push(session);
+                            }
+                        }
+                        Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        // Transient accept failures (a peer that reset before we
+                        // accepted, brief fd exhaustion) must not kill the acceptor:
+                        // a server that runs but can never accept again fails
+                        // silently. Back off briefly and retry until stopped.
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+                for session in sessions {
+                    let _ = session.join();
+                }
+            })
+            .expect("failed to spawn the acceptor thread")
+    };
+
+    Ok(Server {
+        core,
+        local_addr,
+        stop,
+        connections,
+        acceptor: Some(acceptor),
+        engine: Some(engine),
+    })
+}
+
+impl Server {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The sequencer core (introspection: the merged command log).
+    pub fn core(&self) -> &Arc<ServerCore> {
+        &self.core
+    }
+
+    /// Stops accepting, disconnects every client, drains the engine, and joins every
+    /// thread. Idempotent; also run on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            // Unblock reader threads first so the acceptor can join its sessions.
+            let connections: Vec<TcpStream> = self
+                .connections
+                .lock()
+                .expect("connection registry poisoned")
+                .drain()
+                .map(|(_, stream)| stream)
+                .collect();
+            for stream in connections {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            let _ = acceptor.join();
+        }
+        self.core.close();
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the per-connection reader (the returned thread) and writer threads.
+fn spawn_session(
+    core: Arc<ServerCore>,
+    stream: TcpStream,
+    frame_limit: usize,
+    connections: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+) -> io::Result<JoinHandle<()>> {
+    let (client, responses) = core.register_client();
+    let write_stream = stream.try_clone()?;
+    connections
+        .lock()
+        .expect("connection registry poisoned")
+        .insert(client, stream.try_clone()?);
+    // Double-check against a racing shutdown: if the stop flag was set after the
+    // acceptor's check but before this registration, `Server::shutdown` may already
+    // have drained the registry — shut this socket down ourselves so the reader
+    // thread cannot outlive the server.
+    if stop.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    let flow = Arc::new(SessionFlow::new());
+    let writer = {
+        let flow = Arc::clone(&flow);
+        std::thread::Builder::new()
+            .name(format!("kpg-server-write-{client}"))
+            .spawn(move || write_loop(write_stream, responses, &flow))?
+    };
+
+    std::thread::Builder::new()
+        .name(format!("kpg-server-read-{client}"))
+        .spawn(move || {
+            read_loop(&core, client, stream, frame_limit, &flow);
+            // EOF or error: retire the client. Disconnect drops the response route,
+            // which ends the writer's channel and lets it exit.
+            core.disconnect(client);
+            connections
+                .lock()
+                .expect("connection registry poisoned")
+                .remove(&client);
+            let _ = writer.join();
+        })
+}
+
+/// Reads frames until EOF/error, submitting decoded commands and answering wire-level
+/// failures in place. Every received frame consumes exactly one reply index, so the
+/// writer can restore per-request response order.
+fn read_loop(
+    core: &ServerCore,
+    client: ClientId,
+    mut stream: TcpStream,
+    frame_limit: usize,
+    flow: &SessionFlow,
+) {
+    let mut reply = 0u64;
+    loop {
+        // Backpressure: a client that pipelines without reading responses would
+        // otherwise grow the response channel without bound. Stalling here leaves its
+        // bytes in the kernel buffers, which is the client's problem.
+        flow.wait_below(reply, MAX_IN_FLIGHT);
+        match read_frame(&mut stream, frame_limit) {
+            Ok(None) | Err(_) => return,
+            Ok(Some(Frame::TooLarge(length))) => {
+                let error = kpg_wire::WireError::FrameTooLarge {
+                    length,
+                    limit: frame_limit as u64,
+                };
+                core.respond_wire_error(client, reply, error.to_string());
+                reply += 1;
+            }
+            Ok(Some(Frame::Payload(payload))) => {
+                match Command::decode(&payload) {
+                    Ok(command) => {
+                        core.submit(client, reply, command);
+                    }
+                    Err(error) => core.respond_wire_error(client, reply, error.to_string()),
+                }
+                reply += 1;
+            }
+        }
+    }
+}
+
+/// Writes responses back in request order. Responses can complete out of order across
+/// the engine/wire-error paths; a reorder buffer holds the early ones.
+fn write_loop(
+    mut stream: TcpStream,
+    responses: mpsc::Receiver<(u64, Response)>,
+    flow: &SessionFlow,
+) {
+    let mut next_reply = 0u64;
+    let mut held: BTreeMap<u64, Response> = BTreeMap::new();
+    'drain: while let Ok((reply, response)) = responses.recv() {
+        held.insert(reply, response);
+        while let Some(response) = held.remove(&next_reply) {
+            if write_frame(&mut stream, &response.encode()).is_err() {
+                break 'drain;
+            }
+            next_reply += 1;
+            flow.note_written();
+        }
+    }
+    // However the writer ends, release a reader blocked on backpressure; its next
+    // read observes the socket state and exits on its own.
+    flow.release();
+}

@@ -1,0 +1,131 @@
+//! Stream framing: 4-byte big-endian length prefix, then the payload.
+//!
+//! Frames are the unit of resynchronization. Because the length travels outside the
+//! payload, a payload that fails to decode costs exactly one frame: the reader is
+//! already positioned at the next length prefix, and an oversized frame is *skipped*
+//! (its bytes read and discarded in bounded chunks, never buffered), so a hostile or
+//! buggy peer cannot force an allocation larger than the configured limit or knock the
+//! stream out of sync.
+
+use std::io::{self, Read, Write};
+
+/// One frame read from a stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete payload, at most the reader's limit.
+    Payload(Vec<u8>),
+    /// The peer announced a payload of this many bytes, above the reader's limit. The
+    /// bytes were discarded; the stream is positioned at the next frame.
+    TooLarge(u64),
+}
+
+/// Writes one frame: the payload's length as a big-endian `u32`, then the payload.
+///
+/// # Panics
+///
+/// If `payload` exceeds `u32::MAX` bytes (unrepresentable in the frame header).
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let length = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
+    writer.write_all(&length.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame, buffering at most `limit` bytes.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF at a frame boundary); EOF inside a
+/// frame is an [`io::ErrorKind::UnexpectedEof`] error. A frame announcing a payload
+/// larger than `limit` is discarded in bounded chunks and reported as
+/// [`Frame::TooLarge`], leaving the stream positioned at the next frame.
+pub fn read_frame(reader: &mut impl Read, limit: usize) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match reader.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            Ok(read) => got += read,
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+            Err(error) => return Err(error),
+        }
+    }
+    let length = u64::from(u32::from_be_bytes(header));
+    if length > limit as u64 {
+        // Skip the payload without buffering it: fixed scratch, bounded per read.
+        let copied = io::copy(&mut reader.take(length), &mut io::sink())?;
+        if copied < length {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside an oversized frame",
+            ));
+        }
+        return Ok(Some(Frame::TooLarge(length)));
+    }
+    let mut payload = vec![0u8; length as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(Frame::Payload(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, b"beta").unwrap();
+        let mut cursor = Cursor::new(stream);
+        assert_eq!(
+            read_frame(&mut cursor, 64).unwrap(),
+            Some(Frame::Payload(b"alpha".to_vec()))
+        );
+        assert_eq!(
+            read_frame(&mut cursor, 64).unwrap(),
+            Some(Frame::Payload(Vec::new()))
+        );
+        assert_eq!(
+            read_frame(&mut cursor, 64).unwrap(),
+            Some(Frame::Payload(b"beta".to_vec()))
+        );
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_skipped_not_buffered() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[7u8; 100]).unwrap();
+        write_frame(&mut stream, b"next").unwrap();
+        let mut cursor = Cursor::new(stream);
+        assert_eq!(
+            read_frame(&mut cursor, 10).unwrap(),
+            Some(Frame::TooLarge(100))
+        );
+        // The stream resynchronized at the following frame.
+        assert_eq!(
+            read_frame(&mut cursor, 10).unwrap(),
+            Some(Frame::Payload(b"next".to_vec()))
+        );
+    }
+
+    #[test]
+    fn truncation_inside_a_frame_is_an_error() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abcdef").unwrap();
+        for cut in 1..stream.len() {
+            let mut cursor = Cursor::new(&stream[..cut]);
+            let result = read_frame(&mut cursor, 64);
+            assert!(
+                result.is_err(),
+                "truncation at byte {cut} must error, got {result:?}"
+            );
+        }
+    }
+}

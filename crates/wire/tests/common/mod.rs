@@ -1,0 +1,255 @@
+//! The seeded protocol-value generator shared by the wire model tests.
+//!
+//! Produces random `Value`/`Row`/`Expr`/`Plan`/`Command`/`Response` trees from the
+//! in-tree PRNG, biased toward the codec's edge cases: empty and multi-byte-unicode
+//! strings, embedded NULs, extreme integers, empty rows, deep nesting up to the
+//! protocol depth limit, and column indices at the protocol bound.
+#![allow(dead_code)] // each test binary uses its own subset of the generator
+
+use kpg_plan::{Command, Expr, Plan, ReduceKind, Row, Value};
+use kpg_timestamp::rng::SmallRng;
+use kpg_wire::{Response, MAX_COLUMN, MAX_DEPTH};
+
+/// A deterministic generator of protocol values.
+pub struct Generator {
+    rng: SmallRng,
+}
+
+impl Generator {
+    pub fn new(seed: u64) -> Self {
+        Generator {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn string(&mut self) -> String {
+        const POOL: &[&str] = &[
+            "",
+            "a",
+            "edges",
+            "query-name",
+            "\u{0}embedded\u{0}nul",
+            "snowman \u{2603}",
+            "emoji \u{1F30A} wave",
+            "ÅÄÖ åäö",
+            "日本語のテキスト",
+            "tab\tnewline\nquote\"backslash\\",
+        ];
+        match self.rng.gen_range(0..4u32) {
+            0 => POOL[self.rng.gen_range(0..POOL.len())].to_string(),
+            1 => {
+                // Random-length ASCII, occasionally longer than the row prefix window.
+                let length = self.rng.gen_range(0..24usize);
+                (0..length)
+                    .map(|_| char::from(self.rng.gen_range(0x20u32..0x7f) as u8))
+                    .collect()
+            }
+            _ => {
+                // Random unicode scalars (skipping the surrogate gap).
+                let length = self.rng.gen_range(0..8usize);
+                (0..length)
+                    .map(|_| {
+                        let scalar = self.rng.gen_range(1u32..0xD7FF);
+                        char::from_u32(scalar).unwrap_or('\u{FFFD}')
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    pub fn value(&mut self) -> Value {
+        match self.rng.gen_range(0..8u32) {
+            0 => Value::Int(i64::MIN),
+            1 => Value::Int(i64::MAX),
+            2 => Value::Int(self.rng.gen_range(-1000i64..1000)),
+            3 => Value::UInt(u64::MAX),
+            4 => Value::UInt(self.rng.gen_range(0u64..1000)),
+            5 => Value::UInt(self.rng.gen_range(0u64..=u64::MAX)),
+            _ => Value::String(self.string()),
+        }
+    }
+
+    pub fn row(&mut self) -> Row {
+        let arity = self.rng.gen_range(0..6usize);
+        Row::from((0..arity).map(|_| self.value()).collect::<Vec<_>>())
+    }
+
+    pub fn column(&mut self) -> usize {
+        match self.rng.gen_range(0..8u32) {
+            0 => MAX_COLUMN as usize,
+            _ => self.rng.gen_range(0..8usize),
+        }
+    }
+
+    pub fn expr(&mut self, depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_range(0..3u32) == 0 {
+            return match self.rng.gen_range(0..2u32) {
+                0 => Expr::Column(self.column()),
+                _ => Expr::Literal(self.value()),
+            };
+        }
+        let lhs = Box::new(self.expr(depth - 1));
+        match self.rng.gen_range(0..12u32) {
+            0 => Expr::Not(lhs),
+            tag => {
+                let rhs = Box::new(self.expr(depth - 1));
+                match tag {
+                    1 => Expr::Add(lhs, rhs),
+                    2 => Expr::Sub(lhs, rhs),
+                    3 => Expr::Mul(lhs, rhs),
+                    4 => Expr::Eq(lhs, rhs),
+                    5 => Expr::Ne(lhs, rhs),
+                    6 => Expr::Lt(lhs, rhs),
+                    7 => Expr::Le(lhs, rhs),
+                    8 => Expr::Gt(lhs, rhs),
+                    9 => Expr::Ge(lhs, rhs),
+                    10 => Expr::And(lhs, rhs),
+                    _ => Expr::Or(lhs, rhs),
+                }
+            }
+        }
+    }
+
+    pub fn reduce_kind(&mut self) -> ReduceKind {
+        match self.rng.gen_range(0..4u32) {
+            0 => ReduceKind::Count,
+            1 => ReduceKind::Sum(self.column()),
+            2 => ReduceKind::Min(self.column()),
+            _ => ReduceKind::Top(self.column()),
+        }
+    }
+
+    /// A random plan tree of at most `depth` further levels. The codec is pure syntax,
+    /// so the generator makes no attempt at *valid* plans (empty concats, stray
+    /// `Recur`s, and unknown sources are all fair game for the byte boundary).
+    pub fn plan(&mut self, depth: usize) -> Plan {
+        if depth == 0 || self.rng.gen_range(0..4u32) == 0 {
+            return match self.rng.gen_range(0..3u32) {
+                0 => Plan::Recur,
+                _ => Plan::Source(self.string()),
+            };
+        }
+        match self.rng.gen_range(0..8u32) {
+            0 => Plan::Map {
+                input: Box::new(self.plan(depth - 1)),
+                exprs: {
+                    let count = self.rng.gen_range(0..3usize);
+                    (0..count).map(|_| self.expr(depth.min(3))).collect()
+                },
+            },
+            1 => Plan::Filter {
+                input: Box::new(self.plan(depth - 1)),
+                predicate: self.expr(depth.min(3)),
+            },
+            2 => Plan::Join {
+                left: Box::new(self.plan(depth - 1)),
+                right: Box::new(self.plan(depth - 1)),
+                keys: {
+                    let count = self.rng.gen_range(0..3usize);
+                    (0..count).map(|_| (self.column(), self.column())).collect()
+                },
+            },
+            3 => Plan::Reduce {
+                input: Box::new(self.plan(depth - 1)),
+                key_arity: self.column(),
+                kind: self.reduce_kind(),
+            },
+            4 => Plan::Distinct(Box::new(self.plan(depth - 1))),
+            5 => Plan::Concat({
+                let count = self.rng.gen_range(0..3usize);
+                (0..count).map(|_| self.plan(depth - 1)).collect()
+            }),
+            6 => Plan::Negate(Box::new(self.plan(depth - 1))),
+            _ => Plan::Iterate {
+                seed: Box::new(self.plan(depth - 1)),
+                body: Box::new(self.plan(depth - 1)),
+            },
+        }
+    }
+
+    pub fn command(&mut self) -> Command {
+        match self.rng.gen_range(0..6u32) {
+            0 => Command::CreateInput {
+                name: self.string(),
+                key_arity: match self.rng.gen_range(0..3u32) {
+                    0 => None,
+                    _ => Some(self.column()),
+                },
+            },
+            1 => Command::Update {
+                name: self.string(),
+                row: self.row(),
+                diff: self.rng.gen_range(-5i64..=5) as isize,
+            },
+            2 => Command::AdvanceTime {
+                epoch: self.rng.gen_range(0u64..=u64::MAX),
+            },
+            3 => Command::Install {
+                name: self.string(),
+                plan: {
+                    let depth = self.pick_depth();
+                    self.plan(depth)
+                },
+                locals: {
+                    let count = self.rng.gen_range(0..3usize);
+                    (0..count).map(|_| self.string()).collect()
+                },
+            },
+            4 => Command::Uninstall {
+                name: self.string(),
+            },
+            _ => Command::Query {
+                name: self.string(),
+            },
+        }
+    }
+
+    pub fn response(&mut self) -> Response {
+        match self.rng.gen_range(0..4u32) {
+            0 => Response::Ok,
+            1 => Response::PlanError {
+                code: self.string(),
+                message: self.string(),
+            },
+            2 => {
+                let count = self.rng.gen_range(0..6usize);
+                let rows = (0..count).map(|_| self.row()).collect();
+                let diffs = (0..count)
+                    .map(|_| self.rng.gen_range(-100i64..100))
+                    .collect();
+                Response::QueryResults { rows, diffs }
+            }
+            _ => Response::WireError {
+                message: self.string(),
+            },
+        }
+    }
+
+    /// Mostly-shallow depth budgets with an occasional run near the protocol limit.
+    /// `Expr` and `Plan` nesting share one decode-depth budget, so the deep case
+    /// leaves headroom for the expressions `Map`/`Filter` nodes embed.
+    fn pick_depth(&mut self) -> usize {
+        match self.rng.gen_range(0..8u32) {
+            0 => MAX_DEPTH - 6,
+            _ => self.rng.gen_range(0..5usize),
+        }
+    }
+}
+
+/// A linear plan chain exactly `depth` plans deep (so `depth` nested decode calls).
+pub fn chain_plan(depth: usize) -> Plan {
+    let mut plan = Plan::Source("base".to_string());
+    for _ in 1..depth {
+        plan = Plan::Distinct(Box::new(plan));
+    }
+    plan
+}
+
+/// A linear expression chain exactly `depth` expressions deep.
+pub fn chain_expr(depth: usize) -> Expr {
+    let mut expr = Expr::Column(0);
+    for _ in 1..depth {
+        expr = Expr::Not(Box::new(expr));
+    }
+    expr
+}

@@ -1,0 +1,165 @@
+//! The adversarial decode test: every mutation of a valid message must be *rejected or
+//! reinterpreted*, never panic, never allocate past the bytes present — and a valid
+//! frame following a rejected one must still decode (stream resync).
+//!
+//! Mutations are derived from the same seeded generator as the roundtrip model, so the
+//! corpus covers the whole grammar: truncation at every byte, random bit flips, and
+//! corrupted length/count fields.
+
+mod common;
+
+use std::io::Cursor;
+
+use common::Generator;
+use kpg_plan::Command;
+use kpg_timestamp::rng::SmallRng;
+use kpg_wire::{read_frame, write_frame, Frame, Response, WireCodec, WireError};
+
+/// Decoding must be total: `Ok` or `WireError`, never a panic. When a mutation happens
+/// to decode (bit flips can land on payload bytes and just change a number), the
+/// decoded value must itself re-encode and roundtrip — the codec stays consistent on
+/// whatever it accepts.
+fn assert_total(bytes: &[u8]) {
+    if let Ok(command) = Command::decode(bytes) {
+        let encoded = command.encode();
+        assert_eq!(
+            Command::decode(&encoded).as_ref(),
+            Ok(&command),
+            "a mutated-but-accepted message failed to re-roundtrip"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_every_sample_is_rejected() {
+    let mut generator = Generator::new(0xBADBEEF);
+    for _ in 0..250 {
+        let command = generator.command();
+        let encoded = command.encode();
+        for cut in 0..encoded.len() {
+            let truncated = &encoded[..cut];
+            assert!(
+                Command::decode(truncated).is_err(),
+                "a strict prefix (length {cut} of {}) of a valid encoding decoded",
+                encoded.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn random_bit_flips_never_panic_and_stay_consistent() {
+    let mut generator = Generator::new(0xF1B);
+    let mut rng = SmallRng::seed_from_u64(0xF1175);
+    for _ in 0..250 {
+        let encoded = generator.command().encode();
+        for _ in 0..16 {
+            let mut mutated = encoded.clone();
+            let bit = rng.gen_range(0..mutated.len() * 8);
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            assert_total(&mutated);
+        }
+    }
+}
+
+#[test]
+fn corrupted_length_fields_fail_before_allocating() {
+    let mut generator = Generator::new(0x1E4);
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..250 {
+        let encoded = generator.command().encode();
+        // Saturate 4 random aligned byte positions — whatever field they land in
+        // (length, count, tag, payload) becomes extreme. A count of ~u32::MAX against
+        // a few hundred remaining bytes must be refused up front, not allocated.
+        for _ in 0..8 {
+            let mut mutated = encoded.clone();
+            for _ in 0..4 {
+                let position = rng.gen_range(0..mutated.len());
+                mutated[position] = 0xFF;
+            }
+            assert_total(&mutated);
+        }
+        // And deterministically: every 4-byte window forced to u32::MAX.
+        for start in 0..encoded.len().saturating_sub(3) {
+            let mut mutated = encoded.clone();
+            mutated[start..start + 4].copy_from_slice(&[0xFF; 4]);
+            assert_total(&mutated);
+        }
+    }
+}
+
+#[test]
+fn responses_are_total_too() {
+    let mut generator = Generator::new(0x5EA);
+    for _ in 0..120 {
+        let encoded = generator.response().encode();
+        for cut in 0..encoded.len() {
+            assert!(Response::decode(&encoded[..cut]).is_err());
+        }
+        for position in 0..encoded.len() {
+            let mut mutated = encoded.clone();
+            mutated[position] ^= 0xA5;
+            if let Ok(response) = Response::decode(&mutated) {
+                assert_eq!(Response::decode(&response.encode()).as_ref(), Ok(&response));
+            }
+        }
+    }
+}
+
+/// A rejected payload costs exactly one frame: the next frame on the stream decodes
+/// untouched. This is the property that lets the server answer `WireError` and keep
+/// the connection.
+#[test]
+fn a_valid_frame_after_a_rejected_one_still_decodes() {
+    let mut generator = Generator::new(0x4E5C);
+    for _ in 0..50 {
+        let good = generator.command();
+        let mut corrupt = good.encode();
+        corrupt[0] ^= 0xFF; // bad version byte: guaranteed rejection
+        let follow_up = generator.command();
+
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &corrupt).unwrap();
+        write_frame(&mut stream, &follow_up.encode()).unwrap();
+
+        let mut cursor = Cursor::new(stream);
+        let first = match read_frame(&mut cursor, 1 << 20).unwrap() {
+            Some(Frame::Payload(payload)) => payload,
+            other => panic!("expected a payload frame, got {other:?}"),
+        };
+        assert!(matches!(
+            Command::decode(&first),
+            Err(WireError::Version { .. })
+        ));
+        let second = match read_frame(&mut cursor, 1 << 20).unwrap() {
+            Some(Frame::Payload(payload)) => payload,
+            other => panic!("expected a payload frame, got {other:?}"),
+        };
+        assert_eq!(Command::decode(&second), Ok(follow_up));
+    }
+}
+
+/// The frame limit bounds what a peer can make the reader buffer: an oversized frame
+/// is skipped (not stored), reported, and the stream stays in sync.
+#[test]
+fn frame_limit_is_enforced_with_resync() {
+    let limit = 256;
+    let oversized = vec![0x42u8; 4 * limit];
+    let follow_up = Command::AdvanceTime { epoch: 3 };
+
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &oversized).unwrap();
+    write_frame(&mut stream, &follow_up.encode()).unwrap();
+
+    let mut cursor = Cursor::new(stream);
+    assert_eq!(
+        read_frame(&mut cursor, limit).unwrap(),
+        Some(Frame::TooLarge(4 * limit as u64))
+    );
+    match read_frame(&mut cursor, limit).unwrap() {
+        Some(Frame::Payload(payload)) => {
+            assert_eq!(Command::decode(&payload), Ok(follow_up));
+        }
+        other => panic!("expected the follow-up frame, got {other:?}"),
+    }
+}

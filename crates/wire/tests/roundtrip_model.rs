@@ -1,0 +1,116 @@
+//! The codec model test: `decode(encode(x)) == x` over seeded random protocol trees.
+//!
+//! The generator (see `common`) is biased toward the representational edge cases —
+//! empty and multi-byte-unicode strings, embedded NULs, extreme integers, empty rows,
+//! column indices at the protocol bound, nesting near the depth limit — and the
+//! samples here exceed the thousand-tree bar the acceptance criteria set.
+
+mod common;
+
+use common::{chain_expr, chain_plan, Generator};
+use kpg_plan::{Command, Expr, Plan, Row, Value};
+use kpg_wire::{Response, WireCodec, WireError, MAX_DEPTH};
+
+fn assert_roundtrip<T: WireCodec + PartialEq + std::fmt::Debug>(value: &T) {
+    let encoded = value.encode();
+    let decoded = T::decode(&encoded);
+    assert_eq!(decoded.as_ref(), Ok(value), "roundtrip diverged");
+}
+
+#[test]
+fn commands_roundtrip_over_a_thousand_seeded_trees() {
+    let mut generator = Generator::new(0xC0FFEE);
+    for _ in 0..1_200 {
+        assert_roundtrip(&generator.command());
+    }
+}
+
+#[test]
+fn values_rows_exprs_plans_and_responses_roundtrip() {
+    let mut generator = Generator::new(42);
+    for _ in 0..400 {
+        assert_roundtrip(&generator.value());
+        assert_roundtrip(&generator.row());
+        assert_roundtrip(&generator.expr(4));
+        assert_roundtrip(&generator.plan(4));
+        assert_roundtrip(&generator.response());
+    }
+}
+
+#[test]
+fn edge_strings_and_rows_roundtrip() {
+    assert_roundtrip(&Value::String(String::new()));
+    assert_roundtrip(&Value::String("\u{0}\u{0}".to_string()));
+    assert_roundtrip(&Value::String("日本語 🌊 mixed ascii".to_string()));
+    assert_roundtrip(&Row::new());
+    assert_roundtrip(&Row::from(vec![Value::String(String::new())]));
+    assert_roundtrip(&Command::Query {
+        name: String::new(),
+    });
+    assert_roundtrip(&Response::QueryResults {
+        rows: vec![],
+        diffs: vec![],
+    });
+}
+
+#[test]
+fn nesting_at_the_depth_limit_roundtrips_and_beyond_is_rejected() {
+    // Exactly MAX_DEPTH nested nodes: the deepest message the protocol admits.
+    assert_roundtrip(&chain_plan(MAX_DEPTH));
+    assert_roundtrip(&chain_expr(MAX_DEPTH));
+
+    // One deeper: encoding succeeds (encoding is local data, not adversarial), but the
+    // total decoder refuses rather than risking the stack.
+    let too_deep_plan = chain_plan(MAX_DEPTH + 1).encode();
+    assert_eq!(
+        Plan::decode(&too_deep_plan),
+        Err(WireError::Depth { limit: MAX_DEPTH })
+    );
+    let too_deep_expr = chain_expr(MAX_DEPTH + 1).encode();
+    assert_eq!(
+        Expr::decode(&too_deep_expr),
+        Err(WireError::Depth { limit: MAX_DEPTH })
+    );
+
+    // Depth is per message, not cumulative across a stream: a deep-but-legal message
+    // decodes even right after another one did.
+    assert_roundtrip(&chain_plan(MAX_DEPTH));
+}
+
+/// The §6.2 query classes — the plans a real session installs — roundtrip exactly.
+#[test]
+fn representative_session_commands_roundtrip() {
+    let two_hop = Plan::source("roots")
+        .join(Plan::source("edges"), vec![(0, 0)])
+        .join(Plan::source("edges"), vec![(1, 0)])
+        .map(vec![Expr::col(1), Expr::col(2)])
+        .distinct();
+    assert_roundtrip(&Command::Install {
+        name: "two-hop".to_string(),
+        plan: two_hop,
+        locals: vec!["roots".to_string()],
+    });
+    let reach_body = Plan::source("roots")
+        .concat(
+            Plan::Recur
+                .join(Plan::source("edges"), vec![(0, 0)])
+                .map(vec![Expr::col(1)]),
+        )
+        .distinct();
+    assert_roundtrip(&Command::Install {
+        name: "reach".to_string(),
+        plan: Plan::source("roots").iterate(reach_body),
+        locals: vec![],
+    });
+    assert_roundtrip(&Command::Install {
+        name: "filtered-degrees".to_string(),
+        plan: Plan::source("edges")
+            .filter(
+                Expr::col(1)
+                    .ge(Expr::lit(10u64))
+                    .and(Expr::col(0).ne(Expr::col(1))),
+            )
+            .reduce(1, kpg_plan::ReduceKind::Count),
+        locals: vec![],
+    });
+}

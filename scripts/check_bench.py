@@ -45,6 +45,19 @@ SCHEMAS = {
     "micro_latency": {"experiment", "workers", "load", "p50_ns", "p99_ns"},
     "micro_throughput": {"workers", "updates", "records_per_s"},
     "micro_join_install": {"keys", "size", "latency_us"},
+    # Per-command cost of the network boundary (codec + framing + sequencer +
+    # all-worker execution, full loopback round trip) vs direct Manager::execute.
+    "server_roundtrip": {
+        "workers",
+        "updates",
+        "queries",
+        "direct_update_p50_ns",
+        "wire_update_p50_ns",
+        "wire_update_p99_ns",
+        "direct_query_p50_ns",
+        "wire_query_p50_ns",
+        "overhead_x",
+    },
 }
 
 

@@ -14,6 +14,11 @@
 //!   batch-oriented operator shells (`join`, `reduce`, `distinct`, `count`, `iterate`),
 //!   and the [`Catalog`](kpg_core::Catalog) of named shared arrangements with the
 //!   [`QueryLifecycle`](kpg_core::QueryLifecycle) install/uninstall API.
+//! * [`plan`] — runtime query plans: the data-described `Plan` IR, the render pass
+//!   onto shared arrangements, and the per-worker `Manager` command loop.
+//! * [`wire`], [`server`] — the network boundary: the length-prefixed binary codec
+//!   for `Command`/`Row`/`Response` and the multi-client TCP query server that
+//!   sequences client streams into the managers (see `examples/remote_session.rs`).
 //! * [`relational`], [`graph`], [`datalog`] — the workloads used by the paper's
 //!   evaluation (TPC-H-like analytics, graph processing, Datalog / program analysis).
 //!
@@ -70,8 +75,10 @@ pub use kpg_datalog as datalog;
 pub use kpg_graph as graph;
 pub use kpg_plan as plan;
 pub use kpg_relational as relational;
+pub use kpg_server as server;
 pub use kpg_timestamp as timestamp;
 pub use kpg_trace as trace;
+pub use kpg_wire as wire;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
