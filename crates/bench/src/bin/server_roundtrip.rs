@@ -5,19 +5,24 @@
 //!
 //! ```console
 //! $ cargo run --release -p kpg_bench --bin server_roundtrip -- \
-//!       --updates 2000 --queries 20 --workers 2
+//!       --updates 2000 --queries 20 --workers 2 [--durable]
 //! ```
 //!
+//! With `--durable` the server writes its command log to a WAL in a temp directory
+//! (group-committed, fsynced per epoch), so the wire numbers include the durability
+//! tax an acknowledged command actually pays.
+//!
 //! Emits one `BENCH {"name":"server_roundtrip",...}` line: direct vs wire update
-//! medians, wire p99, query medians, and the wire/direct overhead ratio — the number
-//! that tells us when the socket loop (not the dataflow) becomes the bottleneck.
+//! medians, wire p99, query medians, the wire/direct overhead ratio — the number
+//! that tells us when the socket loop (not the dataflow) becomes the bottleneck —
+//! and a `durable` 0/1 marker.
 
 use std::time::Instant;
 
-use kpg_bench::{arg_usize, bench_record, num, LatencyRecorder};
+use kpg_bench::{arg_flag, arg_usize, bench_record, num, LatencyRecorder};
 use kpg_dataflow::{execute, Config, Worker};
 use kpg_plan::{Command, Manager, Plan, ReduceKind, Row};
-use kpg_server::{serve, Client, ServerConfig};
+use kpg_server::{serve, Client, DurabilityConfig, ServerConfig};
 
 fn edge(src: u64, dst: u64) -> Row {
     Row::from(vec![src.into(), dst.into()])
@@ -51,12 +56,20 @@ struct Measured {
     query_p50_ns: u128,
 }
 
-/// Runs the workload through a loopback server, timing each command's full round trip.
-fn measure_wire(workers: usize, updates: usize, queries: usize) -> Measured {
+/// Runs the workload through a loopback server, timing each command's full round
+/// trip. With `durable`, the server logs to a WAL in a fresh temp directory, so the
+/// measured latencies include staging every command and fsyncing every epoch.
+fn measure_wire(workers: usize, updates: usize, queries: usize, durable: bool) -> Measured {
+    let wal_dir = durable.then(|| {
+        let dir = std::env::temp_dir().join(format!("kpg-roundtrip-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
     let mut server = serve(
         "127.0.0.1:0",
         ServerConfig {
             workers,
+            durability: wal_dir.as_ref().map(DurabilityConfig::new),
             ..ServerConfig::default()
         },
     )
@@ -83,6 +96,9 @@ fn measure_wire(workers: usize, updates: usize, queries: usize) -> Measured {
         assert!(!rows.is_empty());
     }
     server.shutdown();
+    if let Some(dir) = wal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     Measured {
         update_p50_ns: update_latency.quantile(0.5).as_nanos(),
         update_p99_ns: update_latency.quantile(0.99).as_nanos(),
@@ -142,6 +158,7 @@ fn main() {
     let workers = arg_usize("--workers", 1);
     let updates = arg_usize("--updates", 2_000);
     let queries = arg_usize("--queries", 20);
+    let durable = arg_flag("--durable");
 
     // Round the workload to whole rounds so the emitted record states exactly what
     // was measured (and a tiny --updates still updates at least once per round).
@@ -149,7 +166,7 @@ fn main() {
     let per_round = (updates / rounds).max(1);
     let updates = per_round * rounds;
 
-    let wire = measure_wire(workers, updates, queries);
+    let wire = measure_wire(workers, updates, queries, durable);
     let direct = measure_direct(workers, updates, queries);
     let overhead = wire.update_p50_ns as f64 / (direct.update_p50_ns.max(1)) as f64;
 
@@ -173,6 +190,7 @@ fn main() {
             ("direct_query_p50_ns", num(direct.query_p50_ns)),
             ("wire_query_p50_ns", num(wire.query_p50_ns)),
             ("overhead_x", num(format!("{overhead:.3}"))),
+            ("durable", num(u8::from(durable))),
         ],
     );
 }

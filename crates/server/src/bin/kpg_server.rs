@@ -2,14 +2,17 @@
 //!
 //! ```console
 //! $ cargo run --release -p kpg_server --bin kpg_server -- \
-//!       --addr 127.0.0.1:6464 --workers 2
+//!       --addr 127.0.0.1:6464 --workers 2 --durable-dir /var/lib/kpg
 //! ```
 //!
 //! Clients speak the framed `kpg_wire` protocol (see the README's "Network protocol"
-//! section), most conveniently through `kpg_server::Client`. The process serves until
-//! killed.
+//! section), most conveniently through `kpg_server::Client`. Without `--durable-dir`
+//! the process serves in memory until killed. With it, every state-defining command
+//! is logged and checkpointed under that directory, restarts recover before binding,
+//! and SIGINT/SIGTERM trigger a graceful shutdown: drain the engine, flush the WAL,
+//! write a final checkpoint, exit 0.
 
-use kpg_server::{serve, ServerConfig};
+use kpg_server::{serve, DurabilityConfig, ServerConfig};
 use kpg_wire::DEFAULT_FRAME_LIMIT;
 
 fn arg(name: &str, default: &str) -> String {
@@ -24,29 +27,79 @@ fn arg(name: &str, default: &str) -> String {
     default.to_string()
 }
 
+/// Set by the signal handler; polled by the main loop. Signal-handler-safe: a relaxed
+/// store on an `AtomicBool` is async-signal-safe, and everything else (joining
+/// threads, fsyncing the final checkpoint) happens on the main thread afterwards.
+static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // `signal(2)` via a raw declaration: the libc symbol is always present on unix
+    // and this avoids pulling in a crate for two lines of registration.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
 fn main() {
     let addr = arg("--addr", "127.0.0.1:6464");
     let workers: usize = arg("--workers", "1").parse().expect("--workers: a number");
     let frame_limit: usize = arg("--frame-limit", &DEFAULT_FRAME_LIMIT.to_string())
         .parse()
         .expect("--frame-limit: bytes");
+    let durable_dir = arg("--durable-dir", "");
+    let durability = if durable_dir.is_empty() {
+        None
+    } else {
+        let mut config = DurabilityConfig::new(&durable_dir);
+        config.checkpoint_every = arg("--checkpoint-every", &config.checkpoint_every.to_string())
+            .parse()
+            .expect("--checkpoint-every: a command count");
+        config.segment_bytes = arg("--segment-bytes", &config.segment_bytes.to_string())
+            .parse()
+            .expect("--segment-bytes: bytes");
+        Some(config)
+    };
+    let durable = durability.is_some();
 
-    let server = serve(
+    install_signal_handlers();
+    let mut server = serve(
         &addr,
         ServerConfig {
             workers,
             frame_limit,
+            durability,
             ..ServerConfig::default()
         },
     )
-    .expect("failed to bind");
+    .expect("failed to serve");
     println!(
-        "kpg_server listening on {} ({} workers, {}-byte frame limit)",
+        "kpg_server listening on {} ({} workers, {}-byte frame limit{})",
         server.local_addr(),
         workers,
-        frame_limit
+        frame_limit,
+        if durable { ", durable" } else { "" }
     );
-    loop {
-        std::thread::park();
+    while !STOP.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(25));
     }
+    // Graceful shutdown: stop accepting, disconnect clients, drain the engine (which
+    // flushes any staged WAL records), then write the final checkpoint. The farewell
+    // is best-effort — whoever launched us may have closed our stdout already, and a
+    // broken pipe must not turn a clean shutdown into a panic.
+    server.shutdown();
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "kpg_server stopped");
 }

@@ -35,12 +35,17 @@
 //!   the deposit that completes it.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 use kpg_dataflow::{execute, Config, Worker};
 use kpg_plan::{Command, Manager, PlanError, Response as PlanResponse, Row};
-use kpg_wire::Response;
+use kpg_store::{Wal, WalBatch};
+use kpg_wire::{Response, WireCodec};
+
+use crate::durability::{recover, write_checkpoint, DurabilityConfig, StateTracker};
 
 /// Identifies one connected client (or test-registered pseudo-client).
 pub type ClientId = u64;
@@ -50,8 +55,13 @@ pub struct SequencedCommand {
     /// The position in the log (dense, from 0).
     pub seq: u64,
     /// The submitting client and its per-client request index, or `None` for commands
-    /// the server generated itself (disconnect cleanup).
+    /// the server generated itself (disconnect cleanup, recovery replay).
     pub origin: Option<(ClientId, u64)>,
+    /// The command's WAL sequence number on a durable core. `None` for `Query`
+    /// commands (reads are never logged) and for recovery-bootstrap entries (their
+    /// effects are already in the checkpoint the tracker was seeded from); the state
+    /// tracker follows exactly the completions that carry one.
+    pub wal_seq: Option<u64>,
     /// The command.
     pub command: Command,
 }
@@ -66,6 +76,16 @@ struct LogState {
     /// Keep consumed entries (history mode, for replay-based tests/introspection).
     retain: bool,
     closed: bool,
+    /// The command-log WAL of a durable core (absent on in-memory cores). Appends
+    /// happen under this lock — sequencing order *is* WAL order.
+    wal: Option<Wal>,
+    /// Commands logged since the last epoch fsync, buffered for group commit.
+    wal_pending: WalBatch,
+    /// The next WAL sequence number to assign.
+    next_wal_seq: u64,
+    /// Entries pre-loaded by recovery (bootstrap + WAL tail): the count every worker
+    /// must consume before the server may accept connections.
+    replay_len: u64,
 }
 
 impl LogState {
@@ -111,14 +131,31 @@ struct ClientState {
     routes: HashMap<ClientId, mpsc::Sender<(u64, Response)>>,
 }
 
+/// A queued checkpoint: a consistent tracker snapshot and the id to write it under.
+type CheckpointJob = (StateTracker, u64);
+
+/// The durable half of a [`ServerCore`]: the state tracker that follows completions,
+/// and the background checkpoint writer it feeds.
+struct DurableState {
+    config: DurabilityConfig,
+    tracker: Mutex<StateTracker>,
+    next_checkpoint_id: AtomicU64,
+    checkpoint_tx: Mutex<Option<mpsc::Sender<CheckpointJob>>>,
+    checkpoint_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
 /// The network-free server: sequencer, worker pool driver, response aggregator. See
 /// the module docs for the architecture; [`crate::serve`] wraps it in TCP.
 pub struct ServerCore {
     workers: usize,
     log: Mutex<LogState>,
     grown: Condvar,
+    /// Signalled whenever a worker advances its cursor; [`ServerCore::await_replayed`]
+    /// waits on it for recovery replay to drain before connections are accepted.
+    consumed: Condvar,
     clients: Mutex<ClientState>,
     next_client: AtomicU64,
+    durable: Option<DurableState>,
 }
 
 impl ServerCore {
@@ -134,6 +171,47 @@ impl ServerCore {
         Self::build(workers, true)
     }
 
+    /// A durable core: recovers the state persisted in `config.dir` (if any) and
+    /// pre-loads the log with the recovery replay — the synthesized checkpoint
+    /// bootstrap followed by the WAL tail. Callers should [`ServerCore::start`] the
+    /// engine and then [`ServerCore::await_replayed`] before exposing the core to
+    /// clients, so recovered state is settled before the first live command.
+    pub fn durable(workers: usize, retain: bool, config: DurabilityConfig) -> io::Result<Self> {
+        let recovered = recover(&config)?;
+        let mut core = Self::build(workers, retain);
+        let log = core.log.get_mut().expect("command log poisoned");
+        let mut seq = 0u64;
+        for command in recovered.bootstrap {
+            log.entries.push_back(Arc::new(SequencedCommand {
+                seq,
+                origin: None,
+                wal_seq: None,
+                command,
+            }));
+            seq += 1;
+        }
+        for (wal_seq, command) in recovered.tail {
+            log.entries.push_back(Arc::new(SequencedCommand {
+                seq,
+                origin: None,
+                wal_seq: Some(wal_seq),
+                command,
+            }));
+            seq += 1;
+        }
+        log.replay_len = seq;
+        log.wal = Some(recovered.wal);
+        log.next_wal_seq = recovered.next_wal_seq;
+        core.durable = Some(DurableState {
+            config,
+            tracker: Mutex::new(recovered.tracker),
+            next_checkpoint_id: AtomicU64::new(recovered.next_checkpoint_id),
+            checkpoint_tx: Mutex::new(None),
+            checkpoint_thread: Mutex::new(None),
+        });
+        Ok(core)
+    }
+
     fn build(workers: usize, retain: bool) -> Self {
         let workers = workers.max(1);
         ServerCore {
@@ -144,14 +222,20 @@ impl ServerCore {
                 cursors: vec![0; workers],
                 retain,
                 closed: false,
+                wal: None,
+                wal_pending: WalBatch::new(),
+                next_wal_seq: 0,
+                replay_len: 0,
             }),
             grown: Condvar::new(),
+            consumed: Condvar::new(),
             clients: Mutex::new(ClientState {
                 owners: HashMap::new(),
                 pending: HashMap::new(),
                 routes: HashMap::new(),
             }),
             next_client: AtomicU64::new(0),
+            durable: None,
         }
     }
 
@@ -161,8 +245,40 @@ impl ServerCore {
     }
 
     /// Starts the worker pool on a background thread. The thread exits once
-    /// [`ServerCore::close`] is called and the log is drained.
+    /// [`ServerCore::close`] is called and the log is drained. On a durable core this
+    /// also starts the background checkpoint writer.
     pub fn start(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
+        if let Some(durable) = &self.durable {
+            let (sender, receiver) = mpsc::channel::<CheckpointJob>();
+            *durable
+                .checkpoint_tx
+                .lock()
+                .expect("checkpoint sender poisoned") = Some(sender);
+            // Weak: the writer must not keep a closed core (and its WAL) alive.
+            let weak = Arc::downgrade(self);
+            let dir = durable.config.dir.clone();
+            let thread = std::thread::Builder::new()
+                .name("kpg-server-checkpoint".to_string())
+                .spawn(move || {
+                    while let Ok((snapshot, id)) = receiver.recv() {
+                        match write_checkpoint(&dir, &snapshot, id) {
+                            Ok(watermark) => {
+                                if let Some(core) = weak.upgrade() {
+                                    core.prune_wal(watermark);
+                                }
+                            }
+                            // A failed checkpoint leaves the previous one in force;
+                            // the WAL keeps everything and recovery stays correct.
+                            Err(error) => eprintln!("kpg_server: checkpoint {id} failed: {error}"),
+                        }
+                    }
+                })
+                .expect("failed to spawn the checkpoint thread");
+            *durable
+                .checkpoint_thread
+                .lock()
+                .expect("checkpoint thread poisoned") = Some(thread);
+        }
         let core = Arc::clone(self);
         std::thread::Builder::new()
             .name("kpg-server-engine".to_string())
@@ -173,6 +289,61 @@ impl ServerCore {
                 });
             })
             .expect("failed to spawn the server engine thread")
+    }
+
+    /// Blocks until every worker has consumed the recovery replay (the bootstrap and
+    /// WAL-tail entries pre-loaded by [`ServerCore::durable`]). A no-op on in-memory
+    /// cores. Serving connections only after this returns guarantees recovered state
+    /// is fully rebuilt before the first live command sequences behind it.
+    pub fn await_replayed(&self) {
+        let mut log = self.log.lock().expect("command log poisoned");
+        let target = log.replay_len;
+        while !log.closed && log.cursors.iter().copied().min().unwrap_or(0) < target {
+            log = self.consumed.wait(log).expect("command log poisoned");
+        }
+    }
+
+    /// Drops WAL segments wholly covered by a committed checkpoint.
+    fn prune_wal(&self, watermark: u64) {
+        let mut log = self.log.lock().expect("command log poisoned");
+        if let Some(wal) = log.wal.as_mut() {
+            // Failure to prune is not failure to persist: the segments are retried
+            // by the next checkpoint.
+            let _ = wal.prune_below(watermark + 1);
+        }
+    }
+
+    /// Flushes every outstanding WAL record and writes a final checkpoint. Called by
+    /// the owner after the engine has drained (so the tracker is final); a no-op on
+    /// in-memory cores. Idempotent.
+    pub fn final_checkpoint(&self) {
+        let Some(durable) = &self.durable else {
+            return;
+        };
+        // Stop the background writer first so the final checkpoint cannot race or
+        // be superseded by a queued (older) snapshot.
+        let sender = durable
+            .checkpoint_tx
+            .lock()
+            .expect("checkpoint sender poisoned")
+            .take();
+        drop(sender);
+        let thread = durable
+            .checkpoint_thread
+            .lock()
+            .expect("checkpoint thread poisoned")
+            .take();
+        if let Some(thread) = thread {
+            let _ = thread.join();
+        }
+        let tracker = durable.tracker.lock().expect("state tracker poisoned");
+        if tracker.watermark().is_some() {
+            let id = durable.next_checkpoint_id.fetch_add(1, Ordering::Relaxed);
+            match write_checkpoint(&durable.config.dir, &tracker, id) {
+                Ok(watermark) => self.prune_wal(watermark),
+                Err(error) => eprintln!("kpg_server: final checkpoint failed: {error}"),
+            }
+        }
     }
 
     /// Registers a client: allocates its id and the channel its responses arrive on,
@@ -238,11 +409,21 @@ impl ServerCore {
     }
 
     /// Closes the log: workers drain what is already sequenced, then exit. Submissions
-    /// after close are ignored.
+    /// after close are ignored. On a durable core the group-commit buffer is flushed
+    /// and fsynced, so an orderly shutdown loses nothing, epoch boundary or not.
     pub fn close(&self) {
         let mut log = self.log.lock().expect("command log poisoned");
-        log.closed = true;
+        let state = &mut *log;
+        if let Some(wal) = state.wal.as_mut() {
+            if !state.wal_pending.is_empty() {
+                let batch = std::mem::take(&mut state.wal_pending);
+                wal.commit(&batch).expect("WAL commit failed at close");
+            }
+            wal.sync().expect("WAL sync failed at close");
+        }
+        state.closed = true;
         self.grown.notify_all();
+        self.consumed.notify_all();
     }
 
     /// A snapshot of the retained command log, in execution order. On a core built
@@ -270,10 +451,32 @@ impl ServerCore {
         if log.closed {
             return u64::MAX;
         }
-        let seq = log.base + log.entries.len() as u64;
-        log.entries.push_back(Arc::new(SequencedCommand {
+        let state = &mut *log;
+        // Durable path: log every state-defining command (reads are not state) under
+        // the sequencing lock, so WAL order is log order. Records accumulate in the
+        // group-commit buffer; sequencing an `AdvanceTime` commits and fsyncs the
+        // whole epoch, which is why an acknowledged epoch advance implies durability
+        // of everything at or before it. A durable server that cannot write its log
+        // must not acknowledge anything: WAL failures panic.
+        let wal_seq = match state.wal.as_mut() {
+            Some(wal) if !matches!(command, Command::Query { .. }) => {
+                let wal_seq = state.next_wal_seq;
+                state.next_wal_seq += 1;
+                state.wal_pending.put(wal_seq, command.encode());
+                if matches!(command, Command::AdvanceTime { .. }) {
+                    let batch = std::mem::take(&mut state.wal_pending);
+                    wal.commit(&batch).expect("WAL commit failed");
+                    wal.sync().expect("WAL sync failed");
+                }
+                Some(wal_seq)
+            }
+            _ => None,
+        };
+        let seq = state.base + state.entries.len() as u64;
+        state.entries.push_back(Arc::new(SequencedCommand {
             seq,
             origin,
+            wal_seq,
             command,
         }));
         self.grown.notify_all();
@@ -286,6 +489,7 @@ impl ServerCore {
     fn next_command(&self, worker: usize, from: u64) -> Option<Arc<SequencedCommand>> {
         let mut log = self.log.lock().expect("command log poisoned");
         log.cursors[worker] = from;
+        self.consumed.notify_all();
         log.prune();
         loop {
             let index = from.checked_sub(log.base).expect("cursor below log base") as usize;
@@ -362,6 +566,30 @@ impl ServerCore {
             .expect("completed response present");
         let succeeded = !matches!(pending.outcome, Outcome::Failed(_));
         self.apply_ownership(&mut clients, entry, succeeded);
+        // Durable path: fold the completion into the state tracker. Completions occur
+        // in log order (and are serialized by the clients lock we hold), so tracker
+        // state after applying the command with WAL sequence `w` is exactly the
+        // effect of WAL records `<= w` — when an `AdvanceTime` seals an epoch, that
+        // state is a consistent cut and may be cut as a checkpoint. Failed commands
+        // change nothing (and re-fail deterministically if ever replayed).
+        if succeeded {
+            if let (Some(durable), Some(wal_seq)) = (self.durable.as_ref(), entry.wal_seq) {
+                let mut tracker = durable.tracker.lock().expect("state tracker poisoned");
+                let sealed = tracker.apply(&entry.command, wal_seq);
+                if sealed && tracker.checkpoint_due(durable.config.checkpoint_every) {
+                    tracker.note_checkpoint();
+                    let id = durable.next_checkpoint_id.fetch_add(1, Ordering::Relaxed);
+                    let sender = durable
+                        .checkpoint_tx
+                        .lock()
+                        .expect("checkpoint sender poisoned");
+                    if let Some(sender) = sender.as_ref() {
+                        // A full or closed channel only delays the checkpoint.
+                        let _ = sender.send((tracker.clone(), id));
+                    }
+                }
+            }
+        }
         let response = match pending.outcome {
             Outcome::Plain => Response::Ok,
             Outcome::Failed(error) => Response::PlanError {

@@ -15,17 +15,24 @@
 //!   multiple concurrent clients, per-frame `WireError` replies with stream resync.
 //! * [`Client`] — the connection handle: request/response helpers plus a
 //!   [`send`](Client::send)/[`receive`](Client::receive) split for pipelining.
+//! * [`DurabilityConfig`] — opt-in durability: every state-defining command is
+//!   written to a segmented WAL (group-committed, fsynced per epoch), checkpointed in
+//!   the background, and replayed deterministically on restart before the listener
+//!   binds. See the [`durability`] module docs for the protocol.
 //!
 //! `examples/remote_session.rs` runs a §6.2 query class over a real socket;
-//! `cargo run --release -p kpg_server --bin kpg_server` serves standalone.
+//! `cargo run --release -p kpg_server --bin kpg_server` serves standalone (add
+//! `--durable-dir DIR` to survive crashes).
 
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod durability;
 pub mod engine;
 pub mod net;
 
 pub use client::{Client, ClientError};
+pub use durability::DurabilityConfig;
 pub use engine::{ClientId, SequencedCommand, ServerCore};
 pub use net::{serve, Server, ServerConfig};
 

@@ -68,7 +68,7 @@ impl SessionFlow {
 }
 
 /// Server tunables.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Dataflow worker threads.
     pub workers: usize,
@@ -78,6 +78,11 @@ pub struct ServerConfig {
     /// pruning consumed entries. For replay-based tests and introspection; a
     /// long-lived server should leave this off.
     pub retain_log: bool,
+    /// Persist the command log and checkpoints here; `None` (the default) serves
+    /// purely in memory. With durability on, [`serve`] first replays any recovered
+    /// state to completion and only then binds the listener, so clients never observe
+    /// a partially recovered server.
+    pub durability: Option<crate::durability::DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +91,7 @@ impl Default for ServerConfig {
             workers: 1,
             frame_limit: DEFAULT_FRAME_LIMIT,
             retain_log: false,
+            durability: None,
         }
     }
 }
@@ -103,16 +109,37 @@ pub struct Server {
 
 /// Binds `addr` and serves until [`Server::shutdown`]. Use port 0 to let the OS pick
 /// (the bound address is [`Server::local_addr`]).
+///
+/// A durable configuration recovers first: the engine replays the checkpoint
+/// bootstrap and WAL tail to completion *before* the listener binds, so the moment
+/// the address is connectable the recovered state is fully settled.
 pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let local_addr = listener.local_addr()?;
-    let core = Arc::new(if config.retain_log {
-        ServerCore::with_history(config.workers)
-    } else {
-        ServerCore::new(config.workers)
+    let core = Arc::new(match &config.durability {
+        Some(durability) => {
+            ServerCore::durable(config.workers, config.retain_log, durability.clone())?
+        }
+        None if config.retain_log => ServerCore::with_history(config.workers),
+        None => ServerCore::new(config.workers),
     });
     let engine = core.start();
+    core.await_replayed();
+    let bound = (|| {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        Ok::<_, io::Error>((listener, local_addr))
+    })();
+    let (listener, local_addr) = match bound {
+        Ok(bound) => bound,
+        Err(error) => {
+            // The engine is already running; wind it down cleanly (flushing the WAL
+            // and final checkpoint on a durable core) before reporting the failure.
+            core.close();
+            let _ = engine.join();
+            core.final_checkpoint();
+            return Err(error);
+        }
+    };
     let stop = Arc::new(AtomicBool::new(false));
     let connections: Arc<Mutex<HashMap<ClientId, TcpStream>>> =
         Arc::new(Mutex::new(HashMap::new()));
@@ -207,6 +234,9 @@ impl Server {
         if let Some(engine) = self.engine.take() {
             let _ = engine.join();
         }
+        // Durable cores write one last checkpoint after the engine has drained, so a
+        // clean shutdown restarts from a checkpoint instead of a full WAL replay.
+        self.core.final_checkpoint();
     }
 }
 

@@ -1,0 +1,36 @@
+//! Durable storage primitives for the query server and the trace spine.
+//!
+//! The paper's interactive service keeps every arrangement in memory and forgets
+//! everything on exit. This crate supplies the three on-disk building blocks that fix
+//! that, in the memtable/SSTable/WAL discipline of classic LSM designs (the spine is
+//! already an in-memory LSM):
+//!
+//! * [`wal`] — a segmented **write-ahead log** of opaque records framed with a length
+//!   prefix and a CRC32, appended via a `SchemaBatch`-style last-writes [`WalBatch`]
+//!   and recovered with a *torn-tail-tolerant* total decoder that truncates at the
+//!   first corrupt record. The server appends its wire-encoded command log here.
+//! * [`run`] — immutable **sorted-run files**: CRC-framed blocks of sorted entries
+//!   whose boundaries align with key boundaries, plus a sparse first-entry index, so
+//!   a reader can binary-search to a block and stream from there. Checkpoints and
+//!   spilled spine layers share this format.
+//! * [`manifest`] — the **checkpoint manifest**, committed by temp-file + rename so
+//!   the rename is the commit point: recovery that finds a manifest trusts it and
+//!   replays only the WAL records past its watermark; a crash between manifest write
+//!   and WAL pruning recovers identically from either state.
+//!
+//! The crate is dependency-free and byte-oriented: callers bring their own encodings
+//! (the server uses the wire codec, the trace uses `StoreData`), this crate owns
+//! framing, checksums, segmentation, and atomic commit.
+
+#![deny(missing_docs)]
+
+pub mod bytes;
+pub mod crc;
+pub mod manifest;
+pub mod run;
+pub mod wal;
+
+pub use crc::crc32;
+pub use manifest::{Manifest, MANIFEST_NAME};
+pub use run::{RunMeta, RunReader, RunWriter};
+pub use wal::{Wal, WalBatch};

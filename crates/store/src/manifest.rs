@@ -1,0 +1,195 @@
+//! The checkpoint manifest: the atomic commit point of a checkpoint.
+//!
+//! A manifest names everything a recovery needs: the checkpointed epoch, the WAL
+//! watermark (the highest WAL sequence the checkpoint reflects — recovery replays
+//! only records past it), and a list of tagged, opaque records the caller uses to
+//! describe its checkpoint files (the server stores input definitions, installed
+//! plans, and run-file names).
+//!
+//! Commit is temp-file + rename: the manifest is fully written and fsynced as
+//! `MANIFEST.tmp`, then renamed over `MANIFEST`, then the directory is fsynced. The
+//! rename *is* the checkpoint — a crash before it leaves the previous manifest (or
+//! none) in force and the new run files as ignorable garbage; a crash after it but
+//! before old WAL segments are pruned merely leaves extra WAL prefix that recovery
+//! skips via the watermark. Either side of the race recovers to the same state,
+//! which is exactly the property the checkpoint/truncation race test pins.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::bytes::{get_bytes, get_u32, get_u64, put_bytes, put_u32, put_u64};
+use crate::crc::crc32;
+
+const MAGIC: &[u8; 8] = b"KPGMAN01";
+
+/// The manifest file name within a durable directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+/// A committed (or in-construction) checkpoint description.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// The epoch the checkpoint seals: recovered state answers queries as of this
+    /// epoch before the WAL tail is replayed.
+    pub epoch: u64,
+    /// The highest WAL sequence number reflected in the checkpoint. Recovery replays
+    /// only WAL records with sequence numbers strictly above this.
+    pub wal_watermark: u64,
+    /// Caller-defined records: a short ASCII tag and an opaque payload each.
+    pub records: Vec<(String, Vec<u8>)>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        put_u64(&mut body, self.epoch);
+        put_u64(&mut body, self.wal_watermark);
+        put_u32(&mut body, self.records.len() as u32);
+        for (tag, payload) in &self.records {
+            put_bytes(&mut body, tag.as_bytes());
+            put_bytes(&mut body, payload);
+        }
+        let crc = crc32(&body);
+        put_u32(&mut body, crc);
+        body
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Manifest> {
+        if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+            return None;
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let expected = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte crc"));
+        if crc32(body) != expected {
+            return None;
+        }
+        let mut pos = MAGIC.len();
+        let epoch = get_u64(body, &mut pos)?;
+        let wal_watermark = get_u64(body, &mut pos)?;
+        let count = get_u32(body, &mut pos)?;
+        let mut records = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let tag = String::from_utf8(get_bytes(body, &mut pos)?).ok()?;
+            let payload = get_bytes(body, &mut pos)?;
+            records.push((tag, payload));
+        }
+        Some(Manifest {
+            epoch,
+            wal_watermark,
+            records,
+        })
+    }
+
+    /// Atomically installs this manifest as `dir`'s current one: write + fsync the
+    /// temp file, rename over [`MANIFEST_NAME`], fsync the directory.
+    pub fn commit(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(MANIFEST_TMP);
+        let mut file = File::create(&tmp)?;
+        file.write_all(&self.encode())?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
+        File::open(dir)?.sync_all()
+    }
+
+    /// Loads `dir`'s committed manifest. `Ok(None)` if none was ever committed; an
+    /// error if one exists but is unreadable (a committed manifest is written
+    /// atomically, so damage here is disk corruption, not a torn write). A leftover
+    /// `MANIFEST.tmp` from a crashed commit is ignored and removed.
+    pub fn load(dir: impl AsRef<Path>) -> io::Result<Option<Manifest>> {
+        let dir = dir.as_ref();
+        let _ = fs::remove_file(dir.join(MANIFEST_TMP));
+        let path = dir.join(MANIFEST_NAME);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(error) => return Err(error),
+        };
+        Manifest::decode(&bytes)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: manifest corrupt", path.display()),
+                )
+            })
+            .map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "kpg-manifest-{tag}-{}-{unique}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            epoch: 42,
+            wal_watermark: 1234,
+            records: vec![
+                ("input".to_string(), b"edges".to_vec()),
+                ("install".to_string(), vec![1, 2, 3, 255]),
+            ],
+        }
+    }
+
+    #[test]
+    fn commit_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        sample().commit(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(sample()));
+        // Re-commit replaces atomically.
+        let mut second = sample();
+        second.epoch = 43;
+        second.commit(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap().epoch, 43);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The rename is the commit point: a crash that left only a (possibly torn)
+    /// temp file recovers as "no checkpoint"; a crash after the rename recovers the
+    /// new checkpoint even with the temp file still present.
+    #[test]
+    fn temp_file_is_not_a_commit() {
+        let dir = temp_dir("tmp");
+        // Torn temp file only: not a checkpoint.
+        fs::write(dir.join(MANIFEST_TMP), b"KPGMAN01 torn gar").unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        assert!(!dir.join(MANIFEST_TMP).exists(), "stale temp not cleaned");
+        // Committed manifest + stale temp: the committed one wins.
+        sample().commit(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_TMP), b"half-written next checkpoint").unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(sample()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damage_to_a_committed_manifest_is_an_error() {
+        let dir = temp_dir("damage");
+        sample().commit(&dir).unwrap();
+        let path = dir.join(MANIFEST_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        let middle = bytes.len() / 2;
+        bytes[middle] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,686 @@
+//! Spilled spine layers: sealed batches evicted to sorted-run files.
+//!
+//! The LSM discipline of the [`Spine`](crate::spine::Spine) keeps every layer in
+//! memory. When an arrangement outgrows its budget, the spine can *spill* its oldest
+//! settled layer to an immutable sorted-run file (written by `kpg_store`) and keep only
+//! a [`StoredLayer`] handle: the batch's description, its sparse first-key index, and a
+//! decoder. The read path then streams the file block by block through a
+//! [`StoredCursor`] that merges with in-memory layers inside the ordinary
+//! [`CursorList`](crate::cursor::CursorList) — operators never learn whether a layer
+//! lives in memory or on disk.
+//!
+//! Serialization goes through [`StoreData`], a small total codec: `store` appends a
+//! self-delimiting encoding, `load` reads it back or returns `None` on truncation or
+//! malformed input. One run-file entry is the concatenation `key ++ val ++ time ++
+//! diff`, so entries of a sorted batch are themselves sorted byte strings grouped by
+//! key, exactly what the run format's key-boundary blocks expect.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use kpg_store::run::DEFAULT_BLOCK_BYTES;
+use kpg_store::{RunReader, RunWriter};
+use kpg_timestamp::time::MAX_DEPTH;
+use kpg_timestamp::Time;
+
+use crate::cursor::Cursor;
+use crate::description::Description;
+use crate::{Batch, BatchReader, Builder};
+
+/// A total, self-delimiting byte codec for data spilled to sorted-run files.
+///
+/// `load` must consume exactly the bytes `store` produced and reject truncation with
+/// `None` (never panic): spilled files are re-verified by CRC, but the decoder is the
+/// last line of defense and also what recovery-oriented tests drive byte by byte.
+/// Implementations must be *order-agnostic* only in the sense that encoding is
+/// deterministic; the spine spills already-sorted batches, so no order on the encoded
+/// bytes themselves is required.
+pub trait StoreData: Sized {
+    /// Appends a self-delimiting encoding of `self`.
+    fn store(&self, bytes: &mut Vec<u8>);
+    /// Decodes a value at `*pos`, advancing it; `None` on truncation or bad input.
+    fn load(bytes: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+macro_rules! store_le_int {
+    ($($ty:ty),*) => {$(
+        impl StoreData for $ty {
+            fn store(&self, bytes: &mut Vec<u8>) {
+                bytes.extend_from_slice(&self.to_le_bytes());
+            }
+            fn load(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+                const WIDTH: usize = std::mem::size_of::<$ty>();
+                let slice = bytes.get(*pos..*pos + WIDTH)?;
+                *pos += WIDTH;
+                Some(<$ty>::from_le_bytes(slice.try_into().expect("sized slice")))
+            }
+        }
+    )*};
+}
+
+store_le_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl StoreData for usize {
+    fn store(&self, bytes: &mut Vec<u8>) {
+        (*self as u64).store(bytes);
+    }
+    fn load(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        usize::try_from(u64::load(bytes, pos)?).ok()
+    }
+}
+
+impl StoreData for isize {
+    fn store(&self, bytes: &mut Vec<u8>) {
+        (*self as i64).store(bytes);
+    }
+    fn load(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        isize::try_from(i64::load(bytes, pos)?).ok()
+    }
+}
+
+impl StoreData for bool {
+    fn store(&self, bytes: &mut Vec<u8>) {
+        bytes.push(*self as u8);
+    }
+    fn load(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        match u8::load(bytes, pos)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl StoreData for () {
+    fn store(&self, _bytes: &mut Vec<u8>) {}
+    fn load(_bytes: &[u8], _pos: &mut usize) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl StoreData for String {
+    fn store(&self, bytes: &mut Vec<u8>) {
+        (self.len() as u64).store(bytes);
+        bytes.extend_from_slice(self.as_bytes());
+    }
+    fn load(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let length = usize::load(bytes, pos)?;
+        let slice = bytes.get(*pos..pos.checked_add(length)?)?;
+        *pos += length;
+        String::from_utf8(slice.to_vec()).ok()
+    }
+}
+
+impl<T: StoreData> StoreData for Vec<T> {
+    fn store(&self, bytes: &mut Vec<u8>) {
+        (self.len() as u64).store(bytes);
+        for item in self {
+            item.store(bytes);
+        }
+    }
+    fn load(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let count = usize::load(bytes, pos)?;
+        // An adversarial count cannot allocate past the bytes that must back it.
+        let mut items = Vec::with_capacity(count.min(bytes.len().saturating_sub(*pos)));
+        for _ in 0..count {
+            items.push(T::load(bytes, pos)?);
+        }
+        Some(items)
+    }
+}
+
+macro_rules! store_tuple {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: StoreData),+> StoreData for ($($name,)+) {
+            fn store(&self, bytes: &mut Vec<u8>) {
+                let ($($name,)+) = self;
+                $($name.store(bytes);)+
+            }
+            fn load(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+                $(let $name = $name::load(bytes, pos)?;)+
+                Some(($($name,)+))
+            }
+        }
+    };
+}
+
+store_tuple!(A B);
+store_tuple!(A B C);
+store_tuple!(A B C D);
+
+impl StoreData for Time {
+    fn store(&self, bytes: &mut Vec<u8>) {
+        for coord in self.coords() {
+            coord.store(bytes);
+        }
+    }
+    fn load(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let mut coords = [0u64; MAX_DEPTH];
+        for coord in coords.iter_mut() {
+            *coord = u64::load(bytes, pos)?;
+        }
+        Some(Time::from_coords(coords))
+    }
+}
+
+/// One run-file entry decoded back into an update tuple.
+type Entry<B> = (
+    <B as BatchReader>::Key,
+    <B as BatchReader>::Val,
+    <B as BatchReader>::Time,
+    <B as BatchReader>::Diff,
+);
+
+fn decode_entry<K, V, T, R>(bytes: &[u8]) -> Option<(K, V, T, R)>
+where
+    K: StoreData,
+    V: StoreData,
+    T: StoreData,
+    R: StoreData,
+{
+    let mut pos = 0;
+    let key = K::load(bytes, &mut pos)?;
+    let val = V::load(bytes, &mut pos)?;
+    let time = T::load(bytes, &mut pos)?;
+    let diff = R::load(bytes, &mut pos)?;
+    (pos == bytes.len()).then_some((key, val, time, diff))
+}
+
+/// A sealed spine layer whose updates live in a sorted-run file on disk.
+///
+/// The handle retains only the batch's description, update count, sparse first-key
+/// index (one decoded key per block), and a monomorphized entry decoder captured when
+/// the layer was spilled — which is how spine code bounded only by `B: Batch` can read
+/// a layer whose encoding required [`StoreData`].
+pub struct StoredLayer<B: Batch> {
+    path: PathBuf,
+    description: Description<B::Time>,
+    len: usize,
+    index: Arc<Vec<B::Key>>,
+    decode: fn(&[u8]) -> Option<Entry<B>>,
+}
+
+impl<B: Batch> Clone for StoredLayer<B> {
+    fn clone(&self) -> Self {
+        StoredLayer {
+            path: self.path.clone(),
+            description: self.description.clone(),
+            len: self.len,
+            index: Arc::clone(&self.index),
+            decode: self.decode,
+        }
+    }
+}
+
+impl<B: Batch> std::fmt::Debug for StoredLayer<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoredLayer")
+            .field("path", &self.path)
+            .field("len", &self.len)
+            .field("blocks", &self.index.len())
+            .finish()
+    }
+}
+
+/// Writes `batch`'s updates to a sorted-run file at `path` and returns the layer
+/// handle. Entries are emitted in cursor order (key, then value, then time), with
+/// block boundaries only between keys.
+pub fn spill_batch<B>(batch: &B, path: &Path) -> io::Result<StoredLayer<B>>
+where
+    B: Batch,
+    B::Key: StoreData,
+    B::Val: StoreData,
+    B::Time: StoreData,
+    B::Diff: StoreData,
+{
+    let mut writer = RunWriter::create(path, DEFAULT_BLOCK_BYTES)?;
+    let mut cursor = batch.cursor();
+    let mut entry = Vec::new();
+    let mut len = 0usize;
+    let mut updates = Vec::new();
+    while cursor.key_valid() {
+        let mut key_boundary = true;
+        while cursor.val_valid() {
+            updates.clear();
+            cursor.map_times(|time, diff| updates.push((time.clone(), diff.clone())));
+            for (time, diff) in updates.drain(..) {
+                entry.clear();
+                cursor.key().store(&mut entry);
+                cursor.val().store(&mut entry);
+                time.store(&mut entry);
+                diff.store(&mut entry);
+                writer.push(&entry, key_boundary)?;
+                key_boundary = false;
+                len += 1;
+            }
+            cursor.step_val();
+        }
+        cursor.step_key();
+    }
+    let meta = writer.finish()?;
+    let decode = decode_entry::<B::Key, B::Val, B::Time, B::Diff>;
+    let mut index = Vec::with_capacity(meta.first_entries.len());
+    for first in &meta.first_entries {
+        let (key, ..) = decode(first).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "spilled first entry undecodable",
+            )
+        })?;
+        index.push(key);
+    }
+    Ok(StoredLayer {
+        path: path.to_path_buf(),
+        description: batch.description().clone(),
+        len,
+        index: Arc::new(index),
+        decode,
+    })
+}
+
+impl<B: Batch> StoredLayer<B> {
+    /// The number of updates in the spilled layer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the spilled layer holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The spilled batch's description.
+    pub fn description(&self) -> &Description<B::Time> {
+        &self.description
+    }
+
+    /// The run file backing this layer.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A streaming cursor over the spilled updates.
+    ///
+    /// Panics if the run file has been removed or damaged since the spill: a spilled
+    /// layer is part of the trace's working state, exactly like memory it replaced.
+    pub fn cursor(&self) -> StoredCursor<B> {
+        StoredCursor::new(self)
+    }
+
+    /// Reads the whole layer back into an in-memory batch (used when a consumer needs
+    /// an owned batch, e.g. when a new reader imports the trace's initial history).
+    pub fn materialize(&self) -> B {
+        let mut reader = RunReader::open(&self.path).expect("spilled run opens");
+        let mut builder = B::Builder::with_capacity(self.len);
+        for block in 0..reader.block_count() {
+            let entries = reader.read_block(block).expect("spilled run block reads");
+            for entry in &entries {
+                let (key, val, time, diff) = (self.decode)(entry).expect("spilled entry decodes");
+                builder.push(key, val, time, diff);
+            }
+        }
+        builder.done(
+            self.description.lower().clone(),
+            self.description.upper().clone(),
+            self.description.since().clone(),
+        )
+    }
+}
+
+/// One run-file block decoded into the two-level (key, value, history) layout cursors
+/// navigate. Offsets mirror `OrdValStorage`: `key_offs` brackets each key's values,
+/// `val_offs` brackets each value's updates.
+struct DecodedBlock<B: Batch> {
+    keys: Vec<B::Key>,
+    key_offs: Vec<usize>,
+    vals: Vec<B::Val>,
+    val_offs: Vec<usize>,
+    updates: Vec<(B::Time, B::Diff)>,
+}
+
+impl<B: Batch> DecodedBlock<B> {
+    fn empty() -> Self {
+        DecodedBlock {
+            keys: Vec::new(),
+            key_offs: vec![0],
+            vals: Vec::new(),
+            val_offs: vec![0],
+            updates: Vec::new(),
+        }
+    }
+
+    fn build(entries: &[Vec<u8>], decode: fn(&[u8]) -> Option<Entry<B>>) -> Self {
+        let mut block = DecodedBlock::empty();
+        for entry in entries {
+            let (key, val, time, diff) = decode(entry).expect("spilled entry decodes");
+            let new_key = block.keys.last() != Some(&key);
+            if new_key {
+                if !block.keys.is_empty() {
+                    block.key_offs.push(block.vals.len());
+                }
+                block.keys.push(key);
+            }
+            if new_key || block.vals.last() != Some(&val) {
+                if !block.vals.is_empty() {
+                    block.val_offs.push(block.updates.len());
+                }
+                block.vals.push(val);
+            }
+            block.updates.push((time, diff));
+        }
+        if !block.keys.is_empty() {
+            block.key_offs.push(block.vals.len());
+            block.val_offs.push(block.updates.len());
+        }
+        block
+    }
+}
+
+/// A forward-only cursor streaming a [`StoredLayer`]'s run file one block at a time.
+///
+/// Navigation mirrors `OrdValCursor` (seeks only move forward; `partition_point` within
+/// the loaded block), with the sparse first-key index used to jump over whole blocks on
+/// `seek_key`. At most one decoded block is resident per cursor.
+pub struct StoredCursor<B: Batch> {
+    reader: RunReader,
+    index: Arc<Vec<B::Key>>,
+    decode: fn(&[u8]) -> Option<Entry<B>>,
+    /// Index of the decoded block; `reader.block_count()` once exhausted.
+    block_index: usize,
+    block: DecodedBlock<B>,
+    key_pos: usize,
+    val_pos: usize,
+}
+
+impl<B: Batch> StoredCursor<B> {
+    fn new(layer: &StoredLayer<B>) -> Self {
+        let reader = RunReader::open(&layer.path).expect("spilled run opens");
+        let mut cursor = StoredCursor {
+            reader,
+            index: Arc::clone(&layer.index),
+            decode: layer.decode,
+            block_index: 0,
+            block: DecodedBlock::empty(),
+            key_pos: 0,
+            val_pos: 0,
+        };
+        cursor.load_block(0);
+        cursor.reset_vals();
+        cursor
+    }
+
+    /// Decodes block `index` into residence; past-the-end leaves the cursor exhausted.
+    fn load_block(&mut self, index: usize) {
+        self.block_index = index.min(self.reader.block_count());
+        if self.block_index == self.reader.block_count() {
+            self.block = DecodedBlock::empty();
+        } else {
+            let entries = self
+                .reader
+                .read_block(self.block_index)
+                .expect("spilled run block reads");
+            self.block = DecodedBlock::build(&entries, self.decode);
+        }
+        self.key_pos = 0;
+        self.val_pos = 0;
+    }
+
+    /// Restores the invariant that a non-exhausted cursor points at a key: if the
+    /// current block is spent, advances to the next one.
+    fn settle(&mut self) {
+        while self.key_pos >= self.block.keys.len() && self.block_index < self.reader.block_count()
+        {
+            let next = self.block_index + 1;
+            self.load_block(next);
+        }
+    }
+
+    fn reset_vals(&mut self) {
+        if self.key_valid() {
+            self.val_pos = self.block.key_offs[self.key_pos];
+        }
+    }
+
+    fn val_bounds(&self) -> (usize, usize) {
+        (
+            self.block.key_offs[self.key_pos],
+            self.block.key_offs[self.key_pos + 1],
+        )
+    }
+}
+
+impl<B: Batch> Cursor for StoredCursor<B> {
+    type Key = B::Key;
+    type Val = B::Val;
+    type Time = B::Time;
+    type Diff = B::Diff;
+
+    fn key_valid(&self) -> bool {
+        self.key_pos < self.block.keys.len()
+    }
+
+    fn val_valid(&self) -> bool {
+        self.key_valid() && self.val_pos < self.val_bounds().1
+    }
+
+    fn key(&self) -> &Self::Key {
+        &self.block.keys[self.key_pos]
+    }
+
+    fn val(&self) -> &Self::Val {
+        &self.block.vals[self.val_pos]
+    }
+
+    fn map_times(&mut self, mut logic: impl FnMut(&Self::Time, &Self::Diff)) {
+        if self.val_valid() {
+            let lower = self.block.val_offs[self.val_pos];
+            let upper = self.block.val_offs[self.val_pos + 1];
+            for (time, diff) in &self.block.updates[lower..upper] {
+                logic(time, diff);
+            }
+        }
+    }
+
+    fn step_key(&mut self) {
+        if self.key_valid() {
+            self.key_pos += 1;
+            self.settle();
+            self.reset_vals();
+        }
+    }
+
+    fn seek_key(&mut self, key: &Self::Key) {
+        if !self.key_valid() {
+            return;
+        }
+        // Jump to the last block whose first key is `<= key`; blocks are cut at key
+        // boundaries, so no earlier block can contain `key`. Seeks only move forward.
+        let candidate = self.index.partition_point(|first| first <= key);
+        let target = candidate.saturating_sub(1);
+        if target > self.block_index {
+            self.load_block(target);
+        }
+        let remaining = &self.block.keys[self.key_pos..];
+        self.key_pos += remaining.partition_point(|k| k < key);
+        self.settle();
+        self.reset_vals();
+    }
+
+    fn step_val(&mut self) {
+        if self.val_valid() {
+            self.val_pos += 1;
+        }
+    }
+
+    fn seek_val(&mut self, val: &Self::Val) {
+        if self.val_valid() {
+            let (_, upper) = self.val_bounds();
+            let remaining = &self.block.vals[self.val_pos..upper];
+            self.val_pos += remaining.partition_point(|v| v < val);
+        }
+    }
+
+    fn rewind_keys(&mut self) {
+        self.load_block(0);
+        self.reset_vals();
+    }
+
+    fn rewind_vals(&mut self) {
+        self.reset_vals();
+    }
+}
+
+/// A cursor over one spine layer, in memory or spilled.
+///
+/// [`Spine::cursor`](crate::spine::Spine::cursor) returns a
+/// [`CursorList`](crate::cursor::CursorList) of these, so downstream operators navigate
+/// mixed in-memory/on-disk traces through one type.
+pub enum LayerCursor<B: Batch> {
+    /// A cursor over an in-memory batch.
+    Mem(B::Cursor),
+    /// A cursor streaming a spilled layer's run file. Boxed: the stored cursor
+    /// carries a resident block and seek scratch, far larger than a memory cursor.
+    Stored(Box<StoredCursor<B>>),
+}
+
+impl<B: Batch> Cursor for LayerCursor<B> {
+    type Key = B::Key;
+    type Val = B::Val;
+    type Time = B::Time;
+    type Diff = B::Diff;
+
+    fn key_valid(&self) -> bool {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.key_valid(),
+            LayerCursor::Stored(cursor) => cursor.key_valid(),
+        }
+    }
+
+    fn val_valid(&self) -> bool {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.val_valid(),
+            LayerCursor::Stored(cursor) => cursor.val_valid(),
+        }
+    }
+
+    fn key(&self) -> &Self::Key {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.key(),
+            LayerCursor::Stored(cursor) => cursor.key(),
+        }
+    }
+
+    fn val(&self) -> &Self::Val {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.val(),
+            LayerCursor::Stored(cursor) => cursor.val(),
+        }
+    }
+
+    fn map_times(&mut self, logic: impl FnMut(&Self::Time, &Self::Diff)) {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.map_times(logic),
+            LayerCursor::Stored(cursor) => cursor.map_times(logic),
+        }
+    }
+
+    fn step_key(&mut self) {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.step_key(),
+            LayerCursor::Stored(cursor) => cursor.step_key(),
+        }
+    }
+
+    fn seek_key(&mut self, key: &Self::Key) {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.seek_key(key),
+            LayerCursor::Stored(cursor) => cursor.seek_key(key),
+        }
+    }
+
+    fn step_val(&mut self) {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.step_val(),
+            LayerCursor::Stored(cursor) => cursor.step_val(),
+        }
+    }
+
+    fn seek_val(&mut self, val: &Self::Val) {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.seek_val(val),
+            LayerCursor::Stored(cursor) => cursor.seek_val(val),
+        }
+    }
+
+    fn rewind_keys(&mut self) {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.rewind_keys(),
+            LayerCursor::Stored(cursor) => cursor.rewind_keys(),
+        }
+    }
+
+    fn rewind_vals(&mut self) {
+        match self {
+            LayerCursor::Mem(cursor) => cursor.rewind_vals(),
+            LayerCursor::Stored(cursor) => cursor.rewind_vals(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_and_reject_truncation() {
+        let mut bytes = Vec::new();
+        42u64.store(&mut bytes);
+        (-7i64).store(&mut bytes);
+        "hello".to_string().store(&mut bytes);
+        vec![1u32, 2, 3].store(&mut bytes);
+        (4u8, true, ()).store(&mut bytes);
+        Time::from_coords([1, 2, 3]).store(&mut bytes);
+
+        let mut pos = 0;
+        assert_eq!(u64::load(&bytes, &mut pos), Some(42));
+        assert_eq!(i64::load(&bytes, &mut pos), Some(-7));
+        assert_eq!(String::load(&bytes, &mut pos), Some("hello".to_string()));
+        assert_eq!(Vec::<u32>::load(&bytes, &mut pos), Some(vec![1, 2, 3]));
+        assert_eq!(
+            <(u8, bool, ())>::load(&bytes, &mut pos),
+            Some((4, true, ()))
+        );
+        assert_eq!(
+            Time::load(&bytes, &mut pos),
+            Some(Time::from_coords([1, 2, 3]))
+        );
+        assert_eq!(pos, bytes.len());
+
+        for cut in 0..bytes.len() {
+            let short = &bytes[..cut];
+            let mut pos = 0;
+            let full = (
+                u64::load(short, &mut pos),
+                i64::load(short, &mut pos),
+                String::load(short, &mut pos),
+                Vec::<u32>::load(short, &mut pos),
+                <(u8, bool, ())>::load(short, &mut pos),
+                Time::load(short, &mut pos),
+            );
+            assert!(full.5.is_none(), "truncation at {cut} decoded fully");
+        }
+    }
+
+    #[test]
+    fn adversarial_lengths_do_not_overallocate() {
+        // A Vec claiming u64::MAX elements backed by no bytes must fail cleanly.
+        let mut bytes = Vec::new();
+        u64::MAX.store(&mut bytes);
+        let mut pos = 0;
+        assert_eq!(Vec::<u64>::load(&bytes, &mut pos), None);
+        let mut pos = 0;
+        assert_eq!(String::load(&bytes, &mut pos), None);
+    }
+}
