@@ -528,11 +528,11 @@ fn run_durable(
     edges: usize,
     classes: Classes,
 ) {
-    static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    static RUN: kpg_sync::atomic::AtomicU64 = kpg_sync::atomic::AtomicU64::new(0);
     let wal_dir = std::env::temp_dir().join(format!(
         "kpg-churn-wal-{}-{}",
         std::process::id(),
-        RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        RUN.fetch_add(1, kpg_sync::atomic::Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&wal_dir);
 

@@ -91,11 +91,7 @@ fn main() {
     let gnp = kpg_datalog::generate::gnp((600.0 * scale) as u32, (1_800.0 * scale) as usize, 4);
 
     println!("# Table 11 analogue: batch Datalog evaluation");
-    let inputs: Vec<(&str, Vec<Edge>)> = vec![
-        ("tree", tree.clone()),
-        ("grid", grid.clone()),
-        ("gnp", gnp.clone()),
-    ];
+    let inputs: Vec<(&str, Vec<Edge>)> = vec![("tree", tree), ("grid", grid), ("gnp", gnp)];
     for (name, edges) in &inputs {
         let mut workers = 1;
         while workers <= max_workers {

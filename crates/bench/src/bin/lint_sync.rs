@@ -1,0 +1,288 @@
+//! `lint_sync`: the facade-bypass linter.
+//!
+//! Scans every `.rs` file in the workspace for direct `std::sync` / `std::thread`
+//! usage. All concurrency primitives must go through `kpg_sync` — that is what makes
+//! the deterministic model checker (`kpg_sync::model`) and the lock-order/blocking
+//! analyses see every operation. A `std::sync::Mutex` smuggled in anywhere is
+//! invisible to both, so CI runs this scanner and fails on any hit outside the
+//! allowlist.
+//!
+//! The allowlist is `crates/bench/lint_sync_allow.txt`: one path prefix per line
+//! (relative to the workspace root, `/`-separated), `#` comments. `crates/sync/` is
+//! allowlisted there — the facade is the one place std primitives belong.
+//!
+//! Usage: `cargo run -p kpg_bench --bin lint_sync` from anywhere in the workspace.
+//! Exits 0 on a clean tree, 1 with a `file:line` listing otherwise.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Substrings that indicate a facade bypass. Matched against comment- and
+/// string-stripped source, so prose mentioning `std::sync` is fine.
+const FORBIDDEN: &[&str] = &["std::sync", "std::thread"];
+
+const ALLOWLIST: &str = "crates/bench/lint_sync_allow.txt";
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let allow = load_allowlist(&root);
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    for relative in &files {
+        if allow.iter().any(|prefix| relative.starts_with(prefix)) {
+            continue;
+        }
+        let source = match fs::read_to_string(root.join(relative)) {
+            Ok(source) => source,
+            Err(error) => {
+                eprintln!("lint_sync: cannot read {relative}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        scan(relative, &source, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("lint_sync: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("{violation}");
+        }
+        eprintln!(
+            "lint_sync: {} direct std::sync/std::thread use(s); route them through \
+             kpg_sync (or, exceptionally, add a prefix to {ALLOWLIST})",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor of the current directory holding a
+/// `Cargo.toml` with a `[workspace]` table (falls back to `CARGO_MANIFEST_DIR`'s
+/// grandparent, which is the root when run via `cargo run -p kpg_bench`).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("current directory unreadable");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate has a workspace grandparent")
+        .to_path_buf()
+}
+
+fn load_allowlist(root: &Path) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(root.join(ALLOWLIST)) else {
+        return vec!["crates/sync/".to_string()];
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, files: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Build output and VCS metadata are not source.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, files);
+        } else if name.ends_with(".rs") {
+            let relative = path
+                .strip_prefix(root)
+                .expect("walked paths stay under the root")
+                .components()
+                .map(|component| component.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(relative);
+        }
+    }
+}
+
+/// Appends a `file:line: text` entry for every forbidden token in `source`, ignoring
+/// comments and string literals.
+fn scan(relative: &str, source: &str, violations: &mut Vec<String>) {
+    let stripped = strip_comments_and_strings(source);
+    for (index, (line, original)) in stripped.lines().zip(source.lines()).enumerate() {
+        if FORBIDDEN.iter().any(|token| line.contains(token)) {
+            violations.push(format!("{relative}:{}: {}", index + 1, original.trim()));
+        }
+    }
+}
+
+/// Replaces the contents of comments and string literals with spaces, preserving line
+/// structure. A small state machine — enough for real Rust source; raw strings with
+/// `#` fences are treated as plain strings, which errs toward over-reporting (fine
+/// for a linter whose escape hatch is the allowlist).
+fn strip_comments_and_strings(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        Char,
+    }
+    let mut state = State::Code;
+    let mut out = String::with_capacity(source.len());
+    let mut chars = source.chars().peekable();
+    while let Some(current) = chars.next() {
+        let next = chars.peek().copied();
+        match state {
+            State::Code => match (current, next) {
+                ('/', Some('/')) => {
+                    state = State::LineComment;
+                    out.push(' ');
+                }
+                ('/', Some('*')) => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                }
+                ('"', _) => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                // A lifetime (`'a`) is not a char literal; only treat `'` as one when
+                // it closes within two characters (`'x'`, `'\n'`).
+                ('\'', Some(peeked)) if peeked != '\\' && chars.clone().nth(1) == Some('\'') => {
+                    state = State::Char;
+                    out.push(' ');
+                }
+                ('\'', Some('\\')) => {
+                    state = State::Char;
+                    out.push(' ');
+                }
+                _ => out.push(current),
+            },
+            State::LineComment => {
+                if current == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                match (current, next) {
+                    ('*', Some('/')) => {
+                        chars.next();
+                        out.push_str("  ");
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        continue;
+                    }
+                    ('/', Some('*')) => {
+                        chars.next();
+                        out.push_str("  ");
+                        state = State::BlockComment(depth + 1);
+                        continue;
+                    }
+                    _ => {}
+                }
+                out.push(if current == '\n' { '\n' } else { ' ' });
+            }
+            State::Str => match current {
+                '\\' => {
+                    chars.next();
+                    out.push_str("  ");
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push(' ');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::Char => match current {
+                '\\' => {
+                    chars.next();
+                    out.push_str("  ");
+                }
+                '\'' => {
+                    state = State::Code;
+                    out.push(' ');
+                }
+                _ => out.push(' '),
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{scan, strip_comments_and_strings};
+
+    #[test]
+    fn flags_injected_std_sync_mutex() {
+        let source = "use std::sync::Mutex;\nfn main() { let _ = Mutex::new(0); }\n";
+        let mut violations = Vec::new();
+        scan("injected.rs", source, &mut violations);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].starts_with("injected.rs:1:"));
+    }
+
+    #[test]
+    fn flags_std_thread_spawn() {
+        let source = "fn main() { std::thread::spawn(|| {}); }\n";
+        let mut violations = Vec::new();
+        scan("spawned.rs", source, &mut violations);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn ignores_comments_strings_and_the_facade() {
+        let source = concat!(
+            "// std::sync::Mutex in a comment\n",
+            "/* std::thread::spawn in a block\n   spanning lines */\n",
+            "/// Doc prose about std::sync.\n",
+            "fn main() { let _ = \"std::sync::Mutex\"; }\n",
+            "use kpg_sync::Mutex;\n",
+        );
+        let mut violations = Vec::new();
+        scan("clean.rs", source, &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn stripping_preserves_line_numbers() {
+        let source = "a /* x\n y */ b\n\"s\ntr\" c\n";
+        let stripped = strip_comments_and_strings(source);
+        assert_eq!(stripped.lines().count(), source.lines().count());
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let source = "fn f<'a>(x: &'a str) -> &'a str { x } // std::sync here is prose\n";
+        let mut violations = Vec::new();
+        scan("lifetimes.rs", source, &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

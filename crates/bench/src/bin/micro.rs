@@ -91,7 +91,7 @@ fn join_proportionality(keys: u64, probe_sizes: &[usize]) -> Vec<(usize, f64)> {
         let (mut input, probe, trace) = worker.dataflow(|builder| {
             let (input, collection) = new_collection::<u64, isize>(builder);
             let arranged = collection.map(|x| (x, x)).arrange_by_key();
-            (input, arranged.probe(), arranged.trace.clone())
+            (input, arranged.probe(), arranged.trace)
         });
         for key in 0..keys {
             input.insert(key);

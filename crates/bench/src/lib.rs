@@ -5,6 +5,8 @@
 //! recording with complementary-CDF reporting (the paper's preferred presentation for the
 //! microbenchmarks), simple wall-clock timing, and command-line scale handling.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Records latencies and reports them as a complementary CDF, the format of Figures 5

@@ -177,7 +177,7 @@ impl<B: Batch<Time = Time>> TraceAgent<B> {
 
     /// Applies `logic` to every batch currently in the trace, oldest first.
     pub fn map_batches(&self, logic: impl FnMut(&B)) {
-        self.boxed.borrow().spine.map_batches(logic)
+        self.boxed.borrow().spine.map_batches(logic);
     }
 
     /// The upper frontier of updates the trace has absorbed.

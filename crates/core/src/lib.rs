@@ -21,6 +21,7 @@
 //! the paper, reproduced in `examples/quickstart.rs` of the workspace root.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod arrange;
 pub mod catalog;

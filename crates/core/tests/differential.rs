@@ -198,11 +198,11 @@ fn semijoin_and_antijoin_partition_keys() {
     let semi_at_1 = accumulate(&semi, epoch(0));
     let anti_at_1 = accumulate(&anti, epoch(0));
     assert_eq!(
-        semi_at_1.keys().cloned().collect::<Vec<_>>(),
+        semi_at_1.keys().copied().collect::<Vec<_>>(),
         vec![(1, 100), (3, 300)]
     );
     assert_eq!(
-        anti_at_1.keys().cloned().collect::<Vec<_>>(),
+        anti_at_1.keys().copied().collect::<Vec<_>>(),
         vec![(0, 0), (2, 200)]
     );
 }
@@ -332,7 +332,7 @@ fn arrangements_are_shared_between_operators() {
             // Consumer 2: self-join on source, also reading the shared arrangement.
             let matches = arranged.join_core(&arranged, |k, a, b| (*k, *a, *b));
             let probe = degrees.probe();
-            let trace = arranged.trace.clone();
+            let trace = arranged.trace;
             (edges_in, probe, degrees.capture(), matches.capture(), trace)
         });
         for (src, dst) in [(1u32, 2u32), (1, 3), (2, 3)] {
@@ -371,7 +371,7 @@ fn arrangements_import_into_new_dataflows() {
         let (mut input, probe1, trace) = worker.dataflow(|builder| {
             let (input, data) = new_collection::<(u32, u32), isize>(builder);
             let arranged = data.arrange_by_key();
-            (input, arranged.probe(), arranged.trace.clone())
+            (input, arranged.probe(), arranged.trace)
         });
         input.insert((1, 10));
         input.insert((2, 20));

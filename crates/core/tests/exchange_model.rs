@@ -4,7 +4,7 @@
 //! and descriptions — to a reference scalar path (shard by routing hash, then
 //! sort-then-coalesce), on both 1 and 2 workers.
 
-use std::sync::{Arc, Mutex};
+use kpg_sync::{Arc, Mutex};
 
 use kpg_core::operators::route_hash;
 use kpg_core::prelude::*;

@@ -6,9 +6,9 @@
 //! worker and cloneable senders to every inbox, plus a global count of messages in flight
 //! used by the quiescence protocol.
 
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use kpg_sync::atomic::{AtomicI64, Ordering};
+use kpg_sync::mpsc::{channel, Receiver, Sender};
+use kpg_sync::Arc;
 
 use crate::operator::BundleBox;
 

@@ -13,8 +13,8 @@
 //! one (substitution S1 in DESIGN.md); the frontiers operators observe have exactly the
 //! same meaning.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use kpg_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use kpg_sync::Mutex;
 
 use kpg_timestamp::{Antichain, Time};
 

@@ -1,11 +1,11 @@
 //! Workers: threads that each own a shard of every dataflow and schedule its operators.
 
+use kpg_sync::atomic::{AtomicBool, Ordering};
+use kpg_sync::mpsc::Receiver;
+use kpg_sync::{Arc, Barrier, Mutex};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::Receiver;
-use std::sync::{Arc, Barrier, Mutex};
 
 use kpg_timestamp::{Antichain, Time};
 
@@ -770,7 +770,7 @@ where
         let shared = Arc::clone(&shared);
         let logic = Arc::clone(&logic);
         joins.push(
-            std::thread::Builder::new()
+            kpg_sync::thread::Builder::new()
                 .name(format!("kpg-worker-{index}"))
                 .spawn(move || {
                     let mut worker = Worker::new(index, shared.workers, shared, inbox);

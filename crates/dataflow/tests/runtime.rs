@@ -3,12 +3,12 @@
 
 use kpg_dataflow::operator::{downcast_payload, BundleBox, Operator, OutputContext};
 use kpg_dataflow::{execute, Config, InputHandle, ProbeHandle, Time};
+use kpg_sync::atomic::{AtomicUsize, Ordering};
+use kpg_sync::Arc;
 use kpg_timestamp::Antichain;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 /// A test operator that routes `(key, time, diff)` updates to the worker owning the key.
 struct ExchangeByKey {

@@ -10,6 +10,7 @@
 //!   inputs (substitution S4 in DESIGN.md).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod generate;
 pub mod graspan;

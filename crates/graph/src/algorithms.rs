@@ -122,7 +122,7 @@ mod tests {
         let reach = accumulate(&out[0]);
         // From node 1 in the chain 0->1->2->3->4 we reach 1, 2, 3, 4.
         let expected: Vec<(u32, u32)> = vec![(1, 1), (2, 1), (3, 1), (4, 1)];
-        assert_eq!(reach.keys().cloned().collect::<Vec<_>>(), expected);
+        assert_eq!(reach.keys().copied().collect::<Vec<_>>(), expected);
     }
 
     #[test]

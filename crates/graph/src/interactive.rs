@@ -453,17 +453,17 @@ mod tests {
         let (lookup_now, two_hop_now, two_hop_after) = results[0].clone();
         // Look-up of 1: direct neighbours 2 and 3.
         assert_eq!(
-            lookup_now.keys().cloned().collect::<Vec<_>>(),
+            lookup_now.keys().copied().collect::<Vec<_>>(),
             vec![(1, 2), (1, 3)]
         );
         // Two hops from 1: only 4 (via 2 and via 3, deduplicated).
         assert_eq!(
-            two_hop_now.keys().cloned().collect::<Vec<_>>(),
+            two_hop_now.keys().copied().collect::<Vec<_>>(),
             vec![(1, 4)]
         );
         // After the update and a new argument, the survivor reflects both.
         assert_eq!(
-            two_hop_after.keys().cloned().collect::<Vec<_>>(),
+            two_hop_after.keys().copied().collect::<Vec<_>>(),
             vec![(1, 4), (2, 5), (2, 6)]
         );
     }

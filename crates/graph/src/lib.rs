@@ -13,6 +13,7 @@
 //!   (array- and hash-map-based BFS, union-find connectivity).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod algorithms;
 pub mod baseline;

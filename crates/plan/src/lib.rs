@@ -52,6 +52,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod expr;
 pub mod manager;

@@ -461,7 +461,6 @@ impl Manager {
 
         let catalog = self.catalog.clone();
         let sources_map = self.source_arrangements();
-        let plan_for_render = plan.clone();
         let locals_for_render = locals.clone();
         let handle = match worker.install_query(name, &catalog, move |builder, catalog| {
             let mut local_map = HashMap::new();
@@ -472,7 +471,7 @@ impl Manager {
                 local_map.insert(local.clone(), collection);
             }
             let renderer = Renderer::new(arrangements, sources_map, local_map);
-            let output = renderer.render(builder, catalog, &plan_for_render);
+            let output = renderer.render(builder, catalog, &plan);
             (handles, output.probe(), output.capture())
         }) {
             Ok(handle) => handle,

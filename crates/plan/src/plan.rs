@@ -353,7 +353,7 @@ impl Plan {
         match self {
             Plan::Source(_) | Plan::Recur => {}
             Plan::Map { input, .. } | Plan::Filter { input, .. } | Plan::Negate(input) => {
-                input.arrangement_requirements(locals, into)
+                input.arrangement_requirements(locals, into);
             }
             Plan::Concat(plans) => {
                 for plan in plans {
@@ -646,7 +646,7 @@ mod tests {
             })
         );
         // Join output arity: key columns plus both remainders (2 + 2 - 1 key = 3).
-        let joined = two_wide.clone().join(two_wide.clone(), vec![(0, 0)]);
+        let joined = two_wide.clone().join(two_wide, vec![(0, 0)]);
         assert_eq!(
             joined.clone().map(vec![Expr::col(3)]).validate(&known),
             Err(PlanValidity::ColumnOutOfRange {
@@ -673,7 +673,7 @@ mod tests {
             keys: KeySpec::Columns(vec![0]),
         };
         let hop1 = Plan::source("args").join(Plan::source("edges"), vec![(0, 0)]);
-        let hop2 = hop1.clone().join(Plan::source("edges"), vec![(1, 0)]);
+        let hop2 = hop1.join(Plan::source("edges"), vec![(1, 0)]);
         let mut reqs = Vec::new();
         hop2.arrangement_requirements(&locals, &mut reqs);
         assert_eq!(

@@ -525,7 +525,7 @@ impl Renderer {
                             right,
                             join_keys,
                             scope,
-                            Some(projection),
+                            Some(&projection),
                             columns,
                         );
                     }
@@ -583,7 +583,7 @@ impl Renderer {
         right: &Plan,
         join_keys: &[(usize, usize)],
         scope: &Scope<'_>,
-        projection: Option<Vec<usize>>,
+        projection: Option<&[usize]>,
         columns: &[usize],
     ) -> Arranged<RowBatch> {
         let (left, right) = self.join_sides(builder, catalog, left, right, join_keys, scope);
@@ -592,11 +592,11 @@ impl Renderer {
         // per-match closure. Only the projection-less rest picks depend on per-record
         // arities; those fill a scratch vector owned by the closure (capacity retained),
         // so steady-state emissions allocate nothing beyond the rows themselves.
-        let key_picks: Vec<usize> = match &projection {
+        let key_picks: Vec<usize> = match projection {
             Some(projected) => columns.iter().map(|&column| projected[column]).collect(),
             None => columns.to_vec(),
         };
-        let rest_picks: Option<Vec<usize>> = projection.as_ref().map(|projected| {
+        let rest_picks: Option<Vec<usize>> = projection.map(|projected| {
             (0..projected.len())
                 .filter(|index| !columns.contains(index))
                 .map(|index| projected[index])

@@ -5,8 +5,8 @@
 //! of a small dynamic [`Value`] — so one render pass, one arrangement type, and one
 //! catalog entry shape serve every query a server will ever be asked to install.
 
+use kpg_sync::{Arc, OnceLock};
 use std::fmt;
-use std::sync::{Arc, OnceLock};
 
 use kpg_trace::StoreData;
 

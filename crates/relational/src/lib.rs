@@ -14,6 +14,7 @@
 //!   logical batch, the behaviour DBToaster falls back to for complex aggregates.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod baseline;
 pub mod data;

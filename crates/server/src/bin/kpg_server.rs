@@ -30,7 +30,7 @@ fn arg(name: &str, default: &str) -> String {
 /// Set by the signal handler; polled by the main loop. Signal-handler-safe: a relaxed
 /// store on an `AtomicBool` is async-signal-safe, and everything else (joining
 /// threads, fsyncing the final checkpoint) happens on the main thread afterwards.
-static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static STOP: kpg_sync::atomic::AtomicBool = kpg_sync::atomic::AtomicBool::new(false);
 
 #[cfg(unix)]
 fn install_signal_handlers() {
@@ -40,10 +40,17 @@ fn install_signal_handlers() {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     extern "C" fn on_signal(_signum: i32) {
-        STOP.store(true, std::sync::atomic::Ordering::Relaxed);
+        STOP.store(true, kpg_sync::atomic::Ordering::Relaxed);
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is declared with the signature libc actually exports on every
+    // unix target (handler and return are plain function addresses, passed as
+    // `usize`), and `on_signal` is `extern "C" fn(i32)`, the exact type `signal(2)`
+    // invokes. The handler body is async-signal-safe: a relaxed atomic store and
+    // nothing else — no allocation, locks, or FFI. Registration happens once, on the
+    // main thread, before any other thread exists, so there is no data race on the
+    // process signal table.
     unsafe {
         signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
         signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
@@ -92,8 +99,8 @@ fn main() {
         frame_limit,
         if durable { ", durable" } else { "" }
     );
-    while !STOP.load(std::sync::atomic::Ordering::Relaxed) {
-        std::thread::sleep(std::time::Duration::from_millis(25));
+    while !STOP.load(kpg_sync::atomic::Ordering::Relaxed) {
+        kpg_sync::thread::sleep(std::time::Duration::from_millis(25));
     }
     // Graceful shutdown: stop accepting, disconnect clients, drain the engine (which
     // flushes any staged WAL records), then write the final checkpoint. The farewell

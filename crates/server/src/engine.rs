@@ -34,11 +34,11 @@
 //!   are untouchable. An install still in flight when its client departs is retired by
 //!   the deposit that completes it.
 
+use kpg_sync::atomic::{AtomicU64, Ordering};
+use kpg_sync::thread::JoinHandle;
+use kpg_sync::{mpsc, Arc, Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 use kpg_dataflow::{execute, Config, Worker};
 use kpg_plan::{Command, Manager, PlanError, Response as PlanResponse, Row};
@@ -247,7 +247,7 @@ impl ServerCore {
     /// Starts the worker pool on a background thread. The thread exits once
     /// [`ServerCore::close`] is called and the log is drained. On a durable core this
     /// also starts the background checkpoint writer.
-    pub fn start(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
+    pub fn start(self: &Arc<Self>) -> kpg_sync::thread::JoinHandle<()> {
         if let Some(durable) = &self.durable {
             let (sender, receiver) = mpsc::channel::<CheckpointJob>();
             *durable
@@ -257,7 +257,7 @@ impl ServerCore {
             // Weak: the writer must not keep a closed core (and its WAL) alive.
             let weak = Arc::downgrade(self);
             let dir = durable.config.dir.clone();
-            let thread = std::thread::Builder::new()
+            let thread = kpg_sync::thread::Builder::new()
                 .name("kpg-server-checkpoint".to_string())
                 .spawn(move || {
                     while let Ok((snapshot, id)) = receiver.recv() {
@@ -280,7 +280,7 @@ impl ServerCore {
                 .expect("checkpoint thread poisoned") = Some(thread);
         }
         let core = Arc::clone(self);
-        std::thread::Builder::new()
+        kpg_sync::thread::Builder::new()
             .name("kpg-server-engine".to_string())
             .spawn(move || {
                 let workers = core.workers;
@@ -307,6 +307,12 @@ impl ServerCore {
     fn prune_wal(&self, watermark: u64) {
         let mut log = self.log.lock().expect("command log poisoned");
         if let Some(wal) = log.wal.as_mut() {
+            // Pruning mutates the segment list, which only the sequencing lock
+            // guards; the directory fsync it implies is accepted under the lock
+            // because pruning is rare (once per checkpoint).
+            let _fsync = kpg_sync::blocking::allow_blocking(
+                "WAL pruning fsyncs the directory under the sequencing lock",
+            );
             // Failure to prune is not failure to persist: the segments are retried
             // by the next checkpoint.
             let _ = wal.prune_below(watermark + 1);
@@ -339,6 +345,12 @@ impl ServerCore {
         let tracker = durable.tracker.lock().expect("state tracker poisoned");
         if tracker.watermark().is_some() {
             let id = durable.next_checkpoint_id.fetch_add(1, Ordering::Relaxed);
+            // The engine has drained and the background writer is joined, so
+            // holding the tracker lock across the checkpoint write contends with
+            // nothing; taking it keeps the snapshot borrow simple.
+            let _fsync = kpg_sync::blocking::allow_blocking(
+                "final checkpoint writes under the tracker lock after drain",
+            );
             match write_checkpoint(&durable.config.dir, &tracker, id) {
                 Ok(watermark) => self.prune_wal(watermark),
                 Err(error) => eprintln!("kpg_server: final checkpoint failed: {error}"),
@@ -415,6 +427,12 @@ impl ServerCore {
         let mut log = self.log.lock().expect("command log poisoned");
         let state = &mut *log;
         if let Some(wal) = state.wal.as_mut() {
+            // Deliberate fsync under the sequencing lock: close must flush the
+            // group-commit buffer before any later submission could observe the
+            // closed flag, or the tail of the log would be acknowledged-but-lost.
+            let _fsync = kpg_sync::blocking::allow_blocking(
+                "close flushes the WAL under the sequencing lock",
+            );
             if !state.wal_pending.is_empty() {
                 let batch = std::mem::take(&mut state.wal_pending);
                 wal.commit(&batch).expect("WAL commit failed at close");
@@ -464,6 +482,13 @@ impl ServerCore {
                 state.next_wal_seq += 1;
                 state.wal_pending.put(wal_seq, command.encode());
                 if matches!(command, Command::AdvanceTime { .. }) {
+                    // Deliberate fsync under the sequencing lock: WAL order must
+                    // equal log order, so the epoch's group commit happens before
+                    // any later command can sequence. This is the group-commit
+                    // protocol, not an accident — hence the explicit opt-in.
+                    let _fsync = kpg_sync::blocking::allow_blocking(
+                        "group commit fsyncs the epoch under the sequencing lock",
+                    );
                     let batch = std::mem::take(&mut state.wal_pending);
                     wal.commit(&batch).expect("WAL commit failed");
                     wal.sync().expect("WAL sync failed");
@@ -518,6 +543,36 @@ impl ServerCore {
                 manager.settle(worker);
             }
             let result = manager.execute(worker, entry.command.clone());
+            self.deposit(&entry, result);
+        }
+    }
+
+    /// The client currently owning the live query `name`, if any. Ownership follows
+    /// completions (see the module docs), so this is the arbitration's verdict — the
+    /// model-checking tests assert its consistency across every interleaving.
+    pub fn owner_of(&self, name: &str) -> Option<ClientId> {
+        self.clients
+            .lock()
+            .expect("client state poisoned")
+            .owners
+            .get(name)
+            .copied()
+    }
+
+    /// [`ServerCore::worker_loop`] with the dataflow swapped out: consumes the log in
+    /// order like a real worker, but executes each command through `step` instead of a
+    /// [`Manager`]. This is the seam the deterministic-schedule tests drive — the
+    /// sequencing, aggregation, and ownership protocol under test is exactly the real
+    /// one; only the (already deterministic) dataflow execution is stubbed.
+    #[cfg(feature = "model")]
+    pub fn model_worker_loop<F>(&self, worker: usize, mut step: F)
+    where
+        F: FnMut(&Command) -> Result<PlanResponse, PlanError>,
+    {
+        let mut next = 0u64;
+        while let Some(entry) = self.next_command(worker, next) {
+            next = entry.seq + 1;
+            let result = step(&entry.command);
             self.deposit(&entry, result);
         }
     }

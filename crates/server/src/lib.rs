@@ -25,6 +25,7 @@
 //! `--durable-dir DIR` to survive crashes).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod client;
 pub mod durability;

@@ -10,12 +10,12 @@
 //! engine. EOF (or any read error) disconnects the client, which uninstalls the
 //! queries it owned and nothing else.
 
+use kpg_sync::atomic::{AtomicBool, Ordering};
+use kpg_sync::thread::JoinHandle;
+use kpg_sync::{mpsc, Arc, Mutex};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use kpg_plan::Command;
@@ -32,38 +32,52 @@ pub(crate) const MAX_IN_FLIGHT: u64 = 1024;
 
 /// The writer's progress, shared with the reader for backpressure: how many responses
 /// have been written back (or `u64::MAX` once the writer is gone, releasing any wait).
-struct SessionFlow {
+///
+/// Public (but hidden) so the model-checking tests can drive the exact protocol the
+/// session threads run — see `tests/model_races.rs`.
+#[doc(hidden)]
+pub struct SessionFlow {
     written: Mutex<u64>,
-    advanced: std::sync::Condvar,
+    advanced: kpg_sync::Condvar,
 }
 
 impl SessionFlow {
-    fn new() -> Self {
+    #[doc(hidden)]
+    pub fn new() -> Self {
         SessionFlow {
             written: Mutex::new(0),
-            advanced: std::sync::Condvar::new(),
+            advanced: kpg_sync::Condvar::new(),
         }
     }
 
     /// Blocks until fewer than `limit` responses separate `reply` from what has been
     /// written back.
-    fn wait_below(&self, reply: u64, limit: u64) {
+    #[doc(hidden)]
+    pub fn wait_below(&self, reply: u64, limit: u64) {
         let mut written = self.written.lock().expect("session flow poisoned");
         while reply.saturating_sub(*written) >= limit {
             written = self.advanced.wait(written).expect("session flow poisoned");
         }
     }
 
-    fn note_written(&self) {
+    #[doc(hidden)]
+    pub fn note_written(&self) {
         let mut written = self.written.lock().expect("session flow poisoned");
         *written += 1;
         self.advanced.notify_all();
     }
 
-    fn release(&self) {
+    #[doc(hidden)]
+    pub fn release(&self) {
         let mut written = self.written.lock().expect("session flow poisoned");
         *written = u64::MAX;
         self.advanced.notify_all();
+    }
+}
+
+impl Default for SessionFlow {
+    fn default() -> Self {
+        SessionFlow::new()
     }
 }
 
@@ -114,12 +128,16 @@ pub struct Server {
 /// bootstrap and WAL tail to completion *before* the listener binds, so the moment
 /// the address is connectable the recovered state is fully settled.
 pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
-    let core = Arc::new(match &config.durability {
-        Some(durability) => {
-            ServerCore::durable(config.workers, config.retain_log, durability.clone())?
-        }
-        None if config.retain_log => ServerCore::with_history(config.workers),
-        None => ServerCore::new(config.workers),
+    let ServerConfig {
+        workers,
+        frame_limit,
+        retain_log,
+        durability,
+    } = config;
+    let core = Arc::new(match durability {
+        Some(durability) => ServerCore::durable(workers, retain_log, durability)?,
+        None if retain_log => ServerCore::with_history(workers),
+        None => ServerCore::new(workers),
     });
     let engine = core.start();
     core.await_replayed();
@@ -148,7 +166,7 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         let core = Arc::clone(&core);
         let stop = Arc::clone(&stop);
         let connections = Arc::clone(&connections);
-        std::thread::Builder::new()
+        kpg_sync::thread::Builder::new()
             .name("kpg-server-accept".to_string())
             .spawn(move || {
                 let mut sessions = Vec::new();
@@ -165,21 +183,21 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
                             if let Ok(session) = spawn_session(
                                 Arc::clone(&core),
                                 stream,
-                                config.frame_limit,
+                                frame_limit,
                                 Arc::clone(&connections),
-                                Arc::clone(&stop),
+                                &stop,
                             ) {
                                 sessions.push(session);
                             }
                         }
                         Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
+                            kpg_sync::thread::sleep(Duration::from_millis(2));
                         }
                         // Transient accept failures (a peer that reset before we
                         // accepted, brief fd exhaustion) must not kill the acceptor:
                         // a server that runs but can never accept again fails
                         // silently. Back off briefly and retry until stopped.
-                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                        Err(_) => kpg_sync::thread::sleep(Duration::from_millis(20)),
                     }
                 }
                 for session in sessions {
@@ -252,7 +270,7 @@ fn spawn_session(
     stream: TcpStream,
     frame_limit: usize,
     connections: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
-    stop: Arc<std::sync::atomic::AtomicBool>,
+    stop: &kpg_sync::atomic::AtomicBool,
 ) -> io::Result<JoinHandle<()>> {
     let (client, responses) = core.register_client();
     let write_stream = stream.try_clone()?;
@@ -271,12 +289,12 @@ fn spawn_session(
     let flow = Arc::new(SessionFlow::new());
     let writer = {
         let flow = Arc::clone(&flow);
-        std::thread::Builder::new()
+        kpg_sync::thread::Builder::new()
             .name(format!("kpg-server-write-{client}"))
-            .spawn(move || write_loop(write_stream, responses, &flow))?
+            .spawn(move || write_loop(write_stream, &responses, &flow))?
     };
 
-    std::thread::Builder::new()
+    kpg_sync::thread::Builder::new()
         .name(format!("kpg-server-read-{client}"))
         .spawn(move || {
             read_loop(&core, client, stream, frame_limit, &flow);
@@ -307,6 +325,7 @@ fn read_loop(
         // otherwise grow the response channel without bound. Stalling here leaves its
         // bytes in the kernel buffers, which is the client's problem.
         flow.wait_below(reply, MAX_IN_FLIGHT);
+        kpg_sync::blocking::annotate("socket read");
         match read_frame(&mut stream, frame_limit) {
             Ok(None) | Err(_) => return,
             Ok(Some(Frame::TooLarge(length))) => {
@@ -334,7 +353,7 @@ fn read_loop(
 /// the engine/wire-error paths; a reorder buffer holds the early ones.
 fn write_loop(
     mut stream: TcpStream,
-    responses: mpsc::Receiver<(u64, Response)>,
+    responses: &mpsc::Receiver<(u64, Response)>,
     flow: &SessionFlow,
 ) {
     let mut next_reply = 0u64;
@@ -342,6 +361,7 @@ fn write_loop(
     'drain: while let Ok((reply, response)) = responses.recv() {
         held.insert(reply, response);
         while let Some(response) = held.remove(&next_reply) {
+            kpg_sync::blocking::annotate("socket write");
             if write_frame(&mut stream, &response.encode()).is_err() {
                 break 'drain;
             }

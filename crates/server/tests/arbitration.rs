@@ -9,8 +9,8 @@
 //! rule is pinned — arrival order at the sequencer is execution order, both outcomes
 //! are clean errors for the loser, and the winner's state survives.
 
-use std::sync::mpsc::Receiver;
-use std::sync::Arc;
+use kpg_sync::mpsc::Receiver;
+use kpg_sync::Arc;
 use std::time::Duration;
 
 use kpg_plan::{Command, Plan, ReduceKind, Row, Value};
@@ -24,7 +24,7 @@ fn row(values: &[u64]) -> Row {
 /// A core with a running engine plus registered pseudo-clients.
 struct Harness {
     core: Arc<ServerCore>,
-    engine: Option<std::thread::JoinHandle<()>>,
+    engine: Option<kpg_sync::thread::JoinHandle<()>>,
     replies: Vec<(u64, Receiver<(u64, Response)>)>,
     next_reply: Vec<u64>,
 }
@@ -395,7 +395,7 @@ fn in_flight_install_of_a_departed_client_is_retired() {
             std::time::Instant::now() < deadline,
             "the departed client's in-flight install was never retired: {response:?}"
         );
-        std::thread::sleep(Duration::from_millis(5));
+        kpg_sync::thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -440,7 +440,7 @@ fn consumed_log_entries_are_pruned() {
             "{} consumed entries were never pruned",
             core.retained_log_len()
         );
-        std::thread::sleep(Duration::from_millis(5));
+        kpg_sync::thread::sleep(Duration::from_millis(5));
     }
     core.close();
     engine.join().expect("engine exits");

@@ -14,11 +14,11 @@
 //! uninstalls — so after a graceful shutdown the queries are durably gone (and the
 //! tests verify that), while after a SIGKILL the installs survive unowned.
 
+use kpg_sync::atomic::{AtomicU64, Ordering};
+use kpg_sync::Arc;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command as ProcessCommand, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use kpg_plan::{Command, Plan, ReduceKind, Row, Value};
@@ -214,8 +214,8 @@ fn kill_nine_mid_churn_recovers_every_acked_epoch() {
         acked = step;
         sent = step;
     }
-    let killer = std::thread::spawn(move || {
-        std::thread::sleep(Duration::from_millis(30));
+    let killer = kpg_sync::thread::spawn(move || {
+        kpg_sync::thread::sleep(Duration::from_millis(30));
         child.kill().expect("SIGKILL the server");
         let _ = child.wait();
     });
@@ -317,6 +317,10 @@ fn sigterm_shuts_down_gracefully_and_preserves_open_updates() {
     client.update("steps", row(&[11]), 1).expect("open update");
     drop(client);
 
+    // SAFETY: `kill` is declared with libc's actual unix signature and is called
+    // with a pid we own — `child` was spawned above and has not been waited on yet,
+    // so the pid cannot have been recycled. Sending SIGTERM to it mutates no state
+    // in this process.
     assert_eq!(
         unsafe { kill(child.id() as i32, SIGTERM) },
         0,

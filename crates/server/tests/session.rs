@@ -92,14 +92,14 @@ fn concurrent_clients_match_a_direct_replay_of_the_merged_log() {
     // is equivalent — what makes the concurrent phase deterministic up to log order.
     let updates_a: Vec<(u64, u64)> = (0..120).map(|i| (i % 20, (i * 7) % 30)).collect();
     let updates_b: Vec<(u64, u64)> = (0..120).map(|i| (40 + i % 15, (i * 11) % 30)).collect();
-    let thread_a = std::thread::spawn(writer(
+    let thread_a = kpg_sync::thread::spawn(writer(
         vec![(
             "degrees",
             Plan::source("edges").reduce(1, ReduceKind::Count),
         )],
         updates_a,
     ));
-    let thread_b = std::thread::spawn(writer(
+    let thread_b = kpg_sync::thread::spawn(writer(
         vec![
             (
                 "dst-degrees",
@@ -237,7 +237,7 @@ fn wire_errors_resync_the_tcp_stream() {
     let oversized = read_response();
     match &oversized {
         Response::WireError { message } => {
-            assert!(message.contains("4096"), "mentions the length: {message}")
+            assert!(message.contains("4096"), "mentions the length: {message}");
         }
         other => panic!("expected WireError for the oversized frame, got {other:?}"),
     }
@@ -294,6 +294,6 @@ fn wait_until(mut condition: impl FnMut() -> bool) {
             return;
         }
         assert!(Instant::now() < deadline, "condition not reached in time");
-        std::thread::sleep(Duration::from_millis(10));
+        kpg_sync::thread::sleep(Duration::from_millis(10));
     }
 }

@@ -23,6 +23,7 @@
 //! framing, checksums, segmentation, and atomic commit.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bytes;
 pub mod crc;

@@ -85,6 +85,7 @@ impl Manifest {
     /// Atomically installs this manifest as `dir`'s current one: write + fsync the
     /// temp file, rename over [`MANIFEST_NAME`], fsync the directory.
     pub fn commit(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        kpg_sync::blocking::annotate("fsync");
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let tmp = dir.join(MANIFEST_TMP);
@@ -126,7 +127,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use kpg_sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
         let dir = std::env::temp_dir().join(format!(

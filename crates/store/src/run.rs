@@ -125,6 +125,7 @@ impl RunWriter {
 
     /// Flushes the final block, writes the index and footer, and fsyncs the file.
     pub fn finish(mut self) -> io::Result<RunMeta> {
+        kpg_sync::blocking::annotate("fsync");
         self.flush_block()?;
         let index_offset = self.offset;
         let mut index = Vec::new();
@@ -294,7 +295,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn temp_file(tag: &str) -> PathBuf {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use kpg_sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
         std::env::temp_dir().join(format!("kpg-run-{tag}-{}-{unique}.run", std::process::id()))

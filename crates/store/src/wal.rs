@@ -231,6 +231,7 @@ impl Wal {
     /// Flushes buffered records and fsyncs the active segment — the group-commit
     /// point: every record committed before this call is durable once it returns.
     pub fn sync(&mut self) -> io::Result<()> {
+        kpg_sync::blocking::annotate("fsync");
         self.active.flush()?;
         self.active.get_ref().sync_data()
     }
@@ -279,6 +280,7 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
     // Directory fsync makes freshly created / removed segment names durable. Some
     // filesystems refuse to open directories for writing; opening read-only suffices
     // for fsync on the platforms we target.
+    kpg_sync::blocking::annotate("fsync");
     File::open(dir)?.sync_all()
 }
 
@@ -287,7 +289,7 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use kpg_sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
         let dir =

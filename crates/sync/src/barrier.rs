@@ -1,0 +1,55 @@
+//! The barrier facade.
+
+/// Result of [`Barrier::wait`]: exactly one arriving thread per generation is the
+/// leader. (Our own type so the model scheduler can elect the leader itself.)
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierWaitResult {
+    is_leader: bool,
+}
+
+impl BarrierWaitResult {
+    /// Whether this thread was the generation's leader.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+}
+
+/// A drop-in `std::sync::Barrier`. Under a model run, the first `n - 1` arrivals
+/// block in the scheduler and the `n`-th (the leader) releases the generation —
+/// deterministically, with no kernel synchronization.
+pub struct Barrier {
+    inner: std::sync::Barrier,
+    #[cfg(feature = "model")]
+    n: usize,
+}
+
+impl Barrier {
+    /// Creates a barrier for `n` threads.
+    pub fn new(n: usize) -> Self {
+        Barrier {
+            inner: std::sync::Barrier::new(n),
+            #[cfg(feature = "model")]
+            n,
+        }
+    }
+
+    /// Blocks until all `n` threads have arrived.
+    pub fn wait(&self) -> BarrierWaitResult {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            let id = std::ptr::from_ref(&self.inner) as usize;
+            let is_leader = scheduler.barrier_wait(id, self.n);
+            return BarrierWaitResult { is_leader };
+        }
+        let result = self.inner.wait();
+        BarrierWaitResult {
+            is_leader: result.is_leader(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Barrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Barrier").finish_non_exhaustive()
+    }
+}

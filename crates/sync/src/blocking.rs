@@ -1,0 +1,56 @@
+//! Blocking-syscall-under-lock analysis (debug builds).
+//!
+//! Holding a lock across a blocking syscall (fsync, socket IO) turns one thread's
+//! kernel wait into every contender's wait, and is almost always an accident. Sites
+//! that perform such syscalls call [`annotate`]; in debug builds it panics if the
+//! calling thread holds a tracked lock, unless the call is inside an
+//! [`allow_blocking`] scope — the opt-in for protocols where blocking under the lock
+//! *is* the design (the server's group-commit fsync under the sequencing lock: WAL
+//! order must equal log order, so the fsync cannot move outside it).
+
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOW: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Marks a scope where blocking under a tracked lock is deliberate. The `reason` is
+/// not recorded — it exists to force the call site to state its justification.
+#[must_use = "the allowance lasts only while the guard lives"]
+pub fn allow_blocking(_reason: &str) -> AllowBlocking {
+    ALLOW.with(|allow| allow.set(allow.get() + 1));
+    AllowBlocking { _private: () }
+}
+
+/// Guard returned by [`allow_blocking`]; the allowance ends when it drops.
+pub struct AllowBlocking {
+    _private: (),
+}
+
+impl Drop for AllowBlocking {
+    fn drop(&mut self) {
+        ALLOW.with(|allow| allow.set(allow.get() - 1));
+    }
+}
+
+/// Declares that the caller is about to perform a blocking syscall of the given
+/// kind (`"fsync"`, `"socket-read"`, …). Free in release builds; in debug builds it
+/// panics when a tracked lock is held outside an [`allow_blocking`] scope.
+#[inline]
+pub fn annotate(kind: &str) {
+    #[cfg(debug_assertions)]
+    {
+        let held = crate::order::held_locks();
+        if held > 0 && ALLOW.with(Cell::get) == 0 {
+            panic!(
+                "kpg_sync: blocking syscall `{kind}` while holding {held} tracked \
+                 lock(s) — every contender now waits on the kernel too. Move the \
+                 syscall outside the critical section, or wrap the site in \
+                 kpg_sync::blocking::allow_blocking(\"why\") if blocking under the \
+                 lock is the protocol."
+            );
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = kind;
+}

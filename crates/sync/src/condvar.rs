@@ -1,0 +1,195 @@
+//! The condition-variable facade.
+
+use std::sync::{LockResult, PoisonError};
+use std::time::Duration;
+
+use crate::{Mutex, MutexGuard};
+
+/// Result of [`Condvar::wait_timeout`]. (Our own type: std's has no public
+/// constructor, and the model scheduler must be able to synthesize timeouts.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A drop-in `std::sync::Condvar`. Under a model run, waits and notifications are
+/// scheduler-visible: a wait releases the model's lock ownership, parks the thread,
+/// and re-competes for the lock on notification, exactly like the real primitive —
+/// but deterministically, one schedule at a time.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    #[cfg(feature = "model")]
+    #[inline]
+    fn id(&self) -> usize {
+        std::ptr::from_ref(&self.inner) as usize
+    }
+
+    /// Blocks until notified, releasing `guard`'s mutex for the duration.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        #[cfg(feature = "model")]
+        if guard.modeled {
+            if let Some(scheduler) = crate::model::current() {
+                let lock: &'a Mutex<T> = guard.lock;
+                let lock_id = guard.lock_id();
+                // Drop the real guard and its bookkeeping; the model keeps the
+                // blocked/ownership state from here.
+                drop(guard.inner.take());
+                #[cfg(debug_assertions)]
+                crate::order::note_release(lock_id);
+                scheduler.condvar_wait(self.id(), lock_id, false);
+                return Ok(Self::model_reacquire(lock));
+            }
+        }
+        let lock: &'a Mutex<T> = guard.lock;
+        let lock_id = guard.lock_id();
+        let inner = guard.inner.take().expect("guard holds the lock");
+        #[cfg(debug_assertions)]
+        crate::order::note_release(lock_id);
+        #[cfg(not(debug_assertions))]
+        let _ = lock_id;
+        match self.inner.wait(inner) {
+            Ok(inner) => Ok(Self::rewrap(lock, inner, false)),
+            Err(poisoned) => Err(PoisonError::new(Self::rewrap(
+                lock,
+                poisoned.into_inner(),
+                false,
+            ))),
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses. Under a model run the timeout
+    /// fires only when no other thread can make progress (modeling "time passes").
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        #[cfg(feature = "model")]
+        if guard.modeled {
+            if let Some(scheduler) = crate::model::current() {
+                let lock: &'a Mutex<T> = guard.lock;
+                let lock_id = guard.lock_id();
+                drop(guard.inner.take());
+                #[cfg(debug_assertions)]
+                crate::order::note_release(lock_id);
+                let timed_out = scheduler.condvar_wait(self.id(), lock_id, true);
+                return Ok((Self::model_reacquire(lock), WaitTimeoutResult { timed_out }));
+            }
+        }
+        let lock: &'a Mutex<T> = guard.lock;
+        let lock_id = guard.lock_id();
+        let inner = guard.inner.take().expect("guard holds the lock");
+        #[cfg(debug_assertions)]
+        crate::order::note_release(lock_id);
+        #[cfg(not(debug_assertions))]
+        let _ = lock_id;
+        match self.inner.wait_timeout(inner, timeout) {
+            Ok((inner, result)) => Ok((
+                Self::rewrap(lock, inner, false),
+                WaitTimeoutResult {
+                    timed_out: result.timed_out(),
+                },
+            )),
+            Err(poisoned) => {
+                let (inner, result) = poisoned.into_inner();
+                Err(PoisonError::new((
+                    Self::rewrap(lock, inner, false),
+                    WaitTimeoutResult {
+                        timed_out: result.timed_out(),
+                    },
+                )))
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            scheduler.yield_point();
+            scheduler.condvar_notify(self.id(), false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            scheduler.yield_point();
+            scheduler.condvar_notify(self.id(), true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+
+    /// Rebuilds a guard after the model scheduler has already granted ownership of
+    /// `lock` back to the calling thread — so the real mutex is necessarily free and
+    /// must be taken *without* consulting the scheduler again.
+    #[cfg(feature = "model")]
+    #[track_caller]
+    fn model_reacquire<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+        use std::sync::TryLockError;
+        #[cfg(debug_assertions)]
+        crate::order::note_acquire(lock.id(), std::panic::Location::caller());
+        let inner = match lock.inner.try_lock() {
+            Ok(inner) => inner,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model scheduler granted a lock that is still held")
+            }
+        };
+        MutexGuard {
+            lock,
+            inner: Some(inner),
+            modeled: true,
+        }
+    }
+
+    #[track_caller]
+    fn rewrap<'a, T>(
+        lock: &'a Mutex<T>,
+        inner: std::sync::MutexGuard<'a, T>,
+        modeled: bool,
+    ) -> MutexGuard<'a, T> {
+        #[cfg(debug_assertions)]
+        crate::order::note_acquire(lock.id(), std::panic::Location::caller());
+        MutexGuard {
+            lock,
+            inner: Some(inner),
+            modeled,
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,247 @@
+//! Schedule exploration: runs a model body under many schedules and reports the
+//! first failing one with everything needed to replay it exactly.
+//!
+//! Phases:
+//!
+//! 1. **Calibration** — one PCT run with a fixed seed and no preemption points,
+//!    measuring the run's step count (used to place later change points). Itself a
+//!    checked schedule.
+//! 2. **Exhaustive (DFS)** — enumerate decision prefixes depth-first up to
+//!    `Config::exhaustive` schedules. If the tree is exhausted within the cap, the
+//!    result is complete for this body and the random phase is skipped.
+//! 3. **Randomized (PCT)** — `Config::schedules` seeded runs with random priorities
+//!    and `Config::change_points` priority-demotion points.
+//!
+//! Environment knobs (read per [`explore`] call; use a test filter so they apply to
+//! one model at a time):
+//!
+//! * `KPG_MODEL_SCHEDULES=N` — shrink/grow both phase budgets (CI lanes, Miri).
+//! * `KPG_MODEL_REPLAY_TRACE=c0,c1,...` — replay one literal decision trace.
+//! * `KPG_MODEL_REPLAY_SEED=S` — replay one PCT schedule by seed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+use super::rng::SplitMix64;
+use super::scheduler::{Scheduler, Strategy};
+
+/// Fixed seed for the calibration run, so its step count — and therefore the
+/// change-point placement of every later schedule — is reproducible without state.
+const CALIBRATION_SEED: u64 = 0x9E37_79B9;
+
+/// Exploration budgets and seeds for one [`explore`] call.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Randomized (PCT) schedules to run.
+    pub schedules: usize,
+    /// Cap on exhaustive DFS schedules; `None` skips the exhaustive phase.
+    pub exhaustive: Option<usize>,
+    /// Base seed; schedule `i` derives its own seed from it.
+    pub seed: u64,
+    /// Priority-demotion points per PCT schedule (PCT's `d - 1`).
+    pub change_points: usize,
+    /// Per-schedule scheduling-point cap (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            schedules: 128,
+            exhaustive: Some(256),
+            seed: 0x006b_7067, // "kpg"
+            change_points: 3,
+            max_steps: 50_000,
+        }
+    }
+}
+
+/// Runs `body` under [`Config::default`]. See [`explore`].
+pub fn explore_default(name: &str, body: impl Fn() + Send + Sync + 'static) {
+    explore(name, Config::default(), body);
+}
+
+/// Explores `body` under many schedules; panics — with the failure, the decision
+/// trace, and replay instructions — on the first schedule that fails (panics,
+/// deadlocks, or exceeds `max_steps`). Returns normally if every schedule passes.
+pub fn explore(name: &str, mut config: Config, body: impl Fn() + Send + Sync + 'static) {
+    install_hook();
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+
+    if let Ok(value) = std::env::var("KPG_MODEL_SCHEDULES") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            config.schedules = n;
+            config.exhaustive = config.exhaustive.map(|cap| cap.min(n.max(1)));
+        }
+    }
+
+    if let Ok(value) = std::env::var("KPG_MODEL_REPLAY_TRACE") {
+        let choices: Vec<u32> = value
+            .split(',')
+            .map(str::trim)
+            .filter(|part| !part.is_empty())
+            .map(|part| part.parse().expect("KPG_MODEL_REPLAY_TRACE: bad choice"))
+            .collect();
+        let (failure, trace, _) = run_once(Strategy::Trace { choices }, config.max_steps, &body);
+        if let Some(failure) = failure {
+            report(name, "trace replay", &failure, &trace, None);
+        }
+        eprintln!("model `{name}`: trace replay completed without failure");
+        return;
+    }
+
+    if let Ok(value) = std::env::var("KPG_MODEL_REPLAY_SEED") {
+        let seed = parse_seed(&value);
+        let estimated = calibrate(name, &config, &body);
+        let strategy = Strategy::pct(seed, config.change_points, estimated);
+        let (failure, trace, _) = run_once(strategy, config.max_steps, &body);
+        if let Some(failure) = failure {
+            report(
+                name,
+                &format!("seed replay ({seed:#x})"),
+                &failure,
+                &trace,
+                Some(seed),
+            );
+        }
+        eprintln!("model `{name}`: seed replay completed without failure");
+        return;
+    }
+
+    let estimated = calibrate(name, &config, &body);
+
+    if let Some(cap) = config.exhaustive {
+        let mut prefix: Vec<u32> = Vec::new();
+        let mut count = 0usize;
+        loop {
+            let (failure, trace, _) = run_once(Strategy::Dfs { prefix }, config.max_steps, &body);
+            count += 1;
+            if let Some(failure) = failure {
+                report(
+                    name,
+                    &format!("exhaustive schedule {count}"),
+                    &failure,
+                    &trace,
+                    None,
+                );
+            }
+            // Advance the deepest decision that still has untried options.
+            let advance = (0..trace.len())
+                .rev()
+                .find(|&at| trace[at].0 + 1 < trace[at].1);
+            match advance {
+                Some(at) => {
+                    let mut next: Vec<u32> =
+                        trace[..at].iter().map(|&(choice, _)| choice).collect();
+                    next.push(trace[at].0 + 1);
+                    prefix = next;
+                }
+                None => {
+                    // Decision tree exhausted: coverage is complete, the random
+                    // phase cannot add schedules.
+                    return;
+                }
+            }
+            if count >= cap {
+                break;
+            }
+        }
+    }
+
+    let mut seeds = SplitMix64::new(config.seed);
+    for index in 0..config.schedules {
+        let seed = seeds.next_u64();
+        let strategy = Strategy::pct(seed, config.change_points, estimated);
+        let (failure, trace, _) = run_once(strategy, config.max_steps, &body);
+        if let Some(failure) = failure {
+            report(
+                name,
+                &format!("PCT schedule {index} (seed {seed:#x})"),
+                &failure,
+                &trace,
+                Some(seed),
+            );
+        }
+    }
+}
+
+/// The calibration run: fixed seed, no preemption points. Returns its step count.
+fn calibrate(name: &str, config: &Config, body: &Arc<dyn Fn() + Send + Sync>) -> usize {
+    let strategy = Strategy::pct(CALIBRATION_SEED, 0, 2);
+    let (failure, trace, steps) = run_once(strategy, config.max_steps, body);
+    if let Some(failure) = failure {
+        report(name, "calibration schedule", &failure, &trace, None);
+    }
+    steps.max(2)
+}
+
+/// Runs `body` once under `strategy`: fresh scheduler, fresh OS threads, collected
+/// outcome. The root of the run is model thread 0.
+fn run_once(
+    strategy: Strategy,
+    max_steps: usize,
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> (Option<String>, Vec<(u32, u32)>, usize) {
+    let scheduler = Arc::new(Scheduler::new(strategy, max_steps));
+    let sched = scheduler.clone();
+    let body = body.clone();
+    let root = std::thread::Builder::new()
+        .name("kpg-model/root".to_string())
+        .spawn(move || {
+            super::enter_thread(&sched, 0);
+            let result = catch_unwind(AssertUnwindSafe(|| body()));
+            // Panics become the run's recorded failure; nothing propagates (the
+            // explorer reads the outcome from the scheduler).
+            super::exit_thread(&sched, 0, result.as_ref().err());
+        })
+        .expect("failed to spawn model root thread");
+    let _ = root.join();
+    scheduler.wait_all_finished();
+    scheduler.outcome()
+}
+
+fn parse_seed(value: &str) -> u64 {
+    let value = value.trim();
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.expect("KPG_MODEL_REPLAY_SEED: bad seed")
+}
+
+fn report(name: &str, schedule: &str, failure: &str, trace: &[(u32, u32)], seed: Option<u64>) -> ! {
+    let csv: Vec<String> = trace
+        .iter()
+        .map(|&(choice, _)| choice.to_string())
+        .collect();
+    let csv = csv.join(",");
+    let seed_line = match seed {
+        Some(seed) => format!(
+            "\n  replay by seed:  KPG_MODEL_REPLAY_SEED={seed:#x} cargo test --features model -- <this test>"
+        ),
+        None => String::new(),
+    };
+    panic!(
+        "model `{name}` failed under {schedule}\n  {failure}\n  decisions ({count}): {csv}\n  \
+         replay exactly: KPG_MODEL_REPLAY_TRACE='{csv}' cargo test --features model -- <this test>{seed_line}",
+        count = trace.len(),
+    );
+}
+
+/// Silences default panic output from model-run threads: their panics are captured
+/// and re-reported once, with the schedule attached, by [`report`]. Installed once
+/// per process; panics from any other thread pass through untouched.
+fn install_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let model_thread = std::thread::current()
+                .name()
+                .is_some_and(|thread| thread.starts_with("kpg-model"));
+            if !model_thread {
+                previous(info);
+            }
+        }));
+    });
+}

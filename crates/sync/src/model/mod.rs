@@ -1,0 +1,93 @@
+//! The deterministic concurrency model (the `model` feature).
+//!
+//! [`explore`] runs a closure — which may spawn facade threads and use every facade
+//! primitive — under many schedules. Real OS threads execute, but the scheduler
+//! keeps exactly one runnable at a time and takes every interleaving decision
+//! itself, from a seeded PCT-style randomized strategy or by exhaustive small-bound
+//! enumeration. Blocking is scheduler-visible, so a real deadlock is *reported*
+//! (with every thread's blocked state) rather than hung on, and a failing schedule
+//! prints its seed and decision trace for exact replay.
+//!
+//! Threads not inside a model run — including other tests sharing the binary while
+//! the feature is compiled in — fall through to the std behavior: dispatch is by
+//! thread-local lookup, not by cfg alone.
+
+mod explore;
+mod rng;
+mod scheduler;
+
+pub use explore::{explore, explore_default, Config};
+pub use scheduler::Scheduler;
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+thread_local! {
+    /// The scheduler governing this thread, if it is part of a model run.
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+    /// Set while this thread unwinds out of an aborted run: facade operations must
+    /// stop consulting the scheduler (its state is being torn down).
+    static ABORTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Panic payload used to tear down a run's threads once a failure is recorded.
+pub(crate) struct ModelAbort;
+
+/// The scheduler governing the calling thread, if any (and not mid-abort).
+pub(crate) fn current() -> Option<Arc<Scheduler>> {
+    if ABORTING.with(Cell::get) {
+        return None;
+    }
+    CURRENT.with(|current| current.borrow().as_ref().map(|(sched, _)| sched.clone()))
+}
+
+/// The calling thread's model thread id. Panics when called off a modeled thread.
+pub(crate) fn current_tid() -> usize {
+    CURRENT.with(|current| {
+        current
+            .borrow()
+            .as_ref()
+            .map(|&(_, tid)| tid)
+            .expect("not a modeled thread")
+    })
+}
+
+/// Marks the calling thread as unwinding out of an aborted run.
+pub(crate) fn set_aborting() {
+    ABORTING.with(|aborting| aborting.set(true));
+}
+
+/// Binds the calling OS thread to `scheduler` as model thread `tid` and parks until
+/// the scheduler makes it active for the first time.
+pub(crate) fn enter_thread(scheduler: &Arc<Scheduler>, tid: usize) {
+    CURRENT.with(|current| {
+        *current.borrow_mut() = Some((scheduler.clone(), tid));
+    });
+    scheduler.thread_begin(tid);
+}
+
+/// Reports the thread's completion to the scheduler. A panic payload other than the
+/// teardown marker becomes the run's failure (first one wins).
+pub(crate) fn exit_thread(
+    scheduler: &Arc<Scheduler>,
+    tid: usize,
+    panic: Option<&Box<dyn Any + Send + 'static>>,
+) {
+    let failure = panic.and_then(|payload| {
+        if payload.downcast_ref::<ModelAbort>().is_some() {
+            None
+        } else if let Some(message) = payload.downcast_ref::<&str>() {
+            Some((*message).to_string())
+        } else if let Some(message) = payload.downcast_ref::<String>() {
+            Some(message.clone())
+        } else {
+            Some("<non-string panic payload>".to_string())
+        }
+    });
+    scheduler.thread_end(tid, failure);
+    CURRENT.with(|current| {
+        *current.borrow_mut() = None;
+    });
+    ABORTING.with(|aborting| aborting.set(false));
+}

@@ -1,0 +1,212 @@
+//! The channel facade: std's unbounded `mpsc` API.
+//!
+//! Under a model run, sends and receives are scheduling points and an empty-channel
+//! receive parks the thread in the scheduler (woken by a send or by the last sender
+//! dropping), so the model sees every blocking edge and can both explore orderings
+//! and detect real deadlocks. The value transport is still std's queue — the model
+//! only controls *when* each end runs.
+//!
+//! Model runs must create and use a channel entirely within modeled threads: a send
+//! from an unmodeled thread cannot wake a modeled receiver.
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+use std::time::Duration;
+
+/// Creates an unbounded channel, like `std::sync::mpsc::channel`.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let (sender, receiver) = std::sync::mpsc::channel();
+    #[cfg(feature = "model")]
+    let id = next_channel_id();
+    (
+        Sender {
+            inner: sender,
+            #[cfg(feature = "model")]
+            id,
+        },
+        Receiver {
+            inner: receiver,
+            #[cfg(feature = "model")]
+            id,
+        },
+    )
+}
+
+#[cfg(feature = "model")]
+fn next_channel_id() -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The sending half of a [`channel`].
+pub struct Sender<T> {
+    inner: std::sync::mpsc::Sender<T>,
+    #[cfg(feature = "model")]
+    id: usize,
+}
+
+impl<T> Sender<T> {
+    /// Sends a value; fails only if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            scheduler.yield_point();
+            self.inner.send(value)?;
+            scheduler.channel_signal(self.id);
+            return Ok(());
+        }
+        self.inner.send(value)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+            #[cfg(feature = "model")]
+            id: self.id,
+        }
+    }
+}
+
+#[cfg(feature = "model")]
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // Dropping a sender may complete a disconnect; wake any parked receiver so
+        // it can observe it. A spurious wake just re-parks.
+        if let Some(scheduler) = crate::model::current() {
+            scheduler.channel_signal(self.id);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+/// The receiving half of a [`channel`].
+pub struct Receiver<T> {
+    inner: std::sync::mpsc::Receiver<T>,
+    #[cfg(feature = "model")]
+    id: usize,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives or every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            loop {
+                scheduler.yield_point();
+                match self.inner.try_recv() {
+                    Ok(value) => return Ok(value),
+                    Err(TryRecvError::Disconnected) => return Err(RecvError),
+                    // No other modeled thread runs between the probe and the park,
+                    // so there is no lost-wakeup window.
+                    Err(TryRecvError::Empty) => {
+                        scheduler.channel_block(self.id, false);
+                    }
+                }
+            }
+        }
+        self.inner.recv()
+    }
+
+    /// Blocks like [`Self::recv`], giving up after `timeout`. Under a model run the
+    /// timeout fires only when no other thread can make progress.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            loop {
+                scheduler.yield_point();
+                match self.inner.try_recv() {
+                    Ok(value) => return Ok(value),
+                    Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                    Err(TryRecvError::Empty) => {
+                        if scheduler.channel_block(self.id, true) {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                    }
+                }
+            }
+        }
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// Returns an immediately available value, if any.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        crate::model_yield();
+        self.inner.try_recv()
+    }
+
+    /// An iterator of received values; ends when every sender has been dropped.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// An iterator over immediately available values; never blocks.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// Non-blocking iterator returned by [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Blocking iterator returned by `Receiver::into_iter`.
+pub struct IntoIter<T> {
+    receiver: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { receiver: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}

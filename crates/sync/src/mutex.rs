@@ -1,0 +1,201 @@
+//! The mutual-exclusion facade: std's `Mutex` API, plus debug lock-order tracking
+//! and model-scheduler routing.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+/// A drop-in `std::sync::Mutex`: identical API (including poisoning in the
+/// passthrough mode), with every acquisition visible to the debug lock-order graph
+/// and, under an active model run, to the deterministic scheduler.
+pub struct Mutex<T> {
+    pub(crate) inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex. `const`, so statics work exactly as with std.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// The lock's identity for order tracking and model-state keying: its address,
+    /// stable for the lock's lifetime.
+    #[inline]
+    pub(crate) fn id(&self) -> usize {
+        std::ptr::from_ref(&self.inner) as usize
+    }
+
+    /// Acquires the mutex, blocking the calling thread until it is available.
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            scheduler.lock_acquire(self.id());
+            #[cfg(debug_assertions)]
+            crate::order::note_acquire(self.id(), std::panic::Location::caller());
+            let inner = match self.inner.try_lock() {
+                Ok(inner) => inner,
+                Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("model scheduler granted a lock that is still held")
+                }
+            };
+            return Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: true,
+            });
+        }
+        #[cfg(debug_assertions)]
+        crate::order::note_acquire(self.id(), std::panic::Location::caller());
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: false,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(poisoned.into_inner()),
+                modeled: false,
+            })),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    #[track_caller]
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            if !scheduler.lock_try_acquire(self.id()) {
+                return Err(TryLockError::WouldBlock);
+            }
+            #[cfg(debug_assertions)]
+            crate::order::note_acquire(self.id(), std::panic::Location::caller());
+            let inner = match self.inner.try_lock() {
+                Ok(inner) => inner,
+                Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("model scheduler granted a lock that is still held")
+                }
+            };
+            return Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: true,
+            });
+        }
+        match self.inner.try_lock() {
+            Ok(inner) => {
+                #[cfg(debug_assertions)]
+                crate::order::note_acquire(self.id(), std::panic::Location::caller());
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    modeled: false,
+                })
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(poisoned)) => {
+                #[cfg(debug_assertions)]
+                crate::order::note_acquire(self.id(), std::panic::Location::caller());
+                Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    modeled: false,
+                })))
+            }
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// Whether the mutex is poisoned (a holder panicked).
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for Mutex<T> {
+    fn drop(&mut self) {
+        crate::order::note_drop(self.id());
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases on drop.
+pub struct MutexGuard<'a, T> {
+    pub(crate) lock: &'a Mutex<T>,
+    /// `None` only transiently (condvar wait takes the inner guard out); a guard
+    /// whose inner is `None` performs no release bookkeeping on drop.
+    pub(crate) inner: Option<std::sync::MutexGuard<'a, T>>,
+    pub(crate) modeled: bool,
+}
+
+impl<T> MutexGuard<'_, T> {
+    pub(crate) fn lock_id(&self) -> usize {
+        self.lock.id()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            // Release the real lock before telling the model scheduler: a waiter the
+            // scheduler runs next must find the std mutex free.
+            drop(inner);
+            #[cfg(debug_assertions)]
+            crate::order::note_release(self.lock.id());
+            #[cfg(feature = "model")]
+            if self.modeled {
+                if let Some(scheduler) = crate::model::current() {
+                    scheduler.lock_release(self.lock.id());
+                }
+            }
+            #[cfg(not(feature = "model"))]
+            let _ = self.modeled;
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The reader-writer-lock facade.
+//!
+//! Order tracking treats read and write acquisitions identically: a read-then-write
+//! inversion across two locks deadlocks just as surely as write-then-write, so the
+//! graph does not distinguish them.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+/// A drop-in `std::sync::RwLock`, visible to the debug lock-order graph and, under
+/// an active model run, to the deterministic scheduler (which models the full
+/// shared/exclusive state: concurrent readers, one writer).
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    #[cfg_attr(not(any(debug_assertions, feature = "model")), allow(dead_code))]
+    #[inline]
+    pub(crate) fn id(&self) -> usize {
+        std::ptr::from_ref(&self.inner) as usize
+    }
+
+    /// Acquires shared read access.
+    #[track_caller]
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            scheduler.rwlock_acquire(self.id(), false);
+            #[cfg(debug_assertions)]
+            crate::order::note_acquire(self.id(), std::panic::Location::caller());
+            let inner = match self.inner.try_read() {
+                Ok(inner) => inner,
+                Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("model scheduler granted a read lock that is write-held")
+                }
+            };
+            return Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: true,
+            });
+        }
+        #[cfg(debug_assertions)]
+        crate::order::note_acquire(self.id(), std::panic::Location::caller());
+        match self.inner.read() {
+            Ok(inner) => Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: false,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RwLockReadGuard {
+                lock: self,
+                inner: Some(poisoned.into_inner()),
+                modeled: false,
+            })),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    #[track_caller]
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            scheduler.rwlock_acquire(self.id(), true);
+            #[cfg(debug_assertions)]
+            crate::order::note_acquire(self.id(), std::panic::Location::caller());
+            let inner = match self.inner.try_write() {
+                Ok(inner) => inner,
+                Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("model scheduler granted a write lock that is still held")
+                }
+            };
+            return Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: true,
+            });
+        }
+        #[cfg(debug_assertions)]
+        crate::order::note_acquire(self.id(), std::panic::Location::caller());
+        match self.inner.write() {
+            Ok(inner) => Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: false,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RwLockWriteGuard {
+                lock: self,
+                inner: Some(poisoned.into_inner()),
+                modeled: false,
+            })),
+        }
+    }
+
+    /// Attempts shared read access without blocking.
+    #[track_caller]
+    pub fn try_read(&self) -> TryLockResult<RwLockReadGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            if !scheduler.rwlock_try_acquire(self.id(), false) {
+                return Err(TryLockError::WouldBlock);
+            }
+            #[cfg(debug_assertions)]
+            crate::order::note_acquire(self.id(), std::panic::Location::caller());
+            let inner = match self.inner.try_read() {
+                Ok(inner) => inner,
+                Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("model scheduler granted a read lock that is write-held")
+                }
+            };
+            return Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: true,
+            });
+        }
+        match self.inner.try_read() {
+            Ok(inner) => {
+                #[cfg(debug_assertions)]
+                crate::order::note_acquire(self.id(), std::panic::Location::caller());
+                Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    modeled: false,
+                })
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(poisoned)) => {
+                #[cfg(debug_assertions)]
+                crate::order::note_acquire(self.id(), std::panic::Location::caller());
+                Err(TryLockError::Poisoned(PoisonError::new(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    modeled: false,
+                })))
+            }
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    #[track_caller]
+    pub fn try_write(&self) -> TryLockResult<RwLockWriteGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            if !scheduler.rwlock_try_acquire(self.id(), true) {
+                return Err(TryLockError::WouldBlock);
+            }
+            #[cfg(debug_assertions)]
+            crate::order::note_acquire(self.id(), std::panic::Location::caller());
+            let inner = match self.inner.try_write() {
+                Ok(inner) => inner,
+                Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("model scheduler granted a write lock that is still held")
+                }
+            };
+            return Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(inner),
+                modeled: true,
+            });
+        }
+        match self.inner.try_write() {
+            Ok(inner) => {
+                #[cfg(debug_assertions)]
+                crate::order::note_acquire(self.id(), std::panic::Location::caller());
+                Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    modeled: false,
+                })
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(poisoned)) => {
+                #[cfg(debug_assertions)]
+                crate::order::note_acquire(self.id(), std::panic::Location::caller());
+                Err(TryLockError::Poisoned(PoisonError::new(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    modeled: false,
+                })))
+            }
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// Whether the lock is poisoned (a writer panicked).
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        RwLock::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for RwLock<T> {
+    fn drop(&mut self) {
+        crate::order::note_drop(self.id());
+    }
+}
+
+/// Shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    #[cfg_attr(not(any(debug_assertions, feature = "model")), allow(dead_code))]
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            drop(inner);
+            #[cfg(debug_assertions)]
+            crate::order::note_release(self.lock.id());
+            #[cfg(feature = "model")]
+            if self.modeled {
+                if let Some(scheduler) = crate::model::current() {
+                    scheduler.rwlock_release(self.lock.id(), false);
+                }
+            }
+            #[cfg(not(feature = "model"))]
+            let _ = self.modeled;
+        }
+    }
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    #[cfg_attr(not(any(debug_assertions, feature = "model")), allow(dead_code))]
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            drop(inner);
+            #[cfg(debug_assertions)]
+            crate::order::note_release(self.lock.id());
+            #[cfg(feature = "model")]
+            if self.modeled {
+                if let Some(scheduler) = crate::model::current() {
+                    scheduler.rwlock_release(self.lock.id(), true);
+                }
+            }
+            #[cfg(not(feature = "model"))]
+            let _ = self.modeled;
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The threading facade.
+//!
+//! A spawn performed by a modeled thread registers the child with the scheduler
+//! before the OS thread exists, runs the closure under the same scheduler (so the
+//! whole tree of a model run is serialized), and funnels panics into the run's
+//! failure report instead of stderr. Outside a model run everything is a
+//! passthrough to `std::thread`.
+
+use std::io;
+use std::time::Duration;
+
+/// Thread factory, mirroring `std::thread::Builder`.
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+    stack_size: Option<usize>,
+}
+
+impl Builder {
+    /// Creates a builder with no name or stack-size override.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Names the thread (shows up in panic messages and debuggers).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Sets the stack size for the new thread.
+    #[must_use]
+    pub fn stack_size(mut self, size: usize) -> Self {
+        self.stack_size = Some(size);
+        self
+    }
+
+    /// Spawns the thread.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        #[cfg(feature = "model")]
+        if let Some(scheduler) = crate::model::current() {
+            let tid = scheduler.register_thread();
+            let child = scheduler;
+            // The "kpg-model/" prefix routes this thread's panics to the run's
+            // failure report (see the hook installed by `model::explore`).
+            let name = match &self.name {
+                Some(name) => format!("kpg-model/{name}"),
+                None => format!("kpg-model/t{tid}"),
+            };
+            let mut builder = std::thread::Builder::new().name(name);
+            if let Some(size) = self.stack_size {
+                builder = builder.stack_size(size);
+            }
+            let inner = builder.spawn(move || {
+                crate::model::enter_thread(&child, tid);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                crate::model::exit_thread(&child, tid, result.as_ref().err());
+                match result {
+                    Ok(value) => value,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            })?;
+            return Ok(JoinHandle {
+                inner,
+                tid: Some(tid),
+            });
+        }
+        let mut builder = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            builder = builder.name(name);
+        }
+        if let Some(size) = self.stack_size {
+            builder = builder.stack_size(size);
+        }
+        Ok(JoinHandle {
+            inner: builder.spawn(f)?,
+            #[cfg(feature = "model")]
+            tid: None,
+        })
+    }
+}
+
+/// Spawns a thread, like `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Handle to a spawned thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    #[cfg(feature = "model")]
+    tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (`Err` if it panicked).
+    pub fn join(self) -> std::thread::Result<T> {
+        #[cfg(feature = "model")]
+        if let Some(tid) = self.tid {
+            if let Some(scheduler) = crate::model::current() {
+                // Block in the scheduler until the target is finished; the real
+                // join below then returns without blocking meaningfully.
+                scheduler.join(tid);
+            }
+        }
+        self.inner.join()
+    }
+
+    /// Whether the thread has finished running.
+    pub fn is_finished(&self) -> bool {
+        crate::model_yield();
+        self.inner.is_finished()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+/// Sleeps, like `std::thread::sleep`. Under a model run this is a pure scheduling
+/// point (model time does not pass; a sleep-polling loop will be driven by the
+/// scheduler's preemptions, not the clock).
+pub fn sleep(duration: Duration) {
+    #[cfg(feature = "model")]
+    if let Some(scheduler) = crate::model::current() {
+        scheduler.yield_point();
+        return;
+    }
+    std::thread::sleep(duration);
+}
+
+/// Yields the processor, like `std::thread::yield_now`.
+pub fn yield_now() {
+    #[cfg(feature = "model")]
+    if let Some(scheduler) = crate::model::current() {
+        scheduler.yield_point();
+        return;
+    }
+    std::thread::yield_now();
+}

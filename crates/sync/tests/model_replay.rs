@@ -1,0 +1,91 @@
+//! Replay: a failing schedule's printed decision trace, fed back through
+//! `KPG_MODEL_REPLAY_TRACE`, reproduces the identical failure.
+//!
+//! Lives in its own integration-test binary because the replay environment
+//! variables are process-global: nothing else may call `explore` in this process.
+#![cfg(feature = "model")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use kpg_sync::atomic::{AtomicU64, Ordering};
+use kpg_sync::model::{explore, Config};
+use kpg_sync::{thread, Arc};
+
+fn lost_update_body() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let counter = counter.clone();
+            thread::spawn(move || {
+                let read = counter.load(Ordering::SeqCst);
+                counter.store(read + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        String::new()
+    }
+}
+
+#[test]
+fn failing_trace_replays_identically() {
+    // 1. Find the planted bug; capture the failure report.
+    let config = Config {
+        schedules: 0,
+        exhaustive: Some(10_000),
+        ..Config::default()
+    };
+    let found = catch_unwind(AssertUnwindSafe(|| {
+        explore("replay-source", config, lost_update_body);
+    }))
+    .expect_err("exploration must find the planted lost update");
+    let report = panic_message(&*found);
+    assert!(
+        report.contains("lost update"),
+        "unexpected report: {report}"
+    );
+
+    // 2. Extract the decision trace from the report's replay line.
+    let trace = report
+        .split("KPG_MODEL_REPLAY_TRACE='")
+        .nth(1)
+        .and_then(|rest| rest.split('\'').next())
+        .unwrap_or_else(|| panic!("report has no replay line: {report}"))
+        .to_string();
+    assert!(!trace.is_empty(), "empty decision trace in: {report}");
+
+    // 3. Replay the literal trace: the identical failure must reproduce.
+    std::env::set_var("KPG_MODEL_REPLAY_TRACE", &trace);
+    let replayed = catch_unwind(AssertUnwindSafe(|| {
+        explore(
+            "replay-target",
+            Config {
+                schedules: 0,
+                exhaustive: Some(1),
+                ..Config::default()
+            },
+            lost_update_body,
+        );
+    }));
+    std::env::remove_var("KPG_MODEL_REPLAY_TRACE");
+    let report = panic_message(&*replayed.expect_err("trace replay must reproduce the failure"));
+    assert!(
+        report.contains("lost update"),
+        "replay produced a different failure: {report}"
+    );
+    assert!(
+        report.contains("trace replay"),
+        "replay was not attributed to the trace strategy: {report}"
+    );
+}

@@ -1,0 +1,81 @@
+//! The static-analysis half of the facade, exercised in a *normal* (non-model)
+//! debug build: the lock-order cycle detector, the recursive-acquisition check, and
+//! the blocking-syscall-under-lock flag all fire without any scheduler involved.
+
+#![cfg(debug_assertions)]
+
+use kpg_sync::{blocking, order, Mutex};
+
+/// AB then BA in one thread: the second ordering closes a cycle in the lock-order
+/// graph and panics on the spot — no unlucky interleaving required.
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn cycle_detector_fires_on_ab_ba_inversion() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+    {
+        let _first = a.lock().unwrap();
+        let _second = b.lock().unwrap();
+    }
+    {
+        let _first = b.lock().unwrap();
+        let _second = a.lock().unwrap(); // cycle: a -> b on record, adding b -> a
+    }
+}
+
+#[test]
+#[should_panic(expected = "recursive acquisition")]
+fn recursive_lock_panics_instead_of_self_deadlocking() {
+    let lock = Mutex::new(());
+    let _outer = lock.lock().unwrap();
+    let _inner = lock.lock().unwrap();
+}
+
+#[test]
+#[should_panic(expected = "blocking syscall")]
+fn blocking_syscall_under_lock_is_flagged() {
+    let lock = Mutex::new(());
+    let _guard = lock.lock().unwrap();
+    blocking::annotate("fsync");
+}
+
+#[test]
+fn blocking_syscall_allowed_when_opted_in() {
+    let lock = Mutex::new(());
+    let _guard = lock.lock().unwrap();
+    let _allow = blocking::allow_blocking("test: deliberate fsync under lock");
+    blocking::annotate("fsync");
+}
+
+#[test]
+fn blocking_syscall_without_lock_is_fine() {
+    blocking::annotate("socket-read");
+}
+
+/// `untracked` suppresses graph recording: the same inversion that panics above
+/// passes inside the escape hatch (used by model self-tests that plant deadlocks).
+#[test]
+fn untracked_suppresses_cycle_detection() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+    order::untracked(|| {
+        {
+            let _first = a.lock().unwrap();
+            let _second = b.lock().unwrap();
+        }
+        {
+            let _first = b.lock().unwrap();
+            let _second = a.lock().unwrap();
+        }
+    });
+}
+
+#[test]
+fn held_locks_counts_this_thread_only() {
+    assert_eq!(order::held_locks(), 0);
+    let lock = Mutex::new(());
+    let guard = lock.lock().unwrap();
+    assert_eq!(order::held_locks(), 1);
+    drop(guard);
+    assert_eq!(order::held_locks(), 0);
+}

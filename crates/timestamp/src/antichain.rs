@@ -91,7 +91,7 @@ impl<T: PartialOrder> Antichain<T> {
 
     /// Removes all elements.
     pub fn clear(&mut self) {
-        self.elements.clear()
+        self.elements.clear();
     }
 
     /// Replaces the contents with the elements of `other`.
@@ -364,7 +364,7 @@ mod tests {
             (Product::new(1u64, 0u64), 1),
             (Product::new(1u64, 3u64), 1),
         ]);
-        let mut frontier: Vec<_> = ma.frontier().iter().cloned().collect();
+        let mut frontier: Vec<_> = ma.frontier().iter().copied().collect();
         frontier.sort();
         assert_eq!(frontier, vec![Product::new(0, 2), Product::new(1, 0)]);
     }

@@ -20,6 +20,7 @@
 //! small deterministic PRNG the workload crates use for reproducible synthetic inputs.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod antichain;
 pub mod lattice;

@@ -7,7 +7,7 @@
 //! superstructure. This batch stores keys and their `(time, diff)` histories directly,
 //! presenting `()` as the value to keep the [`Cursor`] interface uniform.
 
-use std::sync::Arc;
+use kpg_sync::Arc;
 
 use crate::cursor::Cursor;
 use crate::description::Description;

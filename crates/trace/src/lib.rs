@@ -26,6 +26,7 @@
 //!   required of the `diff` component.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod consolidation;
 pub mod cursor;

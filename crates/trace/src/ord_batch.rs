@@ -5,7 +5,7 @@
 //! so the batch stream and every trace reader share the same underlying memory (paper
 //! §4.2, "Shared references").
 
-use std::sync::Arc;
+use kpg_sync::Arc;
 
 use crate::cursor::Cursor;
 use crate::description::Description;

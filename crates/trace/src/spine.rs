@@ -191,7 +191,9 @@ impl<B: Batch> Spine<B> {
                     cursors.push(LayerCursor::Mem(a.cursor()));
                     cursors.push(LayerCursor::Mem(b.cursor()));
                 }
-                Layer::Stored(stored) => cursors.push(LayerCursor::Stored(Box::new(stored.cursor()))),
+                Layer::Stored(stored) => {
+                    cursors.push(LayerCursor::Stored(Box::new(stored.cursor())));
+                }
                 Layer::Taken => unreachable!("transient layer observed"),
             }
         }
@@ -454,7 +456,7 @@ mod tests {
     }
 
     fn temp_run_dir(tag: &str) -> std::path::PathBuf {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use kpg_sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
         let dir =

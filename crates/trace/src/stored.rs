@@ -15,9 +15,9 @@
 //! diff`, so entries of a sorted batch are themselves sorted byte strings grouped by
 //! key, exactly what the run format's key-boundary blocks expect.
 
+use kpg_sync::Arc;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
 
 use kpg_store::run::DEFAULT_BLOCK_BYTES;
 use kpg_store::{RunReader, RunWriter};

@@ -19,6 +19,20 @@ type TimeT = u64;
 
 const CASES: u64 = 48;
 
+/// The case budget: `CASES` natively, shrunk under Miri (interpretation is orders of
+/// magnitude slower), overridable either way with `KPG_MODEL_CASES`.
+fn cases() -> u64 {
+    let scaled = if cfg!(miri) {
+        (CASES / 16).max(2)
+    } else {
+        CASES
+    };
+    std::env::var("KPG_MODEL_CASES")
+        .ok()
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or(scaled)
+}
+
 /// The reference scalar path: sort by `(key, val, time)`, coalesce equal tuples by
 /// adding diffs, and drop zeros.
 fn sort_then_coalesce(mut updates: Vec<(Key, Val, TimeT, isize)>) -> Vec<(Key, Val, TimeT, isize)> {
@@ -57,7 +71,7 @@ fn draw_updates(rng: &mut SmallRng, len: usize) -> Vec<(Key, Val, TimeT, isize)>
 
 #[test]
 fn ord_val_builder_matches_sort_then_coalesce() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let mut rng = SmallRng::seed_from_u64(seed);
         // Sizes straddle the internal consolidation threshold so some cases exercise
         // only the final consolidation and others several mid-build ones.
@@ -134,7 +148,7 @@ fn ord_val_builder_interleaved_seal_cycles_match() {
 
 #[test]
 fn ord_key_builder_matches_sort_then_coalesce() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let mut rng = SmallRng::seed_from_u64(1_000 + seed);
         let len = rng.gen_range(0..1500usize);
         let updates: Vec<(Key, TimeT, isize)> = (0..len)

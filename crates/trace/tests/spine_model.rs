@@ -17,6 +17,20 @@ type TimeT = u64;
 
 const CASES: u64 = 64;
 
+/// The case budget: `CASES` natively, shrunk under Miri (interpretation is orders of
+/// magnitude slower), overridable either way with `KPG_MODEL_CASES`.
+fn cases() -> u64 {
+    let scaled = if cfg!(miri) {
+        (CASES / 16).max(2)
+    } else {
+        CASES
+    };
+    std::env::var("KPG_MODEL_CASES")
+        .ok()
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or(scaled)
+}
+
 /// Accumulate a naive update list at `time` for every (key, val).
 fn naive_accumulate(
     updates: &[(Key, Val, TimeT, isize)],
@@ -121,7 +135,7 @@ fn build_spine(
 /// probe time, regardless of merge effort.
 #[test]
 fn spine_matches_naive_model() {
-    for case in 0..CASES {
+    for case in 0..cases() {
         let mut rng = SmallRng::seed_from_u64(0xA001 + case);
         let epochs = random_epochs(&mut rng, (1, 12), 8, 8, 4);
         let effort =
@@ -140,7 +154,7 @@ fn spine_matches_naive_model() {
 /// or beyond `since` are still exact.
 #[test]
 fn spine_compaction_preserves_accumulations_beyond_since() {
-    for case in 0..CASES {
+    for case in 0..cases() {
         let mut rng = SmallRng::seed_from_u64(0xB001 + case);
         let epochs = random_epochs(&mut rng, (2, 12), 8, 8, 4);
         let since = rng.gen_range(0u64..6);
@@ -158,7 +172,7 @@ fn spine_compaction_preserves_accumulations_beyond_since() {
 /// and its layer count stays logarithmic.
 #[test]
 fn spine_is_compact() {
-    for case in 0..CASES {
+    for case in 0..cases() {
         let mut rng = SmallRng::seed_from_u64(0xC001 + case);
         let epochs = random_epochs(&mut rng, (1, 40), 6, 4, 2);
         let (mut spine, updates) = build_spine(&epochs, MergeEffort::Default, None);

@@ -13,7 +13,7 @@ use kpg_trace::{Builder, Cursor, MergeEffort, Spine};
 type TestBatch = OrdValBatch<u64, u64, u64, isize>;
 
 fn temp_run_dir(tag: &str) -> std::path::PathBuf {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use kpg_sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
     let dir = std::env::temp_dir().join(format!(

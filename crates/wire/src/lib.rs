@@ -22,6 +22,7 @@
 //! "Network protocol" section.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod codec;
 pub mod frame;

@@ -253,3 +253,18 @@ pub fn chain_expr(depth: usize) -> Expr {
     }
     expr
 }
+
+/// The iteration budget for a seeded sweep: `default` natively, shrunk under Miri
+/// (interpretation is orders of magnitude slower), overridable either way with
+/// `KPG_MODEL_CASES` — the slow CI lane raises it, the Miri lane can pin it.
+pub fn cases(default: usize) -> usize {
+    let scaled = if cfg!(miri) {
+        (default / 25).max(2)
+    } else {
+        default
+    };
+    std::env::var("KPG_MODEL_CASES")
+        .ok()
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or(scaled)
+}

@@ -10,7 +10,7 @@ mod common;
 
 use std::io::Cursor;
 
-use common::Generator;
+use common::{cases, Generator};
 use kpg_plan::Command;
 use kpg_timestamp::rng::SmallRng;
 use kpg_wire::{read_frame, write_frame, Frame, Response, WireCodec, WireError};
@@ -33,7 +33,7 @@ fn assert_total(bytes: &[u8]) {
 #[test]
 fn every_truncation_of_every_sample_is_rejected() {
     let mut generator = Generator::new(0xBADBEEF);
-    for _ in 0..250 {
+    for _ in 0..cases(250) {
         let command = generator.command();
         let encoded = command.encode();
         for cut in 0..encoded.len() {
@@ -51,7 +51,7 @@ fn every_truncation_of_every_sample_is_rejected() {
 fn random_bit_flips_never_panic_and_stay_consistent() {
     let mut generator = Generator::new(0xF1B);
     let mut rng = SmallRng::seed_from_u64(0xF1175);
-    for _ in 0..250 {
+    for _ in 0..cases(250) {
         let encoded = generator.command().encode();
         for _ in 0..16 {
             let mut mutated = encoded.clone();
@@ -66,7 +66,7 @@ fn random_bit_flips_never_panic_and_stay_consistent() {
 fn corrupted_length_fields_fail_before_allocating() {
     let mut generator = Generator::new(0x1E4);
     let mut rng = SmallRng::seed_from_u64(7);
-    for _ in 0..250 {
+    for _ in 0..cases(250) {
         let encoded = generator.command().encode();
         // Saturate 4 random aligned byte positions — whatever field they land in
         // (length, count, tag, payload) becomes extreme. A count of ~u32::MAX against
@@ -91,7 +91,7 @@ fn corrupted_length_fields_fail_before_allocating() {
 #[test]
 fn responses_are_total_too() {
     let mut generator = Generator::new(0x5EA);
-    for _ in 0..120 {
+    for _ in 0..cases(120) {
         let encoded = generator.response().encode();
         for cut in 0..encoded.len() {
             assert!(Response::decode(&encoded[..cut]).is_err());
@@ -112,7 +112,7 @@ fn responses_are_total_too() {
 #[test]
 fn a_valid_frame_after_a_rejected_one_still_decodes() {
     let mut generator = Generator::new(0x4E5C);
-    for _ in 0..50 {
+    for _ in 0..cases(50) {
         let good = generator.command();
         let mut corrupt = good.encode();
         corrupt[0] ^= 0xFF; // bad version byte: guaranteed rejection

@@ -7,7 +7,7 @@
 
 mod common;
 
-use common::{chain_expr, chain_plan, Generator};
+use common::{cases, chain_expr, chain_plan, Generator};
 use kpg_plan::{Command, Expr, Plan, Row, Value};
 use kpg_wire::{Response, WireCodec, WireError, MAX_DEPTH};
 
@@ -20,7 +20,7 @@ fn assert_roundtrip<T: WireCodec + PartialEq + std::fmt::Debug>(value: &T) {
 #[test]
 fn commands_roundtrip_over_a_thousand_seeded_trees() {
     let mut generator = Generator::new(0xC0FFEE);
-    for _ in 0..1_200 {
+    for _ in 0..cases(1_200) {
         assert_roundtrip(&generator.command());
     }
 }
@@ -28,7 +28,7 @@ fn commands_roundtrip_over_a_thousand_seeded_trees() {
 #[test]
 fn values_rows_exprs_plans_and_responses_roundtrip() {
     let mut generator = Generator::new(42);
-    for _ in 0..400 {
+    for _ in 0..cases(400) {
         assert_roundtrip(&generator.value());
         assert_roundtrip(&generator.row());
         assert_roundtrip(&generator.expr(4));

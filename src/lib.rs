@@ -69,6 +69,8 @@
 //! publish → install → uninstall lifecycle, with the compaction frontier visibly
 //! advancing when a reader departs).
 
+#![forbid(unsafe_code)]
+
 pub use kpg_core as core;
 pub use kpg_dataflow as dataflow;
 pub use kpg_datalog as datalog;

@@ -60,7 +60,7 @@ fn imported_arrangement_tracks_updates_across_dataflows() {
         let (mut edges, probe, trace) = worker.dataflow(|builder| {
             let (edges_in, edges) = new_collection::<(u32, u32), isize>(builder);
             let arranged = edges.arrange_by_key();
-            (edges_in, arranged.probe(), arranged.trace.clone())
+            (edges_in, arranged.probe(), arranged.trace)
         });
         for n in 0..50u32 {
             edges.insert((n % 10, n));
@@ -121,7 +121,7 @@ fn datalog_and_graph_crates_agree() {
         reached.sort_unstable();
         reached.into_iter().filter(|n| *n != 7).collect()
     };
-    let edges_for_flow = edges.clone();
+    let edges_for_flow = edges;
     let results = execute(Config::new(1), move |worker| {
         let edges = edges_for_flow.clone();
         let (mut edges_in, mut seeds_in, probe, cap) = worker.dataflow(|builder| {
