@@ -1,0 +1,254 @@
+//! The chaos sweep: deterministic disk-fault injection against a live durable
+//! server, measuring what robustness costs. For every swept fault point — each
+//! successive occurrence of the WAL's write and fsync paths, switched permanently
+//! broken — a fresh loopback server is churned while the fault holds, and the run
+//! checks the full degradation contract: no panics, every command answered (`Ok`
+//! or the `degraded-read-only` rejection), queries served throughout, the probe
+//! heals once the fault clears, and a restart recovers exactly the acknowledged
+//! prefix. Heal latency (fault cleared → read-write again) is recorded per heal.
+//!
+//! ```console
+//! $ cargo run --release -p kpg_bench --features faults --bin chaos -- \
+//!       --seed 42 --points 4 --steps 6
+//! ```
+//!
+//! Emits one `BENCH {"name":"chaos_sweep",...}` line: fault points configured and
+//! actually exercised, panic and invariant-violation counts (both must be 0),
+//! degraded transitions and heals observed, and heal-latency p50/p99.
+
+#[cfg(feature = "faults")]
+mod sweep {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+    use std::time::{Duration, Instant};
+
+    use kpg_bench::{arg_usize, bench_record, num, LatencyRecorder};
+    use kpg_plan::{Plan, Row, Value};
+    use kpg_server::{serve, Client, DurabilityConfig, Server, ServerConfig};
+    use kpg_store::io::faults::FaultPlan;
+    use kpg_store::io::OpKind;
+
+    /// What one fault point's run observed.
+    #[derive(Default)]
+    struct Outcome {
+        /// The injected fault actually fired (its occurrence was reached).
+        exercised: bool,
+        /// Contract breaches: an unexpected error, a lost acked row, an invented
+        /// row, a query refused while degraded, or a heal that never came.
+        violations: u64,
+        degraded_transitions: u64,
+        heals: u64,
+        /// Fault cleared → `!degraded`, when the run degraded at all.
+        heal: Option<Duration>,
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kpg-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_server(dir: &Path) -> Server {
+        let mut durability = DurabilityConfig::new(dir);
+        durability.probe_interval = Duration::from_millis(2);
+        serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                durability: Some(durability),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind a durable loopback server")
+    }
+
+    fn client(server: &Server) -> Client {
+        Client::connect_timeout(server.local_addr(), Duration::from_secs(10))
+            .expect("connect")
+            .with_request_timeout(Some(Duration::from_secs(10)))
+            .expect("set request timeout")
+    }
+
+    /// The settled step values of `query`, or `None` when the query call itself
+    /// fails (the caller decides whether that is a violation).
+    fn step_rows(client: &mut Client, query: &str) -> Option<Vec<u64>> {
+        let rows = client.query(query).ok()?;
+        Some(
+            rows.iter()
+                .filter_map(|(row, _)| match row.fields() {
+                    [Value::UInt(step)] => Some(*step),
+                    _ => None,
+                })
+                .collect(),
+        )
+    }
+
+    /// One fault point: churn a fresh durable server while `kind@occurrence..=eio`
+    /// holds, clear the fault, time the heal, restart, and check the acked prefix.
+    fn run_point(kind: OpKind, occurrence: u64, steps: u64, seed: u64) -> Outcome {
+        let spec = format!("{kind}@{occurrence}..=eio");
+        let dir = temp_dir(&format!("{kind}-{occurrence}"));
+        let mut outcome = Outcome::default();
+        let base = seed.wrapping_mul(1_000_003);
+
+        let mut acked = Vec::new();
+        let mut max_acked_advance = 0u64;
+        {
+            let server = durable_server(&dir);
+            let mut c = client(&server);
+            c.create_input("steps", None).expect("create input");
+            c.install("tally", Plan::source("steps").distinct(), &[])
+                .expect("install tally");
+
+            let guard = FaultPlan::parse(&spec).unwrap().scoped(&dir).install();
+            for step in 1..=steps {
+                let value = base + step;
+                match c.update("steps", Row::from(vec![Value::UInt(value)]), 1) {
+                    Ok(()) => acked.push(value),
+                    Err(error) if error.plan_code() == Some("degraded-read-only") => {}
+                    Err(error) => {
+                        eprintln!("{spec}: update {step} failed oddly: {error}");
+                        outcome.violations += 1;
+                    }
+                }
+                match c.advance(step) {
+                    Ok(()) => max_acked_advance = step,
+                    Err(error) if error.plan_code() == Some("degraded-read-only") => {}
+                    Err(error) => {
+                        eprintln!("{spec}: advance {step} failed oddly: {error}");
+                        outcome.violations += 1;
+                    }
+                }
+            }
+            // Reads must survive whatever the disk is doing.
+            if step_rows(&mut c, "tally").is_none() {
+                eprintln!("{spec}: query refused during the fault");
+                outcome.violations += 1;
+            }
+            outcome.exercised = guard.op_count(kind) >= occurrence;
+            let was_degraded = server.health().degraded;
+            drop(guard);
+
+            if was_degraded {
+                let cleared = Instant::now();
+                let deadline = cleared + Duration::from_secs(10);
+                while server.health().degraded && Instant::now() < deadline {
+                    kpg_sync::thread::sleep(Duration::from_millis(1));
+                }
+                if server.health().degraded {
+                    eprintln!("{spec}: never healed: {:?}", server.health());
+                    outcome.violations += 1;
+                } else {
+                    outcome.heal = Some(cleared.elapsed());
+                }
+            }
+            let health = server.health();
+            outcome.degraded_transitions = health.degraded_transitions;
+            outcome.heals = health.heals;
+            drop(c);
+            drop(server); // clean shutdown: flushes whatever is still staged
+        }
+
+        // Restart: recovered rows ⊇ updates sealed by an acked advance, ⊆ acked.
+        let server = durable_server(&dir);
+        let mut c = client(&server);
+        c.install("check", Plan::source("steps").distinct(), &[])
+            .expect("install over recovered input");
+        c.advance(1_000_000).expect("advance after recovery");
+        match step_rows(&mut c, "check") {
+            None => {
+                eprintln!("{spec}: recovered query refused");
+                outcome.violations += 1;
+            }
+            Some(rows) => {
+                for value in acked.iter().filter(|&&v| v - base <= max_acked_advance) {
+                    if !rows.contains(value) {
+                        eprintln!("{spec}: acked update {} lost", value - base);
+                        outcome.violations += 1;
+                    }
+                }
+                for value in &rows {
+                    if !acked.contains(value) {
+                        eprintln!("{spec}: recovered row {value} was never acknowledged");
+                        outcome.violations += 1;
+                    }
+                }
+            }
+        }
+        drop(c);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+        outcome
+    }
+
+    pub fn main() {
+        let seed = arg_usize("--seed", 42) as u64;
+        let points = arg_usize("--points", 4) as u64;
+        let steps = arg_usize("--steps", 6) as u64;
+
+        let kinds = [OpKind::Write, OpKind::Fsync];
+        let fault_points = kinds.len() as u64 * points;
+        let mut exercised = 0u64;
+        let mut panics = 0u64;
+        let mut violations = 0u64;
+        let mut degraded_transitions = 0u64;
+        let mut heals = 0u64;
+        let mut heal_latency = LatencyRecorder::new();
+
+        for kind in kinds {
+            for occurrence in 1..=points {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_point(kind, occurrence, steps, seed)
+                })) {
+                    Err(_) => panics += 1,
+                    Ok(outcome) => {
+                        exercised += u64::from(outcome.exercised);
+                        violations += outcome.violations;
+                        degraded_transitions += outcome.degraded_transitions;
+                        heals += outcome.heals;
+                        if let Some(heal) = outcome.heal {
+                            heal_latency.record(heal);
+                        }
+                    }
+                }
+                println!(
+                    "{kind}@{occurrence}..: {exercised} exercised, {degraded_transitions} \
+                     degraded, {heals} healed, {violations} violations, {panics} panics"
+                );
+            }
+        }
+
+        bench_record(
+            "chaos_sweep",
+            &[
+                ("seed", num(seed)),
+                ("steps", num(steps)),
+                ("fault_points", num(fault_points)),
+                ("exercised", num(exercised)),
+                ("panics", num(panics)),
+                ("violations", num(violations)),
+                ("degraded_transitions", num(degraded_transitions)),
+                ("heals", num(heals)),
+                ("heal_p50_ns", num(heal_latency.quantile(0.5).as_nanos())),
+                ("heal_p99_ns", num(heal_latency.quantile(0.99).as_nanos())),
+            ],
+        );
+        if panics > 0 || violations > 0 {
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+fn main() {
+    sweep::main();
+}
+
+#[cfg(not(feature = "faults"))]
+fn main() {
+    eprintln!(
+        "chaos needs the fault injector compiled in; rerun with:\n    \
+         cargo run --release -p kpg_bench --features faults --bin chaos"
+    );
+    std::process::exit(2);
+}

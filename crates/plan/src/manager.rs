@@ -139,6 +139,10 @@ pub enum PlanError {
     },
     /// An underlying catalog operation failed.
     Catalog(CatalogError),
+    /// The server cannot currently make mutations durable (its log is failing) and
+    /// is refusing state-defining commands; queries still answer from memory. Issued
+    /// by the server's sequencer, never by a manager itself.
+    DegradedReadOnly,
 }
 
 impl Command {
@@ -170,6 +174,7 @@ impl PlanError {
             PlanError::InputInUse { .. } => "input-in-use",
             PlanError::TimeRegression { .. } => "time-regression",
             PlanError::Catalog(_) => "catalog",
+            PlanError::DegradedReadOnly => "degraded-read-only",
         }
     }
 }
@@ -189,6 +194,13 @@ impl fmt::Display for PlanError {
                 write!(f, "cannot advance time from epoch {from} back to {to}")
             }
             PlanError::Catalog(error) => write!(f, "catalog: {error}"),
+            PlanError::DegradedReadOnly => {
+                write!(
+                    f,
+                    "the server cannot write its log and is in degraded read-only mode; \
+                     mutations are rejected until writes succeed again"
+                )
+            }
         }
     }
 }

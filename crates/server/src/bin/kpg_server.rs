@@ -82,7 +82,7 @@ fn main() {
     let durable = durability.is_some();
 
     install_signal_handlers();
-    let mut server = serve(
+    let mut server = match serve(
         &addr,
         ServerConfig {
             workers,
@@ -90,8 +90,13 @@ fn main() {
             durability,
             ..ServerConfig::default()
         },
-    )
-    .expect("failed to serve");
+    ) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("kpg_server: failed to serve on {addr}: {error}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "kpg_server listening on {} ({} workers, {}-byte frame limit{})",
         server.local_addr(),
@@ -106,7 +111,19 @@ fn main() {
     // flushes any staged WAL records), then write the final checkpoint. The farewell
     // is best-effort — whoever launched us may have closed our stdout already, and a
     // broken pipe must not turn a clean shutdown into a panic.
+    let degraded = server.health().degraded;
     server.shutdown();
     use std::io::Write;
-    let _ = writeln!(std::io::stdout(), "kpg_server stopped");
+    if degraded {
+        // An honest exit: the WAL was failing when we stopped, so the flushed
+        // prefix is all we can vouch for (close itself reports what it could not
+        // flush). Still a clean exit — degraded mode is a survivable state.
+        let _ = writeln!(
+            std::io::stdout(),
+            "kpg_server stopped while degraded (unflushed tail was never \
+             acknowledged as durable)"
+        );
+    } else {
+        let _ = writeln!(std::io::stdout(), "kpg_server stopped");
+    }
 }

@@ -12,6 +12,7 @@
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use kpg_plan::{Command, Plan, Row};
 use kpg_wire::{read_frame, write_frame, Frame, Response, WireCodec, DEFAULT_FRAME_LIMIT};
@@ -44,6 +45,14 @@ pub enum ClientError {
         /// The human-readable description.
         message: String,
     },
+    /// The operation exceeded this client's request timeout (see
+    /// [`Client::with_request_timeout`]). A timed-out `receive` may have left the
+    /// stream mid-frame — the connection is no longer known to be in sync, so drop
+    /// the client and reconnect rather than retrying on it.
+    TimedOut {
+        /// The operation that timed out: `"send"` or `"receive"`.
+        during: &'static str,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -58,6 +67,11 @@ impl fmt::Display for ClientError {
             ),
             ClientError::Wire(message) => write!(f, "rejected at the wire: {message}"),
             ClientError::Plan { code, message } => write!(f, "plan error [{code}]: {message}"),
+            ClientError::TimedOut { during } => write!(
+                f,
+                "{during} exceeded the request timeout; the connection may be out \
+                 of sync — reconnect instead of retrying on it"
+            ),
         }
     }
 }
@@ -87,7 +101,8 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server. Blocks as long as the OS lets a connect block; prefer
+    /// [`Client::connect_timeout`] when the server may be unreachable.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -97,22 +112,60 @@ impl Client {
         })
     }
 
+    /// Connects to a server, giving up after `timeout` per resolved address (a name
+    /// resolving to several addresses tries each in turn).
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let mut last = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(Client {
+                        stream,
+                        frame_limit: DEFAULT_FRAME_LIMIT,
+                    });
+                }
+                Err(error) => last = Some(error),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "the address resolved to no addresses",
+            )
+        }))
+    }
+
     /// Sets the largest response frame this client will buffer.
     pub fn with_frame_limit(mut self, frame_limit: usize) -> Client {
         self.frame_limit = frame_limit;
         self
     }
 
+    /// Bounds how long any single [`send`](Client::send) or
+    /// [`receive`](Client::receive) may block (both directions; `None` restores the
+    /// default of blocking indefinitely). An expired timeout surfaces as
+    /// [`ClientError::TimedOut`] — see its docs for why the connection should then
+    /// be dropped. Errors if `timeout` is `Some(Duration::ZERO)`.
+    pub fn with_request_timeout(self, timeout: Option<Duration>) -> io::Result<Client> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(self)
+    }
+
     /// Sends one command without waiting for its response (pipelining). The server
     /// responds to every frame in order; pair each `send` with one [`Client::receive`].
     pub fn send(&mut self, command: &Command) -> Result<(), ClientError> {
-        write_frame(&mut self.stream, &command.encode())?;
+        write_frame(&mut self.stream, &command.encode())
+            .map_err(|error| io_error("send", error))?;
         Ok(())
     }
 
     /// Receives the next response frame.
     pub fn receive(&mut self) -> Result<Response, ClientError> {
-        match read_frame(&mut self.stream, self.frame_limit)? {
+        match read_frame(&mut self.stream, self.frame_limit)
+            .map_err(|error| io_error("receive", error))?
+        {
             None => Err(ClientError::Protocol(
                 "server closed the connection".to_string(),
             )),
@@ -197,6 +250,16 @@ impl Client {
                 .collect()),
             other => Err(response_error(other)),
         }
+    }
+}
+
+/// Maps an I/O failure to the client error it implies: an expired socket timeout
+/// (`WouldBlock` on unix, `TimedOut` elsewhere) becomes the typed
+/// [`ClientError::TimedOut`]; anything else stays [`ClientError::Io`].
+fn io_error(during: &'static str, error: io::Error) -> ClientError {
+    match error.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::TimedOut { during },
+        _ => ClientError::Io(error),
     }
 }
 

@@ -52,16 +52,27 @@ pub struct DurabilityConfig {
     /// Checkpoint when at least this many commands have been logged since the last
     /// checkpoint (evaluated at epoch boundaries, where a consistent cut exists).
     pub checkpoint_every: u64,
+    /// The retry budget for runtime storage failures (group commit, checkpoints).
+    /// Transient errors are retried with doubling backoff up to `retry.attempts`
+    /// total tries; fatal errors (ENOSPC, corruption) escalate immediately. Past the
+    /// budget the server enters degraded read-only mode.
+    pub retry: kpg_store::RetryPolicy,
+    /// How often the degraded-mode probe re-tries the WAL to self-heal back to
+    /// read-write (it runs only while degraded).
+    pub probe_interval: std::time::Duration,
 }
 
 impl DurabilityConfig {
-    /// A configuration with default segment size (8 MiB) and checkpoint cadence
-    /// (every 4096 logged commands).
+    /// A configuration with default segment size (8 MiB), checkpoint cadence (every
+    /// 4096 logged commands), retry budget (3 attempts, 1–20 ms backoff), and heal
+    /// probe interval (25 ms).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             segment_bytes: 8 << 20,
             checkpoint_every: 4096,
+            retry: kpg_store::RetryPolicy::default(),
+            probe_interval: std::time::Duration::from_millis(25),
         }
     }
 }
@@ -608,6 +619,74 @@ mod tests {
         assert_eq!(recovered.next_wal_seq, 5);
         assert_eq!(recovered.next_checkpoint_id, 2);
         assert_eq!(recovered.bootstrap.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A checkpoint torn at any stage — the run-file write, the manifest temp-file
+    /// write (torn or out of space), its fsync, or the final rename — returns an
+    /// error and leaves the previous manifest in force; the identical retry then
+    /// commits cleanly (the injector counters reset with each plan).
+    #[cfg(feature = "faults")]
+    #[test]
+    fn torn_checkpoint_leaves_previous_manifest_in_force() {
+        use kpg_store::io::faults::FaultPlan;
+        let dir = temp_dir("torn-ckpt");
+        let mut tracker = StateTracker::default();
+        tracker.apply(
+            &Command::CreateInput {
+                name: "edges".into(),
+                key_arity: None,
+            },
+            0,
+        );
+        tracker.apply(
+            &Command::Update {
+                name: "edges".into(),
+                row: row(vec![1, 2]),
+                diff: 1,
+            },
+            1,
+        );
+        assert!(tracker.apply(&Command::AdvanceTime { epoch: 1 }, 2));
+        write_checkpoint(&dir, &tracker, 1).unwrap();
+        let committed = Manifest::load(&dir).unwrap().unwrap();
+
+        tracker.apply(
+            &Command::Update {
+                name: "edges".into(),
+                row: row(vec![2, 3]),
+                diff: 1,
+            },
+            3,
+        );
+        assert!(tracker.apply(&Command::AdvanceTime { epoch: 2 }, 4));
+        for plan in [
+            "write@1=short:5",  // the run file tears mid-write
+            "write@1..=enospc", // the disk fills
+            "fsync@1=eio",      // the run file cannot be made durable
+            "rename@1=eio",     // the manifest commit point itself fails
+        ] {
+            let guard = FaultPlan::parse(plan).unwrap().scoped(&dir).install();
+            assert!(
+                write_checkpoint(&dir, &tracker, 2).is_err(),
+                "{plan}: the checkpoint must fail"
+            );
+            drop(guard);
+            assert_eq!(
+                Manifest::load(&dir).unwrap().unwrap(),
+                committed,
+                "{plan}: the previous manifest must stay in force"
+            );
+            let recovered = recover(&DurabilityConfig::new(&dir)).unwrap();
+            assert_eq!(
+                recovered.tracker.watermark(),
+                Some(2),
+                "{plan}: recovery must see the old checkpoint"
+            );
+        }
+        // The identical retry, with the disk healthy again, commits.
+        write_checkpoint(&dir, &tracker, 2).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap().epoch, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

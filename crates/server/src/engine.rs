@@ -34,7 +34,7 @@
 //!   are untouchable. An install still in flight when its client departs is retired by
 //!   the deposit that completes it.
 
-use kpg_sync::atomic::{AtomicU64, Ordering};
+use kpg_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use kpg_sync::thread::JoinHandle;
 use kpg_sync::{mpsc, Arc, Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -42,7 +42,7 @@ use std::io;
 
 use kpg_dataflow::{execute, Config, Worker};
 use kpg_plan::{Command, Manager, PlanError, Response as PlanResponse, Row};
-use kpg_store::{Wal, WalBatch};
+use kpg_store::{RetryPolicy, StoreError, Wal, WalBatch};
 use kpg_wire::{Response, WireCodec};
 
 use crate::durability::{recover, write_checkpoint, DurabilityConfig, StateTracker};
@@ -135,13 +135,65 @@ struct ClientState {
 type CheckpointJob = (StateTracker, u64);
 
 /// The durable half of a [`ServerCore`]: the state tracker that follows completions,
-/// and the background checkpoint writer it feeds.
+/// the background checkpoint writer it feeds, and the heal probe that retries the
+/// WAL while the core is degraded.
 struct DurableState {
     config: DurabilityConfig,
     tracker: Mutex<StateTracker>,
     next_checkpoint_id: AtomicU64,
     checkpoint_tx: Mutex<Option<mpsc::Sender<CheckpointJob>>>,
     checkpoint_thread: Mutex<Option<JoinHandle<()>>>,
+    probe_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The core's storage-health counters. Atomics, not a lock: the hot submit path
+/// reads `degraded` on every mutating command.
+struct HealthState {
+    /// Set while the core rejects mutating commands because it cannot persist them.
+    degraded: AtomicBool,
+    /// Consecutive failed WAL flush attempts (group commit and heal probe); reset to
+    /// zero by any successful flush.
+    wal_failures: AtomicU64,
+    /// Consecutive failed checkpoint writes; reset to zero by a success.
+    checkpoint_failures: AtomicU64,
+    /// Times the core entered degraded read-only mode.
+    degraded_transitions: AtomicU64,
+    /// Times the core healed (left degraded mode because writes succeed again).
+    heals: AtomicU64,
+}
+
+impl HealthState {
+    fn new() -> Self {
+        HealthState {
+            degraded: AtomicBool::new(false),
+            wal_failures: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+            degraded_transitions: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time copy of the core's storage health — see [`ServerCore::health`].
+///
+/// On an in-memory core every field is zero forever. On a durable core `degraded`
+/// means mutating commands are currently answered with the
+/// `degraded-read-only` plan error while queries keep serving from memory; the
+/// counter fields let tests and operators distinguish "never failed" from
+/// "failed and healed".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Mutations are being rejected because the WAL (or a checkpoint) failed past
+    /// its retry budget and the probe has not yet seen a write succeed.
+    pub degraded: bool,
+    /// Consecutive failed WAL flush attempts; zero after any successful flush.
+    pub wal_failures: u64,
+    /// Consecutive failed checkpoint writes; zero after any successful checkpoint.
+    pub checkpoint_failures: u64,
+    /// Times the core has entered degraded read-only mode.
+    pub degraded_transitions: u64,
+    /// Times the core has healed and resumed accepting mutations.
+    pub heals: u64,
 }
 
 /// The network-free server: sequencer, worker pool driver, response aggregator. See
@@ -156,6 +208,7 @@ pub struct ServerCore {
     clients: Mutex<ClientState>,
     next_client: AtomicU64,
     durable: Option<DurableState>,
+    health: HealthState,
 }
 
 impl ServerCore {
@@ -208,6 +261,7 @@ impl ServerCore {
             next_checkpoint_id: AtomicU64::new(recovered.next_checkpoint_id),
             checkpoint_tx: Mutex::new(None),
             checkpoint_thread: Mutex::new(None),
+            probe_thread: Mutex::new(None),
         });
         Ok(core)
     }
@@ -236,6 +290,7 @@ impl ServerCore {
             }),
             next_client: AtomicU64::new(0),
             durable: None,
+            health: HealthState::new(),
         }
     }
 
@@ -257,19 +312,37 @@ impl ServerCore {
             // Weak: the writer must not keep a closed core (and its WAL) alive.
             let weak = Arc::downgrade(self);
             let dir = durable.config.dir.clone();
+            let retry = durable.config.retry;
             let thread = kpg_sync::thread::Builder::new()
                 .name("kpg-server-checkpoint".to_string())
                 .spawn(move || {
                     while let Ok((snapshot, id)) = receiver.recv() {
-                        match write_checkpoint(&dir, &snapshot, id) {
+                        let Some(core) = weak.upgrade() else { break };
+                        match retry
+                            .run("checkpoint write", || write_checkpoint(&dir, &snapshot, id))
+                        {
                             Ok(watermark) => {
-                                if let Some(core) = weak.upgrade() {
-                                    core.prune_wal(watermark);
-                                }
+                                core.health.checkpoint_failures.store(0, Ordering::Relaxed);
+                                core.prune_wal(watermark);
                             }
-                            // A failed checkpoint leaves the previous one in force;
-                            // the WAL keeps everything and recovery stays correct.
-                            Err(error) => eprintln!("kpg_server: checkpoint {id} failed: {error}"),
+                            // A failed checkpoint leaves the previous one in force; the
+                            // WAL keeps everything and recovery stays correct. But a disk
+                            // that cannot take checkpoints cannot bound recovery time (or
+                            // likely take WAL writes for long), so degrade: stop
+                            // acknowledging new mutations until the probe sees writes
+                            // succeed again.
+                            Err(error) => {
+                                let failures = core
+                                    .health
+                                    .checkpoint_failures
+                                    .fetch_add(1, Ordering::Relaxed)
+                                    + 1;
+                                eprintln!(
+                                    "kpg_server: checkpoint {id} failed \
+                                     ({failures} consecutive): {error}"
+                                );
+                                core.enter_degraded("checkpointing", &error);
+                            }
                         }
                     }
                 })
@@ -278,6 +351,25 @@ impl ServerCore {
                 .checkpoint_thread
                 .lock()
                 .expect("checkpoint thread poisoned") = Some(thread);
+            // The heal probe: while the core is degraded, periodically retry the WAL
+            // flush; the first success flips the core back to accepting mutations.
+            // Idle (a single flag load per tick) when healthy.
+            let weak = Arc::downgrade(self);
+            let interval = durable.config.probe_interval;
+            let probe = kpg_sync::thread::Builder::new()
+                .name("kpg-server-heal-probe".to_string())
+                .spawn(move || loop {
+                    kpg_sync::thread::sleep(interval);
+                    let Some(core) = weak.upgrade() else { break };
+                    if core.log.lock().expect("command log poisoned").closed {
+                        break;
+                    }
+                    if core.health.degraded.load(Ordering::SeqCst) {
+                        core.try_heal();
+                    }
+                })
+                .expect("failed to spawn the WAL heal probe");
+            *durable.probe_thread.lock().expect("probe thread poisoned") = Some(probe);
         }
         let core = Arc::clone(self);
         kpg_sync::thread::Builder::new()
@@ -319,6 +411,79 @@ impl ServerCore {
         }
     }
 
+    /// A point-in-time copy of the core's storage health. All zeros on an in-memory
+    /// core (it has no storage to fail).
+    pub fn health(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            degraded: self.health.degraded.load(Ordering::SeqCst),
+            wal_failures: self.health.wal_failures.load(Ordering::Relaxed),
+            checkpoint_failures: self.health.checkpoint_failures.load(Ordering::Relaxed),
+            degraded_transitions: self.health.degraded_transitions.load(Ordering::Relaxed),
+            heals: self.health.heals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the core is currently rejecting mutating commands.
+    pub fn is_degraded(&self) -> bool {
+        self.health.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The runtime retry budget (the config's on a durable core).
+    fn retry_policy(&self) -> RetryPolicy {
+        self.durable
+            .as_ref()
+            .map_or_else(RetryPolicy::default, |durable| durable.config.retry)
+    }
+
+    /// Flips the core into degraded read-only mode (idempotent; counts and logs the
+    /// transition once).
+    fn enter_degraded(&self, cause: &str, error: &StoreError) {
+        if !self.health.degraded.swap(true, Ordering::SeqCst) {
+            self.health
+                .degraded_transitions
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "kpg_server: {cause}: {error}; entering degraded read-only mode \
+                 (mutations rejected, queries still served)"
+            );
+        }
+    }
+
+    /// One heal-probe attempt: flush the staged WAL batch (plus an fsync even when
+    /// empty, so success genuinely demonstrates a writable disk) and, if it
+    /// succeeds, resume accepting mutations.
+    fn try_heal(&self) {
+        let mut log = self.log.lock().expect("command log poisoned");
+        if log.closed {
+            return;
+        }
+        let state = &mut *log;
+        if state.wal.is_none() {
+            return;
+        }
+        let _fsync = kpg_sync::blocking::allow_blocking(
+            "the heal probe retries the WAL flush under the sequencing lock",
+        );
+        // Single attempt per tick: the probe *is* the retry loop, and backing off
+        // under the sequencing lock would stall queries that still work.
+        match Self::group_commit(state, RetryPolicy::none()) {
+            Ok(()) => {
+                drop(log);
+                self.health.wal_failures.store(0, Ordering::Relaxed);
+                if self.health.degraded.swap(false, Ordering::SeqCst) {
+                    self.health.heals.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "kpg_server: WAL writes succeed again; leaving degraded \
+                         read-only mode"
+                    );
+                }
+            }
+            Err(_) => {
+                self.health.wal_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Flushes every outstanding WAL record and writes a final checkpoint. Called by
     /// the owner after the engine has drained (so the tracker is final); a no-op on
     /// in-memory cores. Idempotent.
@@ -342,6 +507,15 @@ impl ServerCore {
         if let Some(thread) = thread {
             let _ = thread.join();
         }
+        // The probe notices the closed log on its next tick and exits.
+        let probe = durable
+            .probe_thread
+            .lock()
+            .expect("probe thread poisoned")
+            .take();
+        if let Some(probe) = probe {
+            let _ = probe.join();
+        }
         let tracker = durable.tracker.lock().expect("state tracker poisoned");
         if tracker.watermark().is_some() {
             let id = durable.next_checkpoint_id.fetch_add(1, Ordering::Relaxed);
@@ -351,8 +525,13 @@ impl ServerCore {
             let _fsync = kpg_sync::blocking::allow_blocking(
                 "final checkpoint writes under the tracker lock after drain",
             );
-            match write_checkpoint(&durable.config.dir, &tracker, id) {
+            let result = durable.config.retry.run("final checkpoint", || {
+                write_checkpoint(&durable.config.dir, &tracker, id)
+            });
+            match result {
                 Ok(watermark) => self.prune_wal(watermark),
+                // Not fatal for this shutdown: the WAL was flushed by `close`, so
+                // recovery replays it against the previous checkpoint instead.
                 Err(error) => eprintln!("kpg_server: final checkpoint failed: {error}"),
             }
         }
@@ -374,8 +553,21 @@ impl ServerCore {
     /// Appends `command` from `client` (answering its request number `reply`) to the
     /// log. Sequencing happens under the client-state lock, so the log order *is* the
     /// arbitration order.
+    ///
+    /// Returns the sequence number, or `u64::MAX` if the command was not sequenced —
+    /// the log is closed, or the core is in degraded read-only mode and the command
+    /// mutates (it was answered with the `degraded-read-only` plan error instead).
     pub fn submit(&self, client: ClientId, reply: u64, command: Command) -> u64 {
         let mut clients = self.clients.lock().expect("client state poisoned");
+        // Degraded read-only mode: a core that cannot persist mutations refuses them
+        // up front rather than acknowledging work it may lose. Queries pass — the
+        // in-memory state is intact and reads were never logged anyway. Checked
+        // before the Uninstall-at-submit ownership edit below, so a rejected
+        // uninstall leaves ownership untouched.
+        if !matches!(command, Command::Query { .. }) && self.is_degraded() {
+            Self::reject_degraded(&clients, client, reply);
+            return u64::MAX;
+        }
         // An Uninstall frees the name *at submit*: once one is sequenced, no
         // disconnect between now and its execution may still count the query as owned
         // (a cleanup Uninstall sequenced behind it would fall through to a same-named
@@ -383,7 +575,31 @@ impl ServerCore {
         if let Command::Uninstall { name } = &command {
             clients.owners.remove(name);
         }
-        self.append(Some((client, reply)), command)
+        match self.append(Some((client, reply)), command) {
+            Ok(seq) => seq,
+            // The group commit for this epoch failed past its retry budget: the
+            // advance was unstaged and never sequenced, and the core is now
+            // degraded. Answer the client honestly instead of acknowledging.
+            Err(()) => {
+                Self::reject_degraded(&clients, client, reply);
+                u64::MAX
+            }
+        }
+    }
+
+    /// Answers `client`'s request `reply` with the degraded-read-only plan error,
+    /// without sequencing anything.
+    fn reject_degraded(clients: &ClientState, client: ClientId, reply: u64) {
+        if let Some(route) = clients.routes.get(&client) {
+            let error = PlanError::DegradedReadOnly;
+            let _ = route.send((
+                reply,
+                Response::PlanError {
+                    code: error.code().to_string(),
+                    message: error.to_string(),
+                },
+            ));
+        }
     }
 
     /// Responds to `client`'s request `reply` with a wire-level error, without touching
@@ -416,28 +632,37 @@ impl ServerCore {
             clients.owners.remove(name);
         }
         for name in owned {
-            self.append(None, Command::Uninstall { name });
+            // An Uninstall stages without flushing, so this cannot fail (only an
+            // AdvanceTime's group commit can): the cleanup lands even while degraded.
+            let _ = self.append(None, Command::Uninstall { name });
         }
     }
 
     /// Closes the log: workers drain what is already sequenced, then exit. Submissions
     /// after close are ignored. On a durable core the group-commit buffer is flushed
-    /// and fsynced, so an orderly shutdown loses nothing, epoch boundary or not.
+    /// and fsynced (best-effort — a disk still failing at shutdown loses only records
+    /// that were never acknowledged as durable), so an orderly shutdown on a healthy
+    /// disk loses nothing, epoch boundary or not.
     pub fn close(&self) {
         let mut log = self.log.lock().expect("command log poisoned");
         let state = &mut *log;
-        if let Some(wal) = state.wal.as_mut() {
+        if state.wal.is_some() {
             // Deliberate fsync under the sequencing lock: close must flush the
             // group-commit buffer before any later submission could observe the
             // closed flag, or the tail of the log would be acknowledged-but-lost.
             let _fsync = kpg_sync::blocking::allow_blocking(
                 "close flushes the WAL under the sequencing lock",
             );
-            if !state.wal_pending.is_empty() {
-                let batch = std::mem::take(&mut state.wal_pending);
-                wal.commit(&batch).expect("WAL commit failed at close");
+            if let Err(error) = Self::group_commit(state, self.retry_policy()) {
+                // Exit without claiming durability: everything in the flushed
+                // prefix is safe, and nothing past it was ever acknowledged as
+                // durable (epochs only ack after their fsync).
+                eprintln!(
+                    "kpg_server: shutdown could not flush {} staged WAL record(s); \
+                     they were never acknowledged as durable: {error}",
+                    state.wal_pending.len()
+                );
             }
-            wal.sync().expect("WAL sync failed at close");
         }
         state.closed = true;
         self.grown.notify_all();
@@ -464,10 +689,14 @@ impl ServerCore {
         self.log.lock().expect("command log poisoned").entries.len()
     }
 
-    fn append(&self, origin: Option<(ClientId, u64)>, command: Command) -> u64 {
+    /// Sequences `command`, staging it in the WAL batch on a durable core. `Err(())`
+    /// means an `AdvanceTime`'s group commit failed past its retry budget: the
+    /// advance was unstaged, nothing was sequenced, and the core is now degraded —
+    /// only `AdvanceTime` can fail here. `Ok(u64::MAX)` means the log was closed.
+    fn append(&self, origin: Option<(ClientId, u64)>, command: Command) -> Result<u64, ()> {
         let mut log = self.log.lock().expect("command log poisoned");
         if log.closed {
-            return u64::MAX;
+            return Ok(u64::MAX);
         }
         let state = &mut *log;
         // Durable path: log every state-defining command (reads are not state) under
@@ -475,27 +704,44 @@ impl ServerCore {
         // group-commit buffer; sequencing an `AdvanceTime` commits and fsyncs the
         // whole epoch, which is why an acknowledged epoch advance implies durability
         // of everything at or before it. A durable server that cannot write its log
-        // must not acknowledge anything: WAL failures panic.
-        let wal_seq = match state.wal.as_mut() {
-            Some(wal) if !matches!(command, Command::Query { .. }) => {
-                let wal_seq = state.next_wal_seq;
-                state.next_wal_seq += 1;
-                state.wal_pending.put(wal_seq, command.encode());
-                if matches!(command, Command::AdvanceTime { .. }) {
-                    // Deliberate fsync under the sequencing lock: WAL order must
-                    // equal log order, so the epoch's group commit happens before
-                    // any later command can sequence. This is the group-commit
-                    // protocol, not an accident — hence the explicit opt-in.
-                    let _fsync = kpg_sync::blocking::allow_blocking(
-                        "group commit fsyncs the epoch under the sequencing lock",
-                    );
-                    let batch = std::mem::take(&mut state.wal_pending);
-                    wal.commit(&batch).expect("WAL commit failed");
-                    wal.sync().expect("WAL sync failed");
+        // must not acknowledge an epoch: the advance is rejected, its record
+        // unstaged, and the core degrades to read-only until the probe heals it.
+        // Earlier records of the unfinished epoch stay staged — their commands were
+        // acknowledged only as sequenced, never as durable, and the heal probe (or
+        // the next successful advance) flushes them.
+        let wal_seq = if state.wal.is_some() && !matches!(command, Command::Query { .. }) {
+            let wal_seq = state.next_wal_seq;
+            state.wal_pending.put(wal_seq, command.encode());
+            if matches!(command, Command::AdvanceTime { .. }) {
+                // Deliberate fsync under the sequencing lock: WAL order must
+                // equal log order, so the epoch's group commit happens before
+                // any later command can sequence. This is the group-commit
+                // protocol, not an accident — hence the explicit opt-in.
+                let _fsync = kpg_sync::blocking::allow_blocking(
+                    "group commit fsyncs the epoch under the sequencing lock",
+                );
+                // While degraded, don't even try: the probe owns retries, and a
+                // failing disk under the sequencing lock would stall every client.
+                // (Reached when the checkpoint thread degraded the core after
+                // submit's up-front check passed.)
+                if self.is_degraded() {
+                    state.wal_pending.remove(wal_seq);
+                    return Err(());
                 }
-                Some(wal_seq)
+                match Self::group_commit(state, self.retry_policy()) {
+                    Ok(()) => self.health.wal_failures.store(0, Ordering::Relaxed),
+                    Err(error) => {
+                        state.wal_pending.remove(wal_seq);
+                        self.health.wal_failures.fetch_add(1, Ordering::Relaxed);
+                        self.enter_degraded("WAL group commit", &error);
+                        return Err(());
+                    }
+                }
             }
-            _ => None,
+            state.next_wal_seq = wal_seq + 1;
+            Some(wal_seq)
+        } else {
+            None
         };
         let seq = state.base + state.entries.len() as u64;
         state.entries.push_back(Arc::new(SequencedCommand {
@@ -505,7 +751,21 @@ impl ServerCore {
             command,
         }));
         self.grown.notify_all();
-        seq
+        Ok(seq)
+    }
+
+    /// Commits and fsyncs the staged WAL batch, clearing it on success. On failure
+    /// the batch stays staged so a later attempt can retry — the WAL repairs itself
+    /// back to its synced prefix first, so retries never duplicate records.
+    fn group_commit(state: &mut LogState, policy: RetryPolicy) -> Result<(), StoreError> {
+        let wal = state.wal.as_mut().expect("group commit requires a WAL");
+        let pending = &state.wal_pending;
+        policy.run("WAL group commit", || {
+            wal.commit(pending)?;
+            wal.sync()
+        })?;
+        state.wal_pending = WalBatch::new();
+        Ok(())
     }
 
     /// The log entry at position `from`, blocking until it exists; records that
@@ -686,7 +946,7 @@ impl ServerCore {
                     clients.owners.insert(name.clone(), client);
                 } else {
                     clients.owners.remove(name);
-                    self.append(None, Command::Uninstall { name: name.clone() });
+                    let _ = self.append(None, Command::Uninstall { name: name.clone() });
                 }
             }
             (Command::Uninstall { name }, _) => {

@@ -34,7 +34,7 @@ pub mod net;
 
 pub use client::{Client, ClientError};
 pub use durability::DurabilityConfig;
-pub use engine::{ClientId, SequencedCommand, ServerCore};
+pub use engine::{ClientId, HealthSnapshot, SequencedCommand, ServerCore};
 pub use net::{serve, Server, ServerConfig};
 
 /// The deepest a client should pipeline: the server stops reading a connection's

@@ -228,6 +228,12 @@ impl Server {
         &self.core
     }
 
+    /// The core's storage health: whether mutations are currently being rejected
+    /// (degraded read-only mode) and the failure/heal counters behind it.
+    pub fn health(&self) -> crate::HealthSnapshot {
+        self.core.health()
+    }
+
     /// Stops accepting, disconnects every client, drains the engine, and joins every
     /// thread. Idempotent; also run on drop.
     pub fn shutdown(&mut self) {

@@ -1,0 +1,225 @@
+//! Typed storage failures and the bounded retry/backoff policy.
+//!
+//! Runtime I/O paths used to `.expect(...)` their way past disk errors; this module
+//! gives them vocabulary instead. Every failure is classified as either
+//! [`FaultClass::Transient`] (worth a bounded number of retries with doubling
+//! backoff — a generic `EIO`, an interrupted call) or [`FaultClass::Fatal`]
+//! (retrying cannot help: the disk is full, the data is corrupt, the path is gone).
+//! [`RetryPolicy::run`] drives a fallible operation through that classification and
+//! hands back a [`StoreError`] carrying the operation name, the class, and how many
+//! attempts were burned — which is exactly what the server needs to decide between
+//! "try again later" and "enter degraded read-only mode".
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+/// How a storage failure should be treated by retry logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Plausibly temporary; a bounded retry with backoff may clear it.
+    Transient,
+    /// Retrying cannot help: resource exhaustion, corruption, or a missing or
+    /// unwritable path. Escalate immediately.
+    Fatal,
+}
+
+/// Classifies an I/O error. Disk-full (`ENOSPC`/`EDQUOT`), read-only filesystems,
+/// corruption (`InvalidData`), missing paths, and permission failures are
+/// [`FaultClass::Fatal`]; everything else — including the generic `EIO` a dying disk
+/// produces — is [`FaultClass::Transient`] and worth a bounded retry.
+pub fn classify(error: &io::Error) -> FaultClass {
+    match error.kind() {
+        io::ErrorKind::StorageFull
+        | io::ErrorKind::QuotaExceeded
+        | io::ErrorKind::ReadOnlyFilesystem
+        | io::ErrorKind::InvalidData
+        | io::ErrorKind::NotFound
+        | io::ErrorKind::PermissionDenied
+        | io::ErrorKind::Unsupported => FaultClass::Fatal,
+        _ => match error.raw_os_error() {
+            // ENOSPC / EROFS surfaced under an unmapped kind on older platforms.
+            Some(28 | 30) => FaultClass::Fatal,
+            _ => FaultClass::Transient,
+        },
+    }
+}
+
+/// A storage operation that failed past its retry budget.
+#[derive(Debug)]
+pub struct StoreError {
+    /// What was being attempted, e.g. `"WAL group commit"`.
+    pub op: &'static str,
+    /// The classification of the final error.
+    pub class: FaultClass,
+    /// How many attempts were made (≥ 1).
+    pub attempts: u32,
+    /// The final underlying error.
+    pub source: io::Error,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let class = match self.class {
+            FaultClass::Transient => "transient",
+            FaultClass::Fatal => "fatal",
+        };
+        write!(
+            formatter,
+            "{} failed after {} attempt{} ({class}): {}",
+            self.op,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// A bounded retry policy: up to `attempts` tries, sleeping `initial_backoff` after
+/// the first failure and doubling (capped at `max_backoff`) between subsequent ones.
+/// Fatal errors ([`classify`]) are never retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts, including the first (values below 1 behave as 1).
+    pub attempts: u32,
+    /// Sleep before the first retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling for the doubling schedule.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Runs `attempt` until it succeeds, fails fatally, or exhausts the budget.
+    /// Transient failures sleep the current backoff (through the sync facade, so the
+    /// model scheduler sees them) before the next try.
+    pub fn run<T>(
+        &self,
+        op: &'static str,
+        mut attempt: impl FnMut() -> io::Result<T>,
+    ) -> Result<T, StoreError> {
+        let allowed = self.attempts.max(1);
+        let mut backoff = self.initial_backoff;
+        let mut tried = 0;
+        loop {
+            tried += 1;
+            match attempt() {
+                Ok(value) => return Ok(value),
+                Err(source) => {
+                    let class = classify(&source);
+                    if class == FaultClass::Fatal || tried >= allowed {
+                        return Err(StoreError {
+                            op,
+                            class,
+                            attempts: tried,
+                            source,
+                        });
+                    }
+                    if !backoff.is_zero() {
+                        kpg_sync::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(self.max_backoff);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn classification_separates_exhaustion_from_generic_io() {
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::StorageFull, "full")),
+            FaultClass::Fatal
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::InvalidData, "corrupt")),
+            FaultClass::Fatal
+        );
+        assert_eq!(
+            classify(&io::Error::from_raw_os_error(28)),
+            FaultClass::Fatal
+        );
+        assert_eq!(classify(&io::Error::other("eio")), FaultClass::Transient);
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::TimedOut, "slow disk")),
+            FaultClass::Transient
+        );
+    }
+
+    #[test]
+    fn transient_failures_use_the_whole_budget() {
+        let mut calls = 0;
+        let result: Result<(), _> = quick(3).run("op", || {
+            calls += 1;
+            Err(io::Error::other("eio"))
+        });
+        let error = result.unwrap_err();
+        assert_eq!(calls, 3);
+        assert_eq!(error.attempts, 3);
+        assert_eq!(error.class, FaultClass::Transient);
+    }
+
+    #[test]
+    fn a_late_success_is_a_success() {
+        let mut calls = 0;
+        let result = quick(3).run("op", || {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::other("eio"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+    }
+
+    #[test]
+    fn fatal_failures_escalate_immediately() {
+        let mut calls = 0;
+        let result: Result<(), _> = quick(5).run("op", || {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::StorageFull, "full"))
+        });
+        let error = result.unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(error.attempts, 1);
+        assert_eq!(error.class, FaultClass::Fatal);
+        assert!(error.to_string().contains("after 1 attempt (fatal)"));
+    }
+}

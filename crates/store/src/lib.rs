@@ -21,17 +21,27 @@
 //! The crate is dependency-free and byte-oriented: callers bring their own encodings
 //! (the server uses the wire codec, the trace uses `StoreData`), this crate owns
 //! framing, checksums, segmentation, and atomic commit.
+//!
+//! Two cross-cutting modules harden all three against a disk that fails rather than
+//! merely crashes: every file operation routes through the [`io`] seam (a zero-cost
+//! passthrough normally; a deterministic, plan-driven fault injector under
+//! `--features faults`), and failures are classified and retried through
+//! [`error`]'s [`FaultClass`]/[`RetryPolicy`] vocabulary instead of panicking.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bytes;
 pub mod crc;
+pub mod error;
+pub mod io;
 pub mod manifest;
 pub mod run;
 pub mod wal;
 
 pub use crc::crc32;
+pub use error::{classify, FaultClass, RetryPolicy, StoreError};
+pub use io::OpKind;
 pub use manifest::{Manifest, MANIFEST_NAME};
 pub use run::{RunMeta, RunReader, RunWriter};
 pub use wal::{Wal, WalBatch};

@@ -14,7 +14,7 @@
 //! skips via the watermark. Either side of the race recovers to the same state,
 //! which is exactly the property the checkpoint/truncation race test pins.
 
-use std::fs::{self, File};
+use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 
@@ -85,16 +85,15 @@ impl Manifest {
     /// Atomically installs this manifest as `dir`'s current one: write + fsync the
     /// temp file, rename over [`MANIFEST_NAME`], fsync the directory.
     pub fn commit(&self, dir: impl AsRef<Path>) -> io::Result<()> {
-        kpg_sync::blocking::annotate("fsync");
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let tmp = dir.join(MANIFEST_TMP);
-        let mut file = File::create(&tmp)?;
+        let mut file = crate::io::create(&tmp)?;
         file.write_all(&self.encode())?;
         file.sync_all()?;
         drop(file);
-        fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
-        File::open(dir)?.sync_all()
+        crate::io::rename(&tmp, dir.join(MANIFEST_NAME))?;
+        crate::io::sync_dir(dir)
     }
 
     /// Loads `dir`'s committed manifest. `Ok(None)` if none was ever committed; an
@@ -105,7 +104,7 @@ impl Manifest {
         let dir = dir.as_ref();
         let _ = fs::remove_file(dir.join(MANIFEST_TMP));
         let path = dir.join(MANIFEST_NAME);
-        let bytes = match fs::read(&path) {
+        let bytes = match crate::io::read(&path) {
             Ok(bytes) => bytes,
             Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(error) => return Err(error),

@@ -21,7 +21,6 @@
 //! the footer and index eagerly and each block on read, so a damaged run is detected,
 //! not misread.
 
-use std::fs::File;
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
@@ -54,7 +53,7 @@ pub struct RunMeta {
 /// Streams sorted entries into a run file. Entries must be pushed in their final
 /// (sorted) order; the writer only frames and indexes them.
 pub struct RunWriter {
-    file: BufWriter<File>,
+    file: BufWriter<crate::io::File>,
     offset: u64,
     block: Vec<u8>,
     block_entries: u32,
@@ -68,7 +67,7 @@ impl RunWriter {
     /// Creates `path` (truncating any existing file) and writes the header. Blocks
     /// are cut at the first key boundary after `block_bytes` of entry payload.
     pub fn create(path: impl AsRef<Path>, block_bytes: usize) -> io::Result<RunWriter> {
-        let mut file = BufWriter::new(File::create(path)?);
+        let mut file = BufWriter::new(crate::io::create(path)?);
         file.write_all(MAGIC)?;
         let mut version = Vec::new();
         put_u32(&mut version, VERSION);
@@ -125,7 +124,6 @@ impl RunWriter {
 
     /// Flushes the final block, writes the index and footer, and fsyncs the file.
     pub fn finish(mut self) -> io::Result<RunMeta> {
-        kpg_sync::blocking::annotate("fsync");
         self.flush_block()?;
         let index_offset = self.offset;
         let mut index = Vec::new();
@@ -155,7 +153,7 @@ impl RunWriter {
 
 /// Reads a run file: the index is validated at open, blocks are CRC-checked on read.
 pub struct RunReader {
-    file: File,
+    file: crate::io::File,
     path: PathBuf,
     blocks: Vec<IndexEntry>,
     entries: u64,
@@ -165,7 +163,7 @@ impl RunReader {
     /// Opens and validates `path` (magic, version, footer, index CRC).
     pub fn open(path: impl AsRef<Path>) -> io::Result<RunReader> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::open(&path)?;
+        let mut file = crate::io::open_read(&path)?;
         let total_len = file.seek(SeekFrom::End(0))?;
         let corrupt = |message: &str| {
             io::Error::new(

@@ -10,7 +10,7 @@
 //! orders them and bounds each one's contents (every record in a segment has a
 //! sequence below the next segment's first). Appends go through a [`WalBatch`] — a
 //! last-writes staging map in the style of sovereign-sdk's `SchemaBatch` — committed
-//! as one buffered write under the caller's lock; [`Wal::sync`] is the group-commit
+//! as one contiguous write under the caller's lock; [`Wal::sync`] is the group-commit
 //! fsync the caller issues at its durability points (the server syncs on epoch
 //! advances, so an acknowledged `AdvanceTime` implies everything before it is on
 //! disk).
@@ -20,10 +20,18 @@
 //! the file is truncated there, any later segments are discarded, and the intact
 //! prefix is returned. A crash mid-append therefore costs at most the unacknowledged
 //! suffix, never a panic and never a misparse.
+//!
+//! Failed appends are recoverable *in place*: the log remembers the byte length of
+//! its last successful sync, a failed write or fsync marks it **tainted**, and
+//! [`Wal::repair`] truncates the active segment back to the synced prefix — so a
+//! caller that kept its batch staged can simply retry `commit` + `sync` without ever
+//! duplicating a record. `commit` and `sync` repair automatically when needed; all
+//! file operations route through the [`crate::io`] seam, so every one of these
+//! failure paths is reachable deterministically under `--features faults`.
 
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::fs;
+use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::bytes::{get_u32, get_u64, put_u32, put_u64};
@@ -47,6 +55,13 @@ impl WalBatch {
     /// sequence (last write wins).
     pub fn put(&mut self, seq: u64, payload: Vec<u8>) {
         self.entries.insert(seq, payload);
+    }
+
+    /// Unstages `seq`, returning its payload if it was staged. Callers use this to
+    /// withdraw a record whose commit was refused (the server unstages an epoch
+    /// advance it could not make durable).
+    pub fn remove(&mut self, seq: u64) -> Option<Vec<u8>> {
+        self.entries.remove(&seq)
     }
 
     /// The number of staged records.
@@ -76,9 +91,16 @@ pub struct Wal {
     segment_bytes: u64,
     /// Segment first-sequences, oldest first; the last is the active segment.
     segments: Vec<u64>,
-    active: BufWriter<File>,
+    active: crate::io::File,
     active_len: u64,
     active_records: u64,
+    /// Length/record count of the active segment at the last successful sync — the
+    /// truncation point [`Wal::repair`] rolls back to.
+    synced_len: u64,
+    synced_records: u64,
+    /// Set when a write or sync failed and the active segment may hold a torn or
+    /// unsynced suffix; cleared by [`Wal::repair`].
+    tainted: bool,
 }
 
 fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
@@ -149,7 +171,7 @@ impl Wal {
         let mut truncate_from: Option<usize> = None;
         for (index, first) in segments.iter().enumerate() {
             let path = segment_path(&dir, *first);
-            let contents = fs::read(&path)?;
+            let contents = crate::io::read(&path)?;
             let (mut segment_records, valid_len) = decode_segment(&contents);
             records.append(&mut segment_records);
             if valid_len < contents.len() {
@@ -157,7 +179,7 @@ impl Wal {
                 // later segment — records past a tear are unreachable by definition
                 // (recovery is a prefix), keeping them would only confuse the next
                 // recovery.
-                let file = OpenOptions::new().write(true).open(&path)?;
+                let file = crate::io::open_write(&path)?;
                 file.set_len(valid_len as u64)?;
                 file.sync_all()?;
                 truncate_from = Some(index + 1);
@@ -166,20 +188,20 @@ impl Wal {
         }
         if let Some(from) = truncate_from {
             for first in segments.drain(from..) {
-                fs::remove_file(segment_path(&dir, first))?;
+                crate::io::remove_file(segment_path(&dir, first))?;
             }
         }
         if segments.is_empty() {
             let first = records.last().map(|record| record.seq + 1).unwrap_or(0);
-            File::create(segment_path(&dir, first))?.sync_all()?;
-            sync_dir(&dir)?;
+            crate::io::create(segment_path(&dir, first))?.sync_all()?;
+            crate::io::sync_dir(&dir)?;
             segments.push(first);
         }
         let active_path = segment_path(&dir, *segments.last().expect("at least one segment"));
-        let mut file = OpenOptions::new().append(true).open(&active_path)?;
+        let mut file = crate::io::open_append(&active_path)?;
         let active_len = file.seek(SeekFrom::End(0))?;
         let active_records = {
-            let contents = fs::read(&active_path)?;
+            let contents = crate::io::read(&active_path)?;
             decode_segment(&contents).0.len() as u64
         };
         Ok((
@@ -187,21 +209,30 @@ impl Wal {
                 dir,
                 segment_bytes,
                 segments,
-                active: BufWriter::new(file),
+                active: file,
                 active_len,
                 active_records,
+                synced_len: active_len,
+                synced_records: active_records,
+                tainted: false,
             },
             records,
         ))
     }
 
-    /// Appends every staged record (ascending sequence) as one buffered write,
+    /// Appends every staged record (ascending sequence) as one contiguous write,
     /// rotating to a fresh segment first if the active one is over its size budget.
     /// Durability requires a subsequent [`Wal::sync`].
+    ///
+    /// If an earlier append or sync failed, the log is repaired first (see
+    /// [`Wal::repair`]); on failure the log is marked tainted and the batch stays
+    /// the caller's to retry — re-committing the same batch after a failure never
+    /// duplicates records.
     pub fn commit(&mut self, batch: &WalBatch) -> io::Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
+        self.repair()?;
         if self.active_len >= self.segment_bytes && self.active_records > 0 {
             let first = *batch.entries.keys().next().expect("non-empty batch");
             self.rotate(first)?;
@@ -215,10 +246,19 @@ impl Wal {
             put_u32(&mut buffer, crc32(&payload));
             buffer.extend_from_slice(&payload);
         }
-        self.active.write_all(&buffer)?;
-        self.active_len += buffer.len() as u64;
-        self.active_records += batch.len() as u64;
-        Ok(())
+        match self.active.write_all(&buffer) {
+            Ok(()) => {
+                self.active_len += buffer.len() as u64;
+                self.active_records += batch.len() as u64;
+                Ok(())
+            }
+            Err(error) => {
+                // An unknown prefix of `buffer` may be on disk; roll back to the
+                // synced prefix before the next append.
+                self.tainted = true;
+                Err(error)
+            }
+        }
     }
 
     /// Appends one record; see [`Wal::commit`].
@@ -228,39 +268,80 @@ impl Wal {
         self.commit(&batch)
     }
 
-    /// Flushes buffered records and fsyncs the active segment — the group-commit
-    /// point: every record committed before this call is durable once it returns.
+    /// Fsyncs the active segment — the group-commit point: every record committed
+    /// before this call is durable once it returns. Repairs a tainted log first,
+    /// which discards committed-but-unsynced records (the caller retries them by
+    /// re-committing its staged batch).
     pub fn sync(&mut self) -> io::Result<()> {
-        kpg_sync::blocking::annotate("fsync");
-        self.active.flush()?;
-        self.active.get_ref().sync_data()
+        self.repair()?;
+        match self.active.sync_data() {
+            Ok(()) => {
+                self.synced_len = self.active_len;
+                self.synced_records = self.active_records;
+                Ok(())
+            }
+            Err(error) => {
+                self.tainted = true;
+                Err(error)
+            }
+        }
+    }
+
+    /// Rolls a tainted active segment back to its last synced prefix, making retry
+    /// idempotent: everything after the last successful [`Wal::sync`] is discarded
+    /// (those records were never acknowledged durable). No-op on a healthy log.
+    /// The truncation's durability rides on the next successful sync.
+    pub fn repair(&mut self) -> io::Result<()> {
+        if !self.tainted {
+            return Ok(());
+        }
+        self.active.set_len(self.synced_len)?;
+        self.active_len = self.synced_len;
+        self.active_records = self.synced_records;
+        self.tainted = false;
+        Ok(())
+    }
+
+    /// True if a failed append/sync left the active segment needing [`Wal::repair`]
+    /// (which `commit` and `sync` perform automatically on their next call).
+    pub fn is_tainted(&self) -> bool {
+        self.tainted
+    }
+
+    /// Records in the active segment made durable by the last successful sync.
+    pub fn synced_records(&self) -> u64 {
+        self.synced_records
     }
 
     fn rotate(&mut self, first_seq: u64) -> io::Result<()> {
         self.sync()?;
         let path = segment_path(&self.dir, first_seq);
-        let file = File::create(&path)?;
+        let file = crate::io::create(&path)?;
         file.sync_all()?;
-        sync_dir(&self.dir)?;
+        crate::io::sync_dir(&self.dir)?;
         self.segments.push(first_seq);
-        self.active = BufWriter::new(OpenOptions::new().append(true).open(&path)?);
+        self.active = crate::io::open_append(&path)?;
         self.active_len = 0;
         self.active_records = 0;
+        self.synced_len = 0;
+        self.synced_records = 0;
         Ok(())
     }
 
     /// Deletes every segment whose records all have sequence numbers below `seq`
     /// (checkpoint truncation). The active segment is never deleted. Returns how many
-    /// segments were removed.
+    /// segments were removed. The file is unlinked before it is forgotten, so a
+    /// failed removal leaves the in-memory segment list agreeing with the directory
+    /// and the prune safe to retry.
     pub fn prune_below(&mut self, seq: u64) -> io::Result<usize> {
         let mut removed = 0;
         while self.segments.len() >= 2 && self.segments[1] <= seq {
-            let first = self.segments.remove(0);
-            fs::remove_file(segment_path(&self.dir, first))?;
+            crate::io::remove_file(segment_path(&self.dir, self.segments[0]))?;
+            self.segments.remove(0);
             removed += 1;
         }
         if removed > 0 {
-            sync_dir(&self.dir)?;
+            crate::io::sync_dir(&self.dir)?;
         }
         Ok(removed)
     }
@@ -274,14 +355,6 @@ impl Wal {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
-}
-
-fn sync_dir(dir: &Path) -> io::Result<()> {
-    // Directory fsync makes freshly created / removed segment names durable. Some
-    // filesystems refuse to open directories for writing; opening read-only suffices
-    // for fsync on the platforms we target.
-    kpg_sync::blocking::annotate("fsync");
-    File::open(dir)?.sync_all()
 }
 
 #[cfg(test)]

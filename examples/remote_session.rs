@@ -91,7 +91,13 @@ fn main() {
     .expect("bind the query server");
     println!("serving on {} with 2 workers", server.local_addr());
 
-    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // Bounded waits everywhere: a wedged (or unreachable) server surfaces as a
+    // ClientError::TimedOut instead of a hung example.
+    let timeout = std::time::Duration::from_secs(30);
+    let mut client = Client::connect_timeout(server.local_addr(), timeout)
+        .expect("connect")
+        .with_request_timeout(Some(timeout))
+        .expect("set request timeout");
     // Pipeline the session in chunks of the server's in-flight bound: send a chunk of
     // frames, then collect its responses (the server answers strictly in order; past
     // PIPELINE_DEPTH unanswered commands it stops reading — backpressure).
@@ -134,7 +140,10 @@ fn main() {
     // Retire a query through the same protocol, then confirm the retirement is
     // visible to a *different* connection.
     client.uninstall("two-hop").expect("uninstall");
-    let mut other = Client::connect(server.local_addr()).expect("second client");
+    let mut other = Client::connect_timeout(server.local_addr(), timeout)
+        .expect("second client")
+        .with_request_timeout(Some(timeout))
+        .expect("set request timeout");
     match other.query("two-hop") {
         Err(error) => assert_eq!(error.plan_code(), Some("unknown-query")),
         Ok(_) => panic!("two-hop should be gone"),

@@ -72,6 +72,21 @@ SCHEMAS = {
     "micro_latency": {"experiment", "workers", "load", "p50_ns", "p99_ns"},
     "micro_throughput": {"workers", "updates", "records_per_s"},
     "micro_join_install": {"keys", "size", "latency_us"},
+    # The fault-injection sweep: every point must be answered without panics or
+    # invariant violations, and heal latency (fault cleared -> read-write again)
+    # is the robustness number being tracked.
+    "chaos_sweep": {
+        "seed",
+        "steps",
+        "fault_points",
+        "exercised",
+        "panics",
+        "violations",
+        "degraded_transitions",
+        "heals",
+        "heal_p50_ns",
+        "heal_p99_ns",
+    },
     # Per-command cost of the network boundary (codec + framing + sequencer +
     # all-worker execution, full loopback round trip) vs direct Manager::execute.
     "server_roundtrip": {
