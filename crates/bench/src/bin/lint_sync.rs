@@ -11,6 +11,14 @@
 //! (relative to the workspace root, `/`-separated), `#` comments. `crates/sync/` is
 //! allowlisted there — the facade is the one place std primitives belong.
 //!
+//! A second pass audits `unsafe`: the workspace is `#![forbid(unsafe_code)]`
+//! everywhere except the sites enumerated in `crates/bench/lint_unsafe_allow.txt`
+//! (the readiness-syscall module, the server binary's signal handler, the
+//! kill-based recovery test). The attribute already stops unsafe inside each
+//! forbidding crate; this pass stops a *new crate or module* from quietly opting
+//! out — growing the audited inventory requires editing the allowlist in the same
+//! diff, which is the review hook.
+//!
 //! Usage: `cargo run -p kpg_bench --bin lint_sync` from anywhere in the workspace.
 //! Exits 0 on a clean tree, 1 with a `file:line` listing otherwise.
 
@@ -23,19 +31,19 @@ use std::process::ExitCode;
 const FORBIDDEN: &[&str] = &["std::sync", "std::thread"];
 
 const ALLOWLIST: &str = "crates/bench/lint_sync_allow.txt";
+const UNSAFE_ALLOWLIST: &str = "crates/bench/lint_unsafe_allow.txt";
 
 fn main() -> ExitCode {
     let root = workspace_root();
-    let allow = load_allowlist(&root);
+    let allow = load_allowlist(&root, ALLOWLIST, &["crates/sync/"]);
+    let unsafe_allow = load_allowlist(&root, UNSAFE_ALLOWLIST, &[]);
     let mut files = Vec::new();
     collect_rs_files(&root, &root, &mut files);
     files.sort();
 
     let mut violations = Vec::new();
+    let mut unsafe_violations = Vec::new();
     for relative in &files {
-        if allow.iter().any(|prefix| relative.starts_with(prefix)) {
-            continue;
-        }
         let source = match fs::read_to_string(root.join(relative)) {
             Ok(source) => source,
             Err(error) => {
@@ -43,21 +51,39 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        scan(relative, &source, &mut violations);
+        if !allow.iter().any(|prefix| relative.starts_with(prefix)) {
+            scan(relative, &source, &mut violations);
+        }
+        if !unsafe_allow
+            .iter()
+            .any(|prefix| relative.starts_with(prefix))
+        {
+            scan_unsafe(relative, &source, &mut unsafe_violations);
+        }
     }
 
-    if violations.is_empty() {
+    if violations.is_empty() && unsafe_violations.is_empty() {
         println!("lint_sync: {} files clean", files.len());
         ExitCode::SUCCESS
     } else {
-        for violation in &violations {
+        for violation in violations.iter().chain(&unsafe_violations) {
             eprintln!("{violation}");
         }
-        eprintln!(
-            "lint_sync: {} direct std::sync/std::thread use(s); route them through \
-             kpg_sync (or, exceptionally, add a prefix to {ALLOWLIST})",
-            violations.len()
-        );
+        if !violations.is_empty() {
+            eprintln!(
+                "lint_sync: {} direct std::sync/std::thread use(s); route them through \
+                 kpg_sync (or, exceptionally, add a prefix to {ALLOWLIST})",
+                violations.len()
+            );
+        }
+        if !unsafe_violations.is_empty() {
+            eprintln!(
+                "lint_sync: {} `unsafe` use(s) outside the audited inventory; keep the \
+                 code safe, or extend the audit in {UNSAFE_ALLOWLIST} with a SAFETY \
+                 argument in the same change",
+                unsafe_violations.len()
+            );
+        }
         ExitCode::FAILURE
     }
 }
@@ -85,9 +111,9 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn load_allowlist(root: &Path) -> Vec<String> {
-    let Ok(text) = fs::read_to_string(root.join(ALLOWLIST)) else {
-        return vec!["crates/sync/".to_string()];
+fn load_allowlist(root: &Path, file: &str, fallback: &[&str]) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(root.join(file)) else {
+        return fallback.iter().map(|prefix| prefix.to_string()).collect();
     };
     text.lines()
         .map(str::trim)
@@ -129,6 +155,38 @@ fn scan(relative: &str, source: &str, violations: &mut Vec<String>) {
     let stripped = strip_comments_and_strings(source);
     for (index, (line, original)) in stripped.lines().zip(source.lines()).enumerate() {
         if FORBIDDEN.iter().any(|token| line.contains(token)) {
+            violations.push(format!("{relative}:{}: {}", index + 1, original.trim()));
+        }
+    }
+}
+
+/// Appends a `file:line: text` entry for every word-boundary `unsafe` token in
+/// `source`, ignoring comments and string literals. `unsafe_code` — the token every
+/// crate's `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]` attribute contains —
+/// is not a use of unsafe and is skipped.
+fn scan_unsafe(relative: &str, source: &str, violations: &mut Vec<String>) {
+    let stripped = strip_comments_and_strings(source);
+    for (index, (line, original)) in stripped.lines().zip(source.lines()).enumerate() {
+        let mut rest = line;
+        let mut hit = false;
+        while let Some(at) = rest.find("unsafe") {
+            let before_ok = at == 0
+                || !rest[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after = &rest[at + "unsafe".len()..];
+            let after_ok = !after
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if before_ok && after_ok {
+                hit = true;
+                break;
+            }
+            rest = &rest[at + "unsafe".len()..];
+        }
+        if hit {
             violations.push(format!("{relative}:{}: {}", index + 1, original.trim()));
         }
     }
@@ -276,6 +334,22 @@ mod tests {
         let source = "a /* x\n y */ b\n\"s\ntr\" c\n";
         let stripped = strip_comments_and_strings(source);
         assert_eq!(stripped.lines().count(), source.lines().count());
+    }
+
+    #[test]
+    fn flags_unsafe_blocks_but_not_the_forbid_attribute() {
+        let source = concat!(
+            "#![forbid(unsafe_code)]\n",
+            "// unsafe in prose is fine\n",
+            "fn main() { let _ = \"unsafe\"; }\n",
+            "fn smuggled() { unsafe { core::hint::unreachable_unchecked() } }\n",
+            "unsafe extern \"C\" fn hook() {}\n",
+        );
+        let mut violations = Vec::new();
+        super::scan_unsafe("audited.rs", source, &mut violations);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].starts_with("audited.rs:4:"));
+        assert!(violations[1].starts_with("audited.rs:5:"));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //!
 //! ```console
 //! $ cargo run --release -p kpg_bench --bin server_roundtrip -- \
-//!       --updates 2000 --queries 20 --workers 2 [--durable]
+//!       --updates 2000 --queries 20 --workers 2 [--durable] \
+//!       [--clients 64] [--out BENCH_server_fanout.json]
 //! ```
 //!
 //! With `--durable` the server writes its command log to a WAL in a temp directory
@@ -16,10 +17,20 @@
 //! medians, wire p99, query medians, the wire/direct overhead ratio — the number
 //! that tells us when the socket loop (not the dataflow) becomes the bottleneck —
 //! and a `durable` 0/1 marker.
+//!
+//! With `--clients N` it additionally sweeps concurrent-client counts (powers of
+//! two up to `N`) against one reactor, emitting a `BENCH
+//! {"name":"server_fanout",...}` line per point: single-update RTT p50/p99 across
+//! every client plus aggregate throughput — the curve that shows whether the
+//! event-driven fabric holds per-command latency flat as fan-in grows. `--out
+//! FILE` additionally persists the swept records as a JSON array (the repo-root
+//! `BENCH_server_fanout.json` convention, so the perf trajectory survives in git).
 
 use std::time::Instant;
 
-use kpg_bench::{arg_flag, arg_usize, bench_record, num, LatencyRecorder};
+use kpg_bench::{
+    arg_flag, arg_string, arg_usize, bench_record, bench_report, num, LatencyRecorder,
+};
 use kpg_dataflow::{execute, Config, Worker};
 use kpg_plan::{Command, Manager, Plan, ReduceKind, Row};
 use kpg_server::{serve, Client, DurabilityConfig, ServerConfig};
@@ -106,6 +117,117 @@ fn measure_wire(workers: usize, updates: usize, queries: usize, durable: bool) -
     }
 }
 
+/// One point of the fan-out curve: `clients` concurrent connections against one
+/// server, each pipelining nothing (strict send/receive), splitting `updates`
+/// round trips between them. Returns the merged RTT distribution and the
+/// aggregate wall-clock throughput.
+fn measure_fanout_point(
+    server_addr: std::net::SocketAddr,
+    clients: usize,
+    updates: usize,
+) -> (LatencyRecorder, f64, usize) {
+    let per_client = (updates / clients).max(1);
+    let start_line = kpg_sync::Arc::new(kpg_sync::Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|who| {
+            let start_line = kpg_sync::Arc::clone(&start_line);
+            kpg_sync::thread::spawn(move || {
+                let mut client = Client::connect(server_addr).expect("connect fanout client");
+                start_line.wait();
+                let mut samples = Vec::with_capacity(per_client);
+                for index in 0..per_client as u64 {
+                    let command = update_command(who as u64 * 1_000_003 + index);
+                    let start = Instant::now();
+                    client.send(&command).expect("send fanout update");
+                    client.receive().expect("fanout ack");
+                    samples.push(start.elapsed());
+                }
+                samples
+            })
+        })
+        .collect();
+    start_line.wait();
+    let wall = Instant::now();
+    let mut merged = LatencyRecorder::new();
+    for handle in handles {
+        for sample in handle.join().expect("fanout client") {
+            merged.record(sample);
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    let total = per_client * clients;
+    (merged, total as f64 / elapsed.max(1e-9), total)
+}
+
+/// Sweeps client counts (powers of two up to `max_clients`, always including the
+/// endpoint) against a single server, emitting one `server_fanout` record per
+/// point and returning the rendered records for persistence.
+fn measure_fanout(
+    workers: usize,
+    max_clients: usize,
+    updates: usize,
+    durable: bool,
+) -> Vec<String> {
+    let wal_dir = durable.then(|| {
+        let dir = std::env::temp_dir().join(format!("kpg-fanout-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    let mut server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            durability: wal_dir.as_ref().map(DurabilityConfig::new),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind the fanout server");
+    let addr = server.local_addr();
+    let mut control = Client::connect(addr).expect("connect control client");
+    for command in commands_setup() {
+        control.send(&command).expect("setup send");
+        control.receive().expect("setup ack");
+    }
+
+    let mut points = vec![1usize];
+    while *points.last().unwrap() * 2 <= max_clients {
+        points.push(points.last().unwrap() * 2);
+    }
+    if *points.last().unwrap() != max_clients {
+        points.push(max_clients);
+    }
+
+    let mut records = Vec::with_capacity(points.len());
+    for clients in points {
+        let (rtt, throughput, total) = measure_fanout_point(addr, clients, updates);
+        let p50 = rtt.quantile(0.5).as_nanos();
+        let p99 = rtt.quantile(0.99).as_nanos();
+        println!(
+            "fanout {clients:>5} clients: rtt p50 {p50} ns, p99 {p99} ns, {throughput:.0} updates/s"
+        );
+        let report = bench_report(
+            "server_fanout",
+            &[
+                ("workers", num(workers)),
+                ("clients", num(clients)),
+                ("updates", num(total)),
+                ("rtt_p50_ns", num(p50)),
+                ("rtt_p99_ns", num(p99)),
+                ("throughput_per_s", num(format!("{throughput:.1}"))),
+                ("durable", num(u8::from(durable))),
+            ],
+        );
+        println!("BENCH {}", report.render());
+        records.push(report.render());
+    }
+    drop(control);
+    server.shutdown();
+    if let Some(dir) = wal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    records
+}
+
 /// Runs the identical workload directly on one in-process `Manager` per worker —
 /// no codec, no socket, no sequencer. (Same command stream; `Command::Update` shards
 /// itself, so the multi-worker run executes the same log everywhere.)
@@ -159,6 +281,8 @@ fn main() {
     let updates = arg_usize("--updates", 2_000);
     let queries = arg_usize("--queries", 20);
     let durable = arg_flag("--durable");
+    let clients = arg_usize("--clients", 0);
+    let out = arg_string("--out", "");
 
     // Round the workload to whole rounds so the emitted record states exactly what
     // was measured (and a tiny --updates still updates at least once per round).
@@ -193,4 +317,13 @@ fn main() {
             ("durable", num(u8::from(durable))),
         ],
     );
+
+    if clients > 0 {
+        let records = measure_fanout(workers, clients, updates, durable);
+        if !out.is_empty() {
+            let body = records.join(",\n  ");
+            std::fs::write(&out, format!("[\n  {body}\n]\n")).expect("persist fanout records");
+            println!("wrote {} fanout records to {out}", records.len());
+        }
+    }
 }

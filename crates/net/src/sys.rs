@@ -1,0 +1,448 @@
+//! The platform readiness syscalls: the crate's (and, with the signal-handler
+//! registration in the server binary and the test-only SIGTERM in the recovery
+//! suite, the workspace's third) sanctioned unsafe site.
+//!
+//! Everything unsafe in `kpg_net` lives in this module, and all of it is FFI onto
+//! libc symbols the platform always links: `epoll` on Linux/Android, `kqueue` on the
+//! BSD family and macOS, plus one `fcntl` to make the waker pipe nonblocking. The
+//! declarations are written out by hand instead of pulling in the `libc` crate — the
+//! workspace is dependency-free — and every call site carries a SAFETY comment. The
+//! `lint_sync`-style unsafe scanner (`cargo run -p kpg_bench --bin lint_sync`)
+//! enforces that no unsafe appears anywhere above this module: its allowlist names
+//! exactly this file and the two historical sites.
+//!
+//! The surface exported to the rest of the crate is entirely safe:
+//! [`Selector`] (create/register/modify/deregister fds, wait for events) and
+//! [`set_nonblocking`]. Events come back as the portable [`RawEvent`].
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// One readiness event, decoded out of the platform representation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RawEvent {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept), or hung up / errored — both
+    /// of which a read observes, so they are folded into readability.
+    pub readable: bool,
+    /// The fd can accept more bytes.
+    pub writable: bool,
+}
+
+/// Marks an fd nonblocking (`fcntl(F_SETFL, O_NONBLOCK)`). Used for the waker pipe,
+/// whose `std::io` handles expose no `set_nonblocking` of their own.
+pub(crate) fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    extern "C" {
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    }
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const O_NONBLOCK: i32 = 0o4000;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const O_NONBLOCK: i32 = 0x4;
+    // SAFETY: `fcntl` is declared with the variadic-collapsed signature every unix
+    // libc exports for the F_GETFL/F_SETFL forms (the third argument is a plain
+    // int). `fd` is a live descriptor owned by the caller; the call mutates only
+    // that descriptor's flag word inside the kernel.
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: same declaration as above; setting O_NONBLOCK on a pipe fd is always
+    // permitted and affects no memory on our side.
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub(crate) use epoll::Selector;
+
+/// The Linux backend: level-triggered `epoll`.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod epoll {
+    use super::RawEvent;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    // The kernel packs `epoll_event` on x86-64 (and only there); mirroring the
+    // layout exactly is what makes the `epoll_wait` writes below sound.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// An epoll instance. Closed on drop.
+    pub(crate) struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub(crate) fn new() -> io::Result<Selector> {
+            // SAFETY: `epoll_create1` takes a flag word and touches no caller
+            // memory; the returned fd (checked below) is owned by this Selector,
+            // which closes it exactly once on drop.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            let mut events = EPOLLRDHUP;
+            if read {
+                events |= EPOLLIN;
+            }
+            if write {
+                events |= EPOLLOUT;
+            }
+            let mut event = EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: `event` is a live, exactly kernel-layout `epoll_event` for the
+            // duration of the call (the kernel reads it, never retains the pointer),
+            // and `fd`/`epfd` are live descriptors. EPOLL_CTL_DEL ignores the event
+            // pointer on every kernel this code targets, but passing a valid one is
+            // sound regardless.
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut event) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn register(
+            &self,
+            fd: RawFd,
+            token: u64,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, read, write)
+        }
+
+        pub(crate) fn modify(
+            &self,
+            fd: RawFd,
+            token: u64,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, read, write)
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, false, false)
+        }
+
+        /// Waits for readiness, appending decoded events to `out`. `None` blocks
+        /// indefinitely; `Some(d)` returns after at most `d` (rounded up to a
+        /// millisecond so a nonzero timeout cannot spin at zero).
+        pub(crate) fn wait(
+            &self,
+            out: &mut Vec<RawEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms = timeout.map_or(-1i32, |duration| {
+                i32::try_from(
+                    duration
+                        .as_millis()
+                        .max(u128::from(u32::from(!duration.is_zero()))),
+                )
+                .unwrap_or(i32::MAX)
+            });
+            let mut buffer = [EpollEvent { events: 0, data: 0 }; 256];
+            let count = loop {
+                // SAFETY: `buffer` is a stack array of `maxevents` kernel-layout
+                // events, valid for writes for the whole call; the kernel fills at
+                // most `maxevents` entries and returns how many.
+                let count = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        buffer.as_mut_ptr(),
+                        buffer.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if count >= 0 {
+                    break count as usize;
+                }
+                let error = io::Error::last_os_error();
+                if error.kind() != io::ErrorKind::Interrupted {
+                    return Err(error);
+                }
+            };
+            for event in &buffer[..count] {
+                // Copy out of the (possibly packed) struct before using the fields.
+                let bits = { event.events };
+                let data = { event.data };
+                out.push(RawEvent {
+                    token: data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` was returned by `epoll_create1` and is closed exactly
+            // here, once.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+pub(crate) use kqueue::Selector;
+
+/// The BSD/macOS backend: `kqueue` with level-triggered read/write filters.
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+mod kqueue {
+    use super::RawEvent;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    // The 64-bit layout shared by macOS, FreeBSD, OpenBSD, and DragonFly. (NetBSD
+    // widens `data`/`udata` differently and is not targeted here.)
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Kevent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: usize,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        fn kqueue() -> i32;
+        fn kevent(
+            kq: i32,
+            changelist: *const Kevent,
+            nchanges: i32,
+            eventlist: *mut Kevent,
+            nevents: i32,
+            timeout: *const Timespec,
+        ) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x1;
+    const EV_DELETE: u16 = 0x2;
+    const EV_EOF: u16 = 0x8000;
+    const EV_ERROR: u16 = 0x4000;
+
+    /// A kqueue instance. Closed on drop.
+    pub(crate) struct Selector {
+        kq: RawFd,
+    }
+
+    impl Selector {
+        pub(crate) fn new() -> io::Result<Selector> {
+            // SAFETY: `kqueue` takes nothing and touches no caller memory; the
+            // returned fd is owned by this Selector and closed once on drop.
+            let kq = unsafe { kqueue() };
+            if kq < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { kq })
+        }
+
+        fn change(&self, fd: RawFd, filter: i16, flags: u16, token: u64) -> io::Result<()> {
+            let change = Kevent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: token as usize,
+            };
+            // SAFETY: the changelist is one live, correctly laid out `struct
+            // kevent`; the kernel reads it during the call only. A NULL eventlist
+            // with zero nevents is the documented register-only form.
+            if unsafe {
+                kevent(
+                    self.kq,
+                    &change,
+                    1,
+                    std::ptr::null_mut(),
+                    0,
+                    std::ptr::null(),
+                )
+            } < 0
+            {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn register(
+            &self,
+            fd: RawFd,
+            token: u64,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            self.modify(fd, token, read, write)
+        }
+
+        pub(crate) fn modify(
+            &self,
+            fd: RawFd,
+            token: u64,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            // kqueue filters are independent registrations: add the wanted ones,
+            // delete the unwanted (ignoring "was not registered" errors).
+            if read {
+                self.change(fd, EVFILT_READ, EV_ADD, token)?;
+            } else {
+                let _ = self.change(fd, EVFILT_READ, EV_DELETE, token);
+            }
+            if write {
+                self.change(fd, EVFILT_WRITE, EV_ADD, token)?;
+            } else {
+                let _ = self.change(fd, EVFILT_WRITE, EV_DELETE, token);
+            }
+            Ok(())
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let _ = self.change(fd, EVFILT_READ, EV_DELETE, 0);
+            let _ = self.change(fd, EVFILT_WRITE, EV_DELETE, 0);
+            Ok(())
+        }
+
+        /// Waits for readiness, appending decoded events to `out`.
+        pub(crate) fn wait(
+            &self,
+            out: &mut Vec<RawEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timespec = timeout.map(|duration| Timespec {
+                tv_sec: duration.as_secs() as i64,
+                tv_nsec: i64::from(duration.subsec_nanos()),
+            });
+            let timeout_ptr = timespec
+                .as_ref()
+                .map_or(std::ptr::null(), std::ptr::from_ref);
+            let mut buffer = [Kevent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: 0,
+            }; 256];
+            let count = loop {
+                // SAFETY: the eventlist is a stack array valid for `nevents` writes
+                // for the duration of the call; the timeout pointer is either NULL
+                // or a live `timespec` borrowed for the call.
+                let count = unsafe {
+                    kevent(
+                        self.kq,
+                        std::ptr::null(),
+                        0,
+                        buffer.as_mut_ptr(),
+                        buffer.len() as i32,
+                        timeout_ptr,
+                    )
+                };
+                if count >= 0 {
+                    break count as usize;
+                }
+                let error = io::Error::last_os_error();
+                if error.kind() != io::ErrorKind::Interrupted {
+                    return Err(error);
+                }
+            };
+            for event in &buffer[..count] {
+                let eof = event.flags & (EV_EOF | EV_ERROR) != 0;
+                out.push(RawEvent {
+                    token: event.udata as u64,
+                    readable: event.filter == EVFILT_READ || eof,
+                    writable: event.filter == EVFILT_WRITE || eof,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            // SAFETY: `kq` was returned by `kqueue` and is closed exactly here, once.
+            unsafe {
+                close(self.kq);
+            }
+        }
+    }
+}
+
+#[cfg(not(any(
+    target_os = "linux",
+    target_os = "android",
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+)))]
+compile_error!(
+    "kpg_net supports epoll (Linux/Android) and kqueue (macOS/iOS/FreeBSD/OpenBSD/\
+     DragonFly) targets only"
+);

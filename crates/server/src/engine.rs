@@ -36,7 +36,7 @@
 
 use kpg_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use kpg_sync::thread::JoinHandle;
-use kpg_sync::{mpsc, Arc, Condvar, Mutex};
+use kpg_sync::{mpsc, Arc, Condvar, Doorbell, Mutex};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 
@@ -46,6 +46,7 @@ use kpg_store::{RetryPolicy, StoreError, Wal, WalBatch};
 use kpg_wire::{Response, WireCodec};
 
 use crate::durability::{recover, write_checkpoint, DurabilityConfig, StateTracker};
+use crate::route::{ChannelRoute, ResponseRoute};
 
 /// Identifies one connected client (or test-registered pseudo-client).
 pub type ClientId = u64;
@@ -86,6 +87,11 @@ struct LogState {
     /// Entries pre-loaded by recovery (bootstrap + WAL tail): the count every worker
     /// must consume before the server may accept connections.
     replay_len: u64,
+    /// Threads blocked in [`ServerCore::await_replayed`] on the `consumed` condvar.
+    /// Guarded by the log lock; lets the per-command cursor advance skip the
+    /// condvar notify (a futex syscall) on the hot path — replay waiting happens
+    /// once, at startup.
+    replay_waiters: usize,
 }
 
 impl LogState {
@@ -127,8 +133,9 @@ struct ClientState {
     owners: HashMap<String, ClientId>,
     /// Per-seq aggregation of worker deposits.
     pending: HashMap<u64, PendingResponse>,
-    /// Where each client's responses go.
-    routes: HashMap<ClientId, mpsc::Sender<(u64, Response)>>,
+    /// Where each client's responses go — a per-client channel
+    /// ([`ChannelRoute`]) or the reactor's shared queue.
+    routes: HashMap<ClientId, Arc<dyn ResponseRoute>>,
 }
 
 /// A queued checkpoint: a consistent tracker snapshot and the id to write it under.
@@ -201,7 +208,13 @@ pub struct HealthSnapshot {
 pub struct ServerCore {
     workers: usize,
     log: Mutex<LogState>,
-    grown: Condvar,
+    /// Rung once per append — or once per *batch* on the
+    /// [`ServerCore::submit_batch`] path — to wake workers parked in
+    /// [`ServerCore::next_command`]. An epoch-counting doorbell instead of a
+    /// condvar: ringing is one atomic on the fast path (no lock, no syscall when
+    /// no worker is parked), and the snapshot/check/wait protocol it enforces is
+    /// model-checked in `kpg_sync`'s `model_doorbell` tests.
+    grown: Doorbell,
     /// Signalled whenever a worker advances its cursor; [`ServerCore::await_replayed`]
     /// waits on it for recovery replay to drain before connections are accepted.
     consumed: Condvar,
@@ -280,8 +293,9 @@ impl ServerCore {
                 wal_pending: WalBatch::new(),
                 next_wal_seq: 0,
                 replay_len: 0,
+                replay_waiters: 0,
             }),
-            grown: Condvar::new(),
+            grown: Doorbell::new(),
             consumed: Condvar::new(),
             clients: Mutex::new(ClientState {
                 owners: HashMap::new(),
@@ -390,9 +404,11 @@ impl ServerCore {
     pub fn await_replayed(&self) {
         let mut log = self.log.lock().expect("command log poisoned");
         let target = log.replay_len;
+        log.replay_waiters += 1;
         while !log.closed && log.cursors.iter().copied().min().unwrap_or(0) < target {
             log = self.consumed.wait(log).expect("command log poisoned");
         }
+        log.replay_waiters -= 1;
     }
 
     /// Drops WAL segments wholly covered by a committed checkpoint.
@@ -540,14 +556,22 @@ impl ServerCore {
     /// Registers a client: allocates its id and the channel its responses arrive on,
     /// tagged with the per-client request index they answer.
     pub fn register_client(&self) -> (ClientId, mpsc::Receiver<(u64, Response)>) {
-        let client = self.next_client.fetch_add(1, Ordering::Relaxed);
         let (sender, receiver) = mpsc::channel();
+        let client = self.register_client_routed(Arc::new(ChannelRoute::new(sender)));
+        (client, receiver)
+    }
+
+    /// Registers a client whose responses go through `route` instead of a
+    /// dedicated channel — the reactor registers every socket-backed client with
+    /// a clone of its shared queue route.
+    pub fn register_client_routed(&self, route: Arc<dyn ResponseRoute>) -> ClientId {
+        let client = self.next_client.fetch_add(1, Ordering::Relaxed);
         self.clients
             .lock()
             .expect("client state poisoned")
             .routes
-            .insert(client, sender);
-        (client, receiver)
+            .insert(client, route);
+        client
     }
 
     /// Appends `command` from `client` (answering its request number `reply`) to the
@@ -592,13 +616,14 @@ impl ServerCore {
     fn reject_degraded(clients: &ClientState, client: ClientId, reply: u64) {
         if let Some(route) = clients.routes.get(&client) {
             let error = PlanError::DegradedReadOnly;
-            let _ = route.send((
+            route.deliver(
+                client,
                 reply,
                 Response::PlanError {
                     code: error.code().to_string(),
                     message: error.to_string(),
                 },
-            ));
+            );
         }
     }
 
@@ -607,7 +632,7 @@ impl ServerCore {
     pub fn respond_wire_error(&self, client: ClientId, reply: u64, message: String) {
         let clients = self.clients.lock().expect("client state poisoned");
         if let Some(route) = clients.routes.get(&client) {
-            let _ = route.send((reply, Response::WireError { message }));
+            route.deliver(client, reply, Response::WireError { message });
         }
     }
 
@@ -665,7 +690,8 @@ impl ServerCore {
             }
         }
         state.closed = true;
-        self.grown.notify_all();
+        drop(log);
+        self.grown.ring();
         self.consumed.notify_all();
     }
 
@@ -698,7 +724,25 @@ impl ServerCore {
         if log.closed {
             return Ok(u64::MAX);
         }
-        let state = &mut *log;
+        let result = self.append_locked(&mut log, origin, command);
+        drop(log);
+        if result.is_ok() {
+            self.grown.ring();
+        }
+        result
+    }
+
+    /// The body of [`ServerCore::append`], under an already-held log lock and
+    /// *without* ringing the worker doorbell — the batch submission path appends
+    /// many commands under one lock acquisition and rings once for all of them.
+    /// The caller must have checked `closed`.
+    fn append_locked(
+        &self,
+        log: &mut LogState,
+        origin: Option<(ClientId, u64)>,
+        command: Command,
+    ) -> Result<u64, ()> {
+        let state = log;
         // Durable path: log every state-defining command (reads are not state) under
         // the sequencing lock, so WAL order is log order. Records accumulate in the
         // group-commit buffer; sequencing an `AdvanceTime` commits and fsyncs the
@@ -750,8 +794,56 @@ impl ServerCore {
             wal_seq,
             command,
         }));
-        self.grown.notify_all();
         Ok(seq)
+    }
+
+    /// Sequences a whole batch of client commands under **one** acquisition of
+    /// each lock: one client-state pass (degraded checks and the
+    /// Uninstall-at-submit ownership edits), one log pass (WAL staging for every
+    /// command, group commit wherever an `AdvanceTime` falls), and one doorbell
+    /// ring for the entire batch. This is the reactor's submission path: however
+    /// many connections became readable in one wakeup, the sequencer lock is
+    /// taken once, not once per command — while the arbitration rules stay
+    /// *identical* to per-command [`ServerCore::submit`], because batch order is
+    /// append order is arbitration order.
+    ///
+    /// Degradation mid-batch behaves exactly like degradation mid-stream: once a
+    /// group commit fails, every later mutation in the batch is rejected with
+    /// `degraded-read-only` (queries still pass). Rejections are delivered after
+    /// the log lock is released, in batch order, which precedes any execution
+    /// response for later commands (workers cannot deposit while this thread
+    /// holds the client-state lock). Returns the number of commands sequenced.
+    pub fn submit_batch(&self, batch: impl IntoIterator<Item = (ClientId, u64, Command)>) -> usize {
+        let mut clients = self.clients.lock().expect("client state poisoned");
+        let mut log = self.log.lock().expect("command log poisoned");
+        let mut rejected: Vec<(ClientId, u64)> = Vec::new();
+        let mut sequenced = 0;
+        for (client, reply, command) in batch {
+            // Submissions after close are ignored, as on the single-command path.
+            if log.closed {
+                continue;
+            }
+            if !matches!(command, Command::Query { .. }) && self.is_degraded() {
+                rejected.push((client, reply));
+                continue;
+            }
+            if let Command::Uninstall { name } = &command {
+                clients.owners.remove(name);
+            }
+            match self.append_locked(&mut log, Some((client, reply)), command) {
+                Ok(_) => sequenced += 1,
+                Err(()) => rejected.push((client, reply)),
+            }
+        }
+        drop(log);
+        for (client, reply) in rejected {
+            Self::reject_degraded(&clients, client, reply);
+        }
+        drop(clients);
+        if sequenced > 0 {
+            self.grown.ring();
+        }
+        sequenced
     }
 
     /// Commits and fsyncs the staged WAL batch, clearing it on success. On failure
@@ -772,11 +864,18 @@ impl ServerCore {
     /// `worker` has consumed everything below `from` (and prunes what everyone has).
     /// `None` once the log is closed and drained.
     fn next_command(&self, worker: usize, from: u64) -> Option<Arc<SequencedCommand>> {
-        let mut log = self.log.lock().expect("command log poisoned");
-        log.cursors[worker] = from;
-        self.consumed.notify_all();
-        log.prune();
-        loop {
+        {
+            let mut log = self.log.lock().expect("command log poisoned");
+            log.cursors[worker] = from;
+            // Only `await_replayed` ever waits on `consumed`, and only during
+            // startup recovery — skip the notify syscall on every later command.
+            if log.replay_waiters > 0 {
+                self.consumed.notify_all();
+            }
+            log.prune();
+            // Fast path: during a drained batch the next entry is already
+            // sequenced — return it under the lock we hold instead of paying a
+            // second acquisition (and an epoch load) per command.
             let index = from.checked_sub(log.base).expect("cursor below log base") as usize;
             if let Some(entry) = log.entries.get(index) {
                 return Some(Arc::clone(entry));
@@ -784,7 +883,26 @@ impl ServerCore {
             if log.closed {
                 return None;
             }
-            log = self.grown.wait(log).expect("command log poisoned");
+        }
+        // The doorbell discipline (model-checked in kpg_sync): snapshot the
+        // epoch, check the log, park only if nothing rang since the snapshot. A
+        // ring between the check and the park advances the epoch past `seen`, so
+        // `wait` returns immediately — no lost wakeup. Unlike the condvar this
+        // replaces, waiting holds no lock, so a batch append never contends with
+        // parked workers.
+        loop {
+            let seen = self.grown.epoch();
+            {
+                let log = self.log.lock().expect("command log poisoned");
+                let index = from.checked_sub(log.base).expect("cursor below log base") as usize;
+                if let Some(entry) = log.entries.get(index) {
+                    return Some(Arc::clone(entry));
+                }
+                if log.closed {
+                    return None;
+                }
+            }
+            self.grown.wait(seen);
         }
     }
 
@@ -925,8 +1043,7 @@ impl ServerCore {
         };
         if let Some((client, reply)) = entry.origin {
             if let Some(route) = clients.routes.get(&client) {
-                // A send can only fail if the client departed; the response is moot.
-                let _ = route.send((reply, response));
+                route.deliver(client, reply, response);
             }
         }
     }

@@ -31,11 +31,13 @@ pub mod client;
 pub mod durability;
 pub mod engine;
 pub mod net;
+pub mod route;
 
 pub use client::{Client, ClientError};
 pub use durability::DurabilityConfig;
 pub use engine::{ClientId, HealthSnapshot, SequencedCommand, ServerCore};
 pub use net::{serve, Server, ServerConfig};
+pub use route::{ChannelRoute, ResponseRoute};
 
 /// The deepest a client should pipeline: the server stops reading a connection's
 /// frames once this many of its commands are unanswered (backpressure), so a client

@@ -1,85 +1,66 @@
-//! The TCP front end: frames in, frames out, one [`ServerCore`] in the middle.
+//! The TCP front end: one readiness reactor, one [`ServerCore`] behind it.
 //!
-//! Per connection the server runs two threads. The *reader* turns incoming frames into
-//! sequenced commands — a frame that fails to decode (or exceeds the frame limit, in
-//! which case its bytes were discarded unbuffered) is answered with
-//! [`Response::WireError`](kpg_wire::Response::WireError) and the stream continues at
-//! the next frame. The *writer* drains the client's response channel; responses are
-//! reordered by request index before writing, so the client always reads exactly one
-//! response per frame it sent, in order, even though wire errors short-circuit the
-//! engine. EOF (or any read error) disconnects the client, which uninstalls the
-//! queries it owned and nothing else.
+//! The server runs **no threads per connection**. A single reactor thread owns a
+//! [`Poller`] and every socket:
+//!
+//! * **Reads** — a readable connection is drained nonblockingly into its
+//!   [`FrameStream`]; completed frames decode into commands. Everything that
+//!   became ready in one wakeup is submitted through
+//!   [`ServerCore::submit_batch`] — **one** sequencer-lock acquisition (and one
+//!   WAL staging pass) per wakeup, no matter how many connections spoke. Batch
+//!   order is append order is arbitration order, so the semantics are identical
+//!   to per-command submission.
+//! * **Writes** — workers deliver responses to a shared queue (`QueueRoute`) and
+//!   ring the reactor's [`Waker`]; the reactor reorders each connection's
+//!   responses by request index and flushes them coalesced — all responses that
+//!   arrived since the last wakeup leave in one write per connection. A socket
+//!   that blocks gets write interest and the residue goes out when it drains.
+//! * **Backpressure** — a connection with [`PIPELINE_DEPTH`] submitted-but-
+//!   unflushed commands stops being *read*: its read interest is muted, leaving
+//!   its bytes in the kernel buffer (ordinary TCP backpressure upstream). When
+//!   responses flush, interest is restored and frames already sitting in the
+//!   assembler are processed first — no readiness event re-announces bytes the
+//!   reactor already read.
+//! * **Accept** — the listener is a readiness source like any other. Transient
+//!   accept failures (brief fd exhaustion, peers resetting before accept) mute
+//!   the listener for a short backoff instead of killing the accept path; a
+//!   wait timeout re-arms it. Shutdown and accept race safely by construction:
+//!   accepting and tearing down happen on the same thread, so a stop flag set
+//!   mid-accept is observed before the next wait and the just-registered
+//!   connection is torn down with the rest — never leaked. Both protocols are
+//!   pinned as model tests in `tests/model_races.rs`.
+//!
+//! Wire-level failures behave as before: an undecodable or oversized frame is
+//! answered with [`Response::WireError`](kpg_wire::Response::WireError) in
+//! request order and the stream resumes at the next frame. EOF (or any socket
+//! error) disconnects the client, which uninstalls the queries it owned and
+//! nothing else.
 
 use kpg_sync::atomic::{AtomicBool, Ordering};
 use kpg_sync::thread::JoinHandle;
-use kpg_sync::{mpsc, Arc, Mutex};
+use kpg_sync::{Arc, Mutex};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
+use kpg_net::{Event, FillOutcome, FrameStream, Interest, Poller, Waker};
 use kpg_plan::Command;
-use kpg_wire::{read_frame, write_frame, Frame, Response, WireCodec, DEFAULT_FRAME_LIMIT};
+use kpg_wire::{Frame, Response, WireCodec, DEFAULT_FRAME_LIMIT};
 
 use crate::engine::{ClientId, ServerCore};
+use crate::route::ResponseRoute;
+use crate::PIPELINE_DEPTH;
 
-/// The most commands a client may have submitted-but-unanswered before its reader
-/// stops pulling frames off the socket. Bounds the per-client response channel and
-/// reorder buffer; the stalled reader applies ordinary TCP backpressure upstream.
-/// Clients that pipeline should stay under this bound — see
-/// [`PIPELINE_DEPTH`](crate::PIPELINE_DEPTH).
-pub(crate) const MAX_IN_FLIGHT: u64 = 1024;
+/// Poller token of the TCP listener.
+const LISTENER: u64 = 0;
+/// Poller token of the reactor waker.
+const WAKER: u64 = 1;
+/// First token handed to a connection.
+const FIRST_CONN: u64 = 2;
 
-/// The writer's progress, shared with the reader for backpressure: how many responses
-/// have been written back (or `u64::MAX` once the writer is gone, releasing any wait).
-///
-/// Public (but hidden) so the model-checking tests can drive the exact protocol the
-/// session threads run — see `tests/model_races.rs`.
-#[doc(hidden)]
-pub struct SessionFlow {
-    written: Mutex<u64>,
-    advanced: kpg_sync::Condvar,
-}
-
-impl SessionFlow {
-    #[doc(hidden)]
-    pub fn new() -> Self {
-        SessionFlow {
-            written: Mutex::new(0),
-            advanced: kpg_sync::Condvar::new(),
-        }
-    }
-
-    /// Blocks until fewer than `limit` responses separate `reply` from what has been
-    /// written back.
-    #[doc(hidden)]
-    pub fn wait_below(&self, reply: u64, limit: u64) {
-        let mut written = self.written.lock().expect("session flow poisoned");
-        while reply.saturating_sub(*written) >= limit {
-            written = self.advanced.wait(written).expect("session flow poisoned");
-        }
-    }
-
-    #[doc(hidden)]
-    pub fn note_written(&self) {
-        let mut written = self.written.lock().expect("session flow poisoned");
-        *written += 1;
-        self.advanced.notify_all();
-    }
-
-    #[doc(hidden)]
-    pub fn release(&self) {
-        let mut written = self.written.lock().expect("session flow poisoned");
-        *written = u64::MAX;
-        self.advanced.notify_all();
-    }
-}
-
-impl Default for SessionFlow {
-    fn default() -> Self {
-        SessionFlow::new()
-    }
-}
+/// How long the listener stays muted after a transient accept failure.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(20);
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -110,14 +91,39 @@ impl Default for ServerConfig {
     }
 }
 
-/// A running server: the engine, the acceptor, and every live connection.
+/// The shared response path: workers deposit here (under the core's client-state
+/// lock) and ring the reactor, which drains the queue on its next wakeup and
+/// flushes per connection. One queue for every socket-backed client.
+struct QueueRoute {
+    queue: Mutex<Vec<(ClientId, u64, Response)>>,
+    waker: Arc<Waker>,
+}
+
+impl ResponseRoute for QueueRoute {
+    fn deliver(&self, client: ClientId, reply: u64, response: Response) {
+        let mut queue = self.queue.lock().expect("response queue poisoned");
+        let was_empty = queue.is_empty();
+        queue.push((client, reply, response));
+        drop(queue);
+        // Wake only on the empty→non-empty transition: the reactor drains the
+        // queue whole under the same lock, so one pending wake covers every
+        // response that lands before it runs — a batch of N responses costs one
+        // waker syscall, not N. (A push racing the drain sees the queue empty
+        // again and re-wakes, so no response is ever left sleeping.)
+        if was_empty {
+            self.waker.wake();
+        }
+    }
+}
+
+/// A running server: the engine, the reactor, and every live connection.
 /// [`Server::shutdown`] (or drop) stops all of it.
 pub struct Server {
     core: Arc<ServerCore>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    connections: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
-    acceptor: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    reactor: Option<JoinHandle<()>>,
     engine: Option<JoinHandle<()>>,
 }
 
@@ -145,9 +151,12 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        Ok::<_, io::Error>((listener, local_addr))
+        let poller = Poller::new()?;
+        poller.register(&listener, LISTENER, Interest::READ)?;
+        let waker = Waker::new(&poller, WAKER)?;
+        Ok::<_, io::Error>((listener, local_addr, poller, waker))
     })();
-    let (listener, local_addr) = match bound {
+    let (listener, local_addr, poller, waker) = match bound {
         Ok(bound) => bound,
         Err(error) => {
             // The engine is already running; wind it down cleanly (flushing the WAL
@@ -159,60 +168,43 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         }
     };
     let stop = Arc::new(AtomicBool::new(false));
-    let connections: Arc<Mutex<HashMap<ClientId, TcpStream>>> =
-        Arc::new(Mutex::new(HashMap::new()));
+    let waker = Arc::new(waker);
+    let route = Arc::new(QueueRoute {
+        queue: Mutex::new(Vec::new()),
+        waker: Arc::clone(&waker),
+    });
 
-    let acceptor = {
+    let reactor = {
         let core = Arc::clone(&core);
         let stop = Arc::clone(&stop);
-        let connections = Arc::clone(&connections);
+        let waker = Arc::clone(&waker);
         kpg_sync::thread::Builder::new()
-            .name("kpg-server-accept".to_string())
+            .name("kpg-server-reactor".to_string())
             .spawn(move || {
-                let mut sessions = Vec::new();
-                while !stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            // The listener is nonblocking (for the stop poll); on
-                            // BSD-derived platforms the accepted socket inherits
-                            // that, and the session loops need blocking reads.
-                            if stream.set_nonblocking(false).is_err() {
-                                continue;
-                            }
-                            let _ = stream.set_nodelay(true);
-                            if let Ok(session) = spawn_session(
-                                Arc::clone(&core),
-                                stream,
-                                frame_limit,
-                                Arc::clone(&connections),
-                                &stop,
-                            ) {
-                                sessions.push(session);
-                            }
-                        }
-                        Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
-                            kpg_sync::thread::sleep(Duration::from_millis(2));
-                        }
-                        // Transient accept failures (a peer that reset before we
-                        // accepted, brief fd exhaustion) must not kill the acceptor:
-                        // a server that runs but can never accept again fails
-                        // silently. Back off briefly and retry until stopped.
-                        Err(_) => kpg_sync::thread::sleep(Duration::from_millis(20)),
-                    }
+                Reactor {
+                    core,
+                    poller,
+                    listener,
+                    waker,
+                    route,
+                    stop,
+                    frame_limit,
+                    conns: HashMap::new(),
+                    by_client: HashMap::new(),
+                    next_token: FIRST_CONN,
+                    accept_muted_until: None,
                 }
-                for session in sessions {
-                    let _ = session.join();
-                }
+                .run();
             })
-            .expect("failed to spawn the acceptor thread")
+            .expect("failed to spawn the reactor thread")
     };
 
     Ok(Server {
         core,
         local_addr,
         stop,
-        connections,
-        acceptor: Some(acceptor),
+        waker,
+        reactor: Some(reactor),
         engine: Some(engine),
     })
 }
@@ -240,19 +232,13 @@ impl Server {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        if let Some(acceptor) = self.acceptor.take() {
-            // Unblock reader threads first so the acceptor can join its sessions.
-            let connections: Vec<TcpStream> = self
-                .connections
-                .lock()
-                .expect("connection registry poisoned")
-                .drain()
-                .map(|(_, stream)| stream)
-                .collect();
-            for stream in connections {
-                let _ = stream.shutdown(Shutdown::Both);
-            }
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            // The reactor checks the flag on every wakeup; ring it so a reactor
+            // parked with no traffic notices now. Teardown happens on the
+            // reactor thread itself, so every connection — including one
+            // accepted while this flag was being set — is dropped there.
+            self.waker.wake();
+            let _ = reactor.join();
         }
         self.core.close();
         if let Some(engine) = self.engine.take() {
@@ -270,112 +256,294 @@ impl Drop for Server {
     }
 }
 
-/// Starts the per-connection reader (the returned thread) and writer threads.
-fn spawn_session(
-    core: Arc<ServerCore>,
-    stream: TcpStream,
-    frame_limit: usize,
-    connections: Arc<Mutex<HashMap<ClientId, TcpStream>>>,
-    stop: &kpg_sync::atomic::AtomicBool,
-) -> io::Result<JoinHandle<()>> {
-    let (client, responses) = core.register_client();
-    let write_stream = stream.try_clone()?;
-    connections
-        .lock()
-        .expect("connection registry poisoned")
-        .insert(client, stream.try_clone()?);
-    // Double-check against a racing shutdown: if the stop flag was set after the
-    // acceptor's check but before this registration, `Server::shutdown` may already
-    // have drained the registry — shut this socket down ourselves so the reader
-    // thread cannot outlive the server.
-    if stop.load(Ordering::SeqCst) {
-        let _ = stream.shutdown(Shutdown::Both);
-    }
-
-    let flow = Arc::new(SessionFlow::new());
-    let writer = {
-        let flow = Arc::clone(&flow);
-        kpg_sync::thread::Builder::new()
-            .name(format!("kpg-server-write-{client}"))
-            .spawn(move || write_loop(write_stream, &responses, &flow))?
-    };
-
-    kpg_sync::thread::Builder::new()
-        .name(format!("kpg-server-read-{client}"))
-        .spawn(move || {
-            read_loop(&core, client, stream, frame_limit, &flow);
-            // EOF or error: retire the client. Disconnect drops the response route,
-            // which ends the writer's channel and lets it exit.
-            core.disconnect(client);
-            connections
-                .lock()
-                .expect("connection registry poisoned")
-                .remove(&client);
-            let _ = writer.join();
-        })
-}
-
-/// Reads frames until EOF/error, submitting decoded commands and answering wire-level
-/// failures in place. Every received frame consumes exactly one reply index, so the
-/// writer can restore per-request response order.
-fn read_loop(
-    core: &ServerCore,
+/// One socket-backed session: the framed stream plus reply-ordering and
+/// backpressure accounting.
+struct Conn {
+    stream: FrameStream<TcpStream>,
     client: ClientId,
-    mut stream: TcpStream,
+    /// The next reply index to assign to an incoming frame — equivalently, how
+    /// many frames this connection has submitted.
+    submitted: u64,
+    /// Responses fully flushed to the socket. `submitted - answered` is the
+    /// in-flight depth the backpressure bound applies to.
+    answered: u64,
+    /// The next reply index to *emit*; responses completing out of order wait in
+    /// `held` until their predecessors arrive.
+    next_emit: u64,
+    held: BTreeMap<u64, Response>,
+    /// The interest currently armed with the poller (to skip no-op reregisters).
+    armed: Interest,
+    dead: bool,
+}
+
+impl Conn {
+    fn in_flight(&self) -> u64 {
+        self.submitted - self.answered
+    }
+}
+
+/// The reactor: all connection state, confined to its one thread.
+struct Reactor {
+    core: Arc<ServerCore>,
+    poller: Poller,
+    listener: TcpListener,
+    waker: Arc<Waker>,
+    route: Arc<QueueRoute>,
+    stop: Arc<AtomicBool>,
     frame_limit: usize,
-    flow: &SessionFlow,
-) {
-    let mut reply = 0u64;
-    loop {
-        // Backpressure: a client that pipelines without reading responses would
-        // otherwise grow the response channel without bound. Stalling here leaves its
-        // bytes in the kernel buffers, which is the client's problem.
-        flow.wait_below(reply, MAX_IN_FLIGHT);
-        kpg_sync::blocking::annotate("socket read");
-        match read_frame(&mut stream, frame_limit) {
-            Ok(None) | Err(_) => return,
-            Ok(Some(Frame::TooLarge(length))) => {
-                let error = kpg_wire::WireError::FrameTooLarge {
-                    length,
-                    limit: frame_limit as u64,
-                };
-                core.respond_wire_error(client, reply, error.to_string());
-                reply += 1;
-            }
-            Ok(Some(Frame::Payload(payload))) => {
-                match Command::decode(&payload) {
-                    Ok(command) => {
-                        core.submit(client, reply, command);
-                    }
-                    Err(error) => core.respond_wire_error(client, reply, error.to_string()),
+    conns: HashMap<u64, Conn>,
+    by_client: HashMap<ClientId, u64>,
+    next_token: u64,
+    /// `Some(deadline)` while the listener is muted after a transient accept
+    /// failure; the wait timeout is clamped so the deadline re-arms it.
+    accept_muted_until: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        let mut scratch = vec![0u8; 64 * 1024];
+        // Connections whose read interest is muted for depth; re-checked after
+        // every flush pass instead of scanning all connections.
+        let mut throttled: Vec<u64> = Vec::new();
+        loop {
+            events.clear();
+            let timeout = self
+                .accept_muted_until
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+            let _ = self.poller.wait(&mut events, timeout);
+            // Stop check first: whatever else this wakeup carries, teardown wins.
+            // Dropping the connections here — on the thread that accepts — is
+            // what makes the shutdown/accept race unable to leak a registration.
+            if self.stop.load(Ordering::SeqCst) {
+                for (_, conn) in self.conns.drain() {
+                    let _ = self.poller.deregister(conn.stream.stream());
+                    self.core.disconnect(conn.client);
                 }
-                reply += 1;
+                return;
             }
+
+            // 1. New responses: reorder per connection and queue the encodings.
+            let mut flush: Vec<u64> = Vec::new();
+            for event in &events {
+                if event.token == WAKER {
+                    self.waker.drain();
+                }
+            }
+            let deliveries =
+                std::mem::take(&mut *self.route.queue.lock().expect("response queue poisoned"));
+            for (client, reply, response) in deliveries {
+                let Some(&token) = self.by_client.get(&client) else {
+                    continue; // client departed; the response is moot
+                };
+                let conn = self.conns.get_mut(&token).expect("client map out of sync");
+                conn.held.insert(reply, response);
+                while let Some(response) = conn.held.remove(&conn.next_emit) {
+                    conn.stream.queue_frame(&response.encode());
+                    conn.next_emit += 1;
+                }
+                if !flush.contains(&token) {
+                    flush.push(token);
+                }
+            }
+
+            // 2. Flush: coalesced — every response queued above leaves in as few
+            // writes as the socket allows; writable events flush blocked residue.
+            for event in &events {
+                if event.token >= FIRST_CONN && event.writable && !flush.contains(&event.token) {
+                    flush.push(event.token);
+                }
+            }
+            for &token in &flush {
+                self.flush_conn(token);
+            }
+
+            // 3. Reads. Fill every readable connection, then pop frames up to the
+            // depth bound. Connections that free up depth by the flush above are
+            // re-armed and their assembler residue processed *first*: those bytes
+            // are already read, so no readiness event will announce them again.
+            let mut batch: Vec<(ClientId, u64, Command)> = Vec::new();
+            let mut readers: Vec<u64> = std::mem::take(&mut throttled);
+            for event in &events {
+                if event.token == LISTENER {
+                    if event.readable {
+                        self.accept_ready();
+                    }
+                } else if event.token >= FIRST_CONN && event.readable {
+                    if let Some(conn) = self.conns.get_mut(&event.token) {
+                        if conn.fill(&mut scratch) == FillOutcome::Closed {
+                            conn.dead = true;
+                        }
+                        if !readers.contains(&event.token) {
+                            readers.push(event.token);
+                        }
+                    }
+                }
+            }
+            // A timed-out wait re-arms a muted listener once the backoff passed.
+            if let Some(deadline) = self.accept_muted_until {
+                if Instant::now() >= deadline {
+                    self.accept_muted_until = None;
+                    let _ = self
+                        .poller
+                        .reregister(&self.listener, LISTENER, Interest::READ);
+                }
+            }
+            for token in readers {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                while conn.in_flight() < PIPELINE_DEPTH as u64 {
+                    let Some(frame) = conn.stream.next_frame() else {
+                        break;
+                    };
+                    let reply = conn.submitted;
+                    conn.submitted += 1;
+                    match frame {
+                        Frame::Payload(payload) => match Command::decode(&payload) {
+                            Ok(command) => batch.push((conn.client, reply, command)),
+                            Err(error) => {
+                                self.core
+                                    .respond_wire_error(conn.client, reply, error.to_string());
+                            }
+                        },
+                        Frame::TooLarge(length) => {
+                            let error = kpg_wire::WireError::FrameTooLarge {
+                                length,
+                                limit: self.frame_limit as u64,
+                            };
+                            self.core
+                                .respond_wire_error(conn.client, reply, error.to_string());
+                        }
+                    }
+                }
+                let conn = self.conns.get_mut(&token).expect("conn present");
+                if conn.dead && !conn.stream.has_pending_frames() {
+                    self.close_conn(token);
+                    continue;
+                }
+                if conn.in_flight() >= PIPELINE_DEPTH as u64 {
+                    throttled.push(token);
+                }
+                self.update_interest(token);
+            }
+
+            // 4. One sequencer pass for everything this wakeup produced.
+            if !batch.is_empty() {
+                self.core.submit_batch(batch);
+            }
+        }
+    }
+
+    /// Accepts until the listener would block. A transient failure mutes the
+    /// listener for [`ACCEPT_BACKOFF`] — the reactor-native form of the old
+    /// accept-thread sleep: readiness suppression plus a wait timeout, so the
+    /// reactor keeps serving existing connections while the listener cools off.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let client = self
+                        .core
+                        .register_client_routed(Arc::clone(&self.route) as Arc<dyn ResponseRoute>);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(&stream, token, Interest::READ)
+                        .is_err()
+                    {
+                        self.core.disconnect(client);
+                        continue;
+                    }
+                    self.by_client.insert(client, token);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream: FrameStream::new(stream, self.frame_limit),
+                            client,
+                            submitted: 0,
+                            answered: 0,
+                            next_emit: 0,
+                            held: BTreeMap::new(),
+                            armed: Interest::READ,
+                            dead: false,
+                        },
+                    );
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                // Transient accept failures (a peer that reset before we accepted,
+                // brief fd exhaustion) must not kill the accept path: a server
+                // that runs but can never accept again fails silently.
+                Err(_) => {
+                    self.accept_muted_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    let _ = self
+                        .poller
+                        .reregister(&self.listener, LISTENER, Interest::NONE);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flushes a connection's queued responses, advancing its backpressure
+    /// accounting; tears it down on a write error or a drained EOF.
+    fn flush_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.stream.flush() {
+            Ok(progress) => {
+                conn.answered += progress.frames_completed as u64;
+                if conn.dead && !conn.stream.has_pending_frames() {
+                    self.close_conn(token);
+                } else {
+                    self.update_interest(token);
+                }
+            }
+            Err(_) => self.close_conn(token),
+        }
+    }
+
+    /// Re-arms the poller with the interest the connection's state implies:
+    /// read while under the depth bound, write while output is blocked.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let desired = Interest {
+            read: !conn.dead && conn.in_flight() < PIPELINE_DEPTH as u64,
+            write: conn.stream.backlog() > 0,
+        };
+        if desired != conn.armed
+            && self
+                .poller
+                .reregister(conn.stream.stream(), token, desired)
+                .is_ok()
+        {
+            conn.armed = desired;
+        }
+    }
+
+    /// Retires a connection: poller deregistration, engine disconnect (which
+    /// uninstalls the queries the client owned), socket drop.
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.stream());
+            self.by_client.remove(&conn.client);
+            self.core.disconnect(conn.client);
         }
     }
 }
 
-/// Writes responses back in request order. Responses can complete out of order across
-/// the engine/wire-error paths; a reorder buffer holds the early ones.
-fn write_loop(
-    mut stream: TcpStream,
-    responses: &mpsc::Receiver<(u64, Response)>,
-    flow: &SessionFlow,
-) {
-    let mut next_reply = 0u64;
-    let mut held: BTreeMap<u64, Response> = BTreeMap::new();
-    'drain: while let Ok((reply, response)) = responses.recv() {
-        held.insert(reply, response);
-        while let Some(response) = held.remove(&next_reply) {
-            kpg_sync::blocking::annotate("socket write");
-            if write_frame(&mut stream, &response.encode()).is_err() {
-                break 'drain;
-            }
-            next_reply += 1;
-            flow.note_written();
-        }
+impl Conn {
+    /// Drains the socket into the assembler; returns what the kernel reported.
+    fn fill(&mut self, scratch: &mut [u8]) -> FillOutcome {
+        self.stream.fill(scratch)
     }
-    // However the writer ends, release a reader blocked on backpressure; its next
-    // read observes the socket state and exits on its own.
-    flow.release();
 }

@@ -28,6 +28,7 @@
 mod barrier;
 pub mod blocking;
 mod condvar;
+mod doorbell;
 pub mod mpsc;
 mod mutex;
 pub mod order;
@@ -41,6 +42,7 @@ pub mod model;
 
 pub use barrier::{Barrier, BarrierWaitResult};
 pub use condvar::{Condvar, WaitTimeoutResult};
+pub use doorbell::Doorbell;
 pub use mutex::{Mutex, MutexGuard};
 pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 

@@ -1,0 +1,170 @@
+//! Incremental frame assembly: the nonblocking counterpart of
+//! [`read_frame`](crate::read_frame).
+//!
+//! A readiness-driven reader cannot block until a frame is complete — bytes arrive
+//! in whatever chunks the kernel delivers, cut anywhere: mid-header, mid-payload,
+//! one byte at a time. [`FrameAssembler`] is the state machine that turns that
+//! arbitrary chunking back into the exact frame sequence [`read_frame`] would have
+//! produced: feed every received chunk to [`FrameAssembler::ingest`], pop completed
+//! frames with [`FrameAssembler::next_frame`].
+//!
+//! The resynchronization properties of the blocking reader carry over unchanged:
+//!
+//! * An announced payload larger than the limit is *discarded as it streams in* —
+//!   counted, never buffered — and surfaces as [`Frame::TooLarge`] once fully
+//!   skipped, with the assembler already aligned on the next frame's header.
+//! * A payload that later fails to decode costs exactly one frame: the length
+//!   travels outside the payload, so the assembler is alignment-safe against any
+//!   payload corruption.
+//! * Memory held is bounded by one partial frame (at most the limit) plus whatever
+//!   completed frames the consumer has not yet popped — which is in turn bounded by
+//!   the chunk sizes the consumer chooses to ingest.
+
+use std::collections::VecDeque;
+
+use crate::frame::Frame;
+
+/// Where the assembler is inside the byte stream.
+enum State {
+    /// Collecting the 4-byte big-endian length prefix.
+    Header { got: [u8; 4], filled: usize },
+    /// Collecting a payload of known, in-limit length.
+    Body { payload: Vec<u8>, expect: usize },
+    /// Discarding an oversized payload; `announced` is reported when it ends.
+    Skip { announced: u64, remaining: u64 },
+}
+
+/// An incremental frame parser over arbitrarily chunked bytes. See the module docs.
+pub struct FrameAssembler {
+    limit: usize,
+    state: State,
+    ready: VecDeque<Frame>,
+}
+
+impl FrameAssembler {
+    /// An assembler that buffers at most `limit` bytes per frame; larger frames are
+    /// skipped unbuffered and reported as [`Frame::TooLarge`].
+    pub fn new(limit: usize) -> FrameAssembler {
+        FrameAssembler {
+            limit,
+            state: State::Header {
+                got: [0; 4],
+                filled: 0,
+            },
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Consumes one received chunk, advancing the state machine. Completed frames
+    /// queue up for [`FrameAssembler::next_frame`]; partial state waits for the
+    /// next chunk.
+    pub fn ingest(&mut self, mut chunk: &[u8]) {
+        while !chunk.is_empty() {
+            match &mut self.state {
+                State::Header { got, filled } => {
+                    let take = chunk.len().min(4 - *filled);
+                    got[*filled..*filled + take].copy_from_slice(&chunk[..take]);
+                    *filled += take;
+                    chunk = &chunk[take..];
+                    if *filled == 4 {
+                        let length = u64::from(u32::from_be_bytes(*got));
+                        self.state = if length > self.limit as u64 {
+                            State::Skip {
+                                announced: length,
+                                remaining: length,
+                            }
+                        } else {
+                            State::Body {
+                                payload: Vec::with_capacity(length as usize),
+                                expect: length as usize,
+                            }
+                        };
+                        self.finish_if_complete();
+                    }
+                }
+                State::Body { payload, expect } => {
+                    let take = chunk.len().min(*expect - payload.len());
+                    payload.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    self.finish_if_complete();
+                }
+                State::Skip { remaining, .. } => {
+                    let take = (chunk.len() as u64).min(*remaining);
+                    *remaining -= take;
+                    chunk = &chunk[take as usize..];
+                    self.finish_if_complete();
+                }
+            }
+        }
+    }
+
+    /// Emits the current frame if its final byte has arrived and resets to the
+    /// header state. (Also handles zero-length payloads and zero-length skips,
+    /// which complete without consuming any body bytes.)
+    fn finish_if_complete(&mut self) {
+        let done = match &self.state {
+            State::Header { .. } => return,
+            State::Body { payload, expect } => payload.len() == *expect,
+            State::Skip { remaining, .. } => *remaining == 0,
+        };
+        if !done {
+            return;
+        }
+        let state = std::mem::replace(
+            &mut self.state,
+            State::Header {
+                got: [0; 4],
+                filled: 0,
+            },
+        );
+        match state {
+            State::Body { payload, .. } => self.ready.push_back(Frame::Payload(payload)),
+            State::Skip { announced, .. } => self.ready.push_back(Frame::TooLarge(announced)),
+            State::Header { .. } => unreachable!("checked above"),
+        }
+    }
+
+    /// The next completed frame, in stream order.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        self.ready.pop_front()
+    }
+
+    /// How many completed frames are queued.
+    pub fn pending_frames(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Bytes currently held: the partial frame under assembly plus queued complete
+    /// payloads. Skipped (oversized) bytes are never held and never counted.
+    pub fn buffered_bytes(&self) -> usize {
+        let partial = match &self.state {
+            State::Header { filled, .. } => *filled,
+            State::Body { payload, .. } => 4 + payload.len(),
+            State::Skip { .. } => 4,
+        };
+        partial
+            + self
+                .ready
+                .iter()
+                .map(|frame| match frame {
+                    Frame::Payload(payload) => 4 + payload.len(),
+                    Frame::TooLarge(_) => 4,
+                })
+                .sum::<usize>()
+    }
+
+    /// Whether the assembler is at a frame boundary with nothing queued — the
+    /// clean-EOF condition (a peer that closes mid-frame truncated its stream).
+    pub fn is_idle(&self) -> bool {
+        self.ready.is_empty() && matches!(&self.state, State::Header { filled: 0, .. })
+    }
+}
+
+impl std::fmt::Debug for FrameAssembler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameAssembler")
+            .field("limit", &self.limit)
+            .field("pending_frames", &self.ready.len())
+            .finish_non_exhaustive()
+    }
+}

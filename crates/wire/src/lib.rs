@@ -24,9 +24,11 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod assemble;
 pub mod codec;
 pub mod frame;
 
+pub use assemble::FrameAssembler;
 pub use codec::{
     Reader, Response, WireCodec, WireError, DEFAULT_FRAME_LIMIT, MAX_COLUMN, MAX_DEPTH, VERSION,
 };

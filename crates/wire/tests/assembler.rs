@@ -1,0 +1,175 @@
+//! The incremental-assembly model: [`FrameAssembler`] fed arbitrarily chunked
+//! bytes must produce *exactly* the frame sequence the blocking
+//! [`read_frame`] reference produces over the same stream — including the
+//! resync guarantees after oversized and corrupted frames.
+//!
+//! Chunkings exercised: one byte per readiness event (the pathological slow
+//! peer), seeded random cuts, and chunk boundaries placed deliberately inside
+//! headers and across frame boundaries.
+
+mod common;
+
+use std::io::Cursor;
+
+use common::{cases, Generator};
+use kpg_timestamp::rng::SmallRng;
+use kpg_wire::{read_frame, write_frame, Frame, FrameAssembler, WireCodec};
+
+const LIMIT: usize = 1 << 16;
+
+/// The blocking reader as ground truth: the frame sequence of `wire` read to EOF.
+fn reference_frames(wire: &[u8], limit: usize) -> Vec<Frame> {
+    let mut cursor = Cursor::new(wire);
+    let mut frames = Vec::new();
+    while let Ok(Some(frame)) = read_frame(&mut cursor, limit) {
+        frames.push(frame);
+    }
+    frames
+}
+
+/// Feeds `wire` to a fresh assembler in the given chunk sizes and collects every
+/// completed frame.
+fn assemble_chunked(wire: &[u8], chunks: impl Iterator<Item = usize>, limit: usize) -> Vec<Frame> {
+    let mut assembler = FrameAssembler::new(limit);
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    for chunk in chunks {
+        if offset >= wire.len() {
+            break;
+        }
+        let end = (offset + chunk.max(1)).min(wire.len());
+        assembler.ingest(&wire[offset..end]);
+        offset = end;
+        while let Some(frame) = assembler.next_frame() {
+            frames.push(frame);
+        }
+    }
+    assert!(offset >= wire.len(), "chunk iterator ended early");
+    assert!(
+        assembler.is_idle(),
+        "assembler not at a frame boundary after a whole-frame stream"
+    );
+    frames
+}
+
+#[test]
+fn one_byte_per_event_matches_blocking_reader() {
+    let mut generator = Generator::new(0xA55E);
+    for _ in 0..cases(50) {
+        let mut wire = Vec::new();
+        for _ in 0..4 {
+            write_frame(&mut wire, &generator.command().encode()).unwrap();
+        }
+        let expected = reference_frames(&wire, LIMIT);
+        assert_eq!(expected.len(), 4);
+        let got = assemble_chunked(&wire, std::iter::repeat(1), LIMIT);
+        assert_eq!(got, expected, "1-byte chunking diverged from read_frame");
+    }
+}
+
+#[test]
+fn oversized_frame_skips_across_many_events_without_buffering() {
+    // A 1 MiB announced frame against a 4 KiB limit, delivered in 1000-byte
+    // chunks: must surface as TooLarge with the announced size, hold at most a
+    // header's worth of memory throughout, and leave the next frame intact.
+    let limit = 4096;
+    let huge = vec![0xAB; 1 << 20];
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &huge).unwrap();
+    write_frame(&mut wire, b"after").unwrap();
+
+    let mut assembler = FrameAssembler::new(limit);
+    for chunk in wire.chunks(1000) {
+        assembler.ingest(chunk);
+        assert!(
+            assembler.buffered_bytes() <= limit + 4 + b"after".len() + 4,
+            "oversized payload was buffered"
+        );
+    }
+    assert_eq!(assembler.next_frame(), Some(Frame::TooLarge(1 << 20)));
+    assert_eq!(
+        assembler.next_frame(),
+        Some(Frame::Payload(b"after".to_vec()))
+    );
+    assert_eq!(assembler.next_frame(), None);
+    assert!(assembler.is_idle());
+}
+
+#[test]
+fn resync_after_payload_corruption_costs_exactly_one_frame() {
+    // Corrupt every byte position of a middle frame's payload in turn: the
+    // corrupted frame still arrives as a (garbage) payload of the right length —
+    // alignment lives in the header, outside the payload — and the following
+    // frame always survives byte-identical.
+    let mut generator = Generator::new(0xC0DE);
+    let middle = generator.command().encode();
+    for position in 0..middle.len() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        let start = wire.len() + 4;
+        write_frame(&mut wire, &middle).unwrap();
+        write_frame(&mut wire, b"last").unwrap();
+        wire[start + position] ^= 0xFF;
+
+        let frames = assemble_chunked(&wire, std::iter::repeat(7), LIMIT);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], Frame::Payload(b"first".to_vec()));
+        match &frames[1] {
+            Frame::Payload(payload) => assert_eq!(payload.len(), middle.len()),
+            other => panic!("corrupted payload changed the frame kind: {other:?}"),
+        }
+        assert_eq!(frames[2], Frame::Payload(b"last".to_vec()));
+    }
+}
+
+#[test]
+fn seeded_random_chunkings_match_blocking_reader() {
+    let mut rng = SmallRng::seed_from_u64(0xD1CE);
+    for _ in 0..cases(100) {
+        // A stream mixing normal, empty, and oversized frames.
+        let limit = 512;
+        let mut wire = Vec::new();
+        let frames = rng.gen_range(1..6usize);
+        for _ in 0..frames {
+            match rng.gen_range(0..4u32) {
+                0 => write_frame(&mut wire, &[]).unwrap(),
+                1 => {
+                    let size = rng.gen_range(limit + 1..limit * 4);
+                    write_frame(&mut wire, &vec![7u8; size]).unwrap();
+                }
+                _ => {
+                    let size = rng.gen_range(1..limit);
+                    write_frame(&mut wire, &vec![3u8; size]).unwrap();
+                }
+            }
+        }
+        let expected = reference_frames(&wire, limit);
+        assert_eq!(expected.len(), frames);
+        let total = wire.len();
+        let cuts = std::iter::from_fn(|| Some(rng.gen_range(1..=total.min(97))));
+        let got = assemble_chunked(&wire, cuts, limit);
+        assert_eq!(got, expected, "random chunking diverged from read_frame");
+    }
+}
+
+#[test]
+fn partial_frame_is_not_idle() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, b"abc").unwrap();
+    let mut assembler = FrameAssembler::new(LIMIT);
+
+    // Mid-header.
+    assembler.ingest(&wire[..2]);
+    assert!(!assembler.is_idle());
+    // Mid-payload.
+    assembler.ingest(&wire[2..5]);
+    assert!(!assembler.is_idle());
+    // Complete but unpopped.
+    assembler.ingest(&wire[5..]);
+    assert!(!assembler.is_idle());
+    assert_eq!(
+        assembler.next_frame(),
+        Some(Frame::Payload(b"abc".to_vec()))
+    );
+    assert!(assembler.is_idle());
+}

@@ -89,6 +89,19 @@ SCHEMAS = {
     },
     # Per-command cost of the network boundary (codec + framing + sequencer +
     # all-worker execution, full loopback round trip) vs direct Manager::execute.
+    # One point of the multi-client fan-out curve: N concurrent connections
+    # against one reactor, single-update RTT percentiles across all of them plus
+    # aggregate throughput. A flat rtt_p50_ns across clients is the event-driven
+    # fabric's acceptance shape.
+    "server_fanout": {
+        "workers",
+        "clients",
+        "updates",
+        "rtt_p50_ns",
+        "rtt_p99_ns",
+        "throughput_per_s",
+        "durable",
+    },
     "server_roundtrip": {
         "workers",
         "updates",
